@@ -1,0 +1,113 @@
+// Supporting micro-benchmarks: throughput of the from-scratch crypto
+// substrate (not a paper figure, but governs the cost model of real
+// deployments and justifies the fast SimSuite for Monte-Carlo sweeps).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/bytes.hpp"
+#include "crypto/ecvrf.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/sampler.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "crypto/suite.hpp"
+
+namespace {
+
+using namespace probft;
+using namespace probft::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(msg));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Sha512(benchmark::State& state) {
+  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha512::hash(msg));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  const Bytes seed = from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const Bytes msg = to_bytes("propose view=3 value=batch");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed25519::sign(seed, msg));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  const Bytes seed = from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const Bytes msg = to_bytes("propose view=3 value=batch");
+  const Bytes pk = ed25519::derive_public(seed);
+  const Bytes sig = ed25519::sign(seed, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed25519::verify(pk, msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_EcvrfProve(benchmark::State& state) {
+  const Bytes seed = from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const Bytes alpha = to_bytes("7|prepare");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecvrf::prove(seed, alpha));
+  }
+}
+BENCHMARK(BM_EcvrfProve);
+
+void BM_EcvrfVerify(benchmark::State& state) {
+  const Bytes seed = from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const Bytes alpha = to_bytes("7|prepare");
+  const Bytes pk = ed25519::derive_public(seed);
+  const auto proof = ecvrf::prove(seed, alpha);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecvrf::verify(pk, alpha, proof.proof));
+  }
+}
+BENCHMARK(BM_EcvrfVerify);
+
+void BM_VrfSample(benchmark::State& state) {
+  const auto suite = make_sim_suite();
+  const auto kp = suite->keygen(1);
+  const auto alpha = sample_alpha(5, "prepare");
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(
+      std::ceil(1.7 * 2.0 * std::sqrt(static_cast<double>(n))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vrf_sample(
+        *suite, kp.secret_key, ByteSpan(alpha.data(), alpha.size()), n, k));
+  }
+}
+BENCHMARK(BM_VrfSample)->Arg(100)->Arg(400);
+
+void BM_SuiteCompare(benchmark::State& state) {
+  // Relative cost of a full sign+verify in each suite.
+  const bool real = state.range(0) == 1;
+  const auto suite = real ? make_ed25519_suite() : make_sim_suite();
+  const auto kp = suite->keygen(1);
+  const Bytes msg = to_bytes("message");
+  for (auto _ : state) {
+    const auto sig = suite->sign(kp.secret_key, msg);
+    benchmark::DoNotOptimize(suite->verify(kp.public_key, msg, sig));
+  }
+  state.SetLabel(suite->name());
+}
+BENCHMARK(BM_SuiteCompare)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Figure 1a: message pattern and number of communication steps in the
+// normal case of PBFT, ProBFT, and HotStuff.
+//
+// Reproduced two ways:
+//   1. analytic step counts from the protocol structure;
+//   2. measured from the full simulated protocols: the number of
+//      network hops on the critical path from the leader's Propose to the
+//      last correct replica's decision (each phase adds one hop because
+//      every message type is sent exactly once per phase).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sim/cluster.hpp"
+
+namespace {
+
+using namespace probft;
+using namespace probft::bench;
+
+/// Measures good-case latency in communication steps: with every network
+/// hop taking exactly 1 ms, the time of the last decision equals the number
+/// of sequential message exchanges on the critical path.
+int measured_steps(sim::Protocol protocol, std::uint32_t n) {
+  sim::ClusterConfig cfg;
+  cfg.protocol = protocol;
+  cfg.n = n;
+  cfg.f = 0;
+  cfg.seed = 7;
+  cfg.latency.min_delay = 1'000;
+  cfg.latency.max_delay_post = 1'000;  // constant 1 ms per hop
+  sim::Cluster cluster(cfg);
+  cluster.start();
+  if (!cluster.run_to_completion()) return -1;
+  TimePoint last = 0;
+  for (const auto& d : cluster.decisions()) last = std::max(last, d.at);
+  return static_cast<int>(last / 1'000);
+}
+
+void print_figure() {
+  print_header("Figure 1a",
+               "communication steps in the normal case (good-case latency)");
+  std::printf("%-10s %-22s %-28s\n", "protocol", "analytic steps",
+              "measured steps (1ms/hop sim)");
+  std::printf("%-10s %-22d %-28d\n", "PBFT", quorum::steps_pbft(),
+              measured_steps(sim::Protocol::kPbft, 10));
+  std::printf("%-10s %-22d %-28d\n", "ProBFT", quorum::steps_probft(),
+              measured_steps(sim::Protocol::kProbft, 16));
+  std::printf("%-10s %-22d %-28d\n", "HotStuff", quorum::steps_hotstuff(),
+              measured_steps(sim::Protocol::kHotStuff, 10));
+  std::printf(
+      "\nPattern (paper Fig. 1a): PBFT/ProBFT: Propose -> Prepare -> Commit "
+      "(3 steps);\nHotStuff: NewView -> Propose -> Vote -> QC x3 phases "
+      "(7+ steps).\n");
+}
+
+void BM_FullConsensusRun(benchmark::State& state) {
+  const auto protocol = static_cast<sim::Protocol>(state.range(0));
+  const auto n = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    sim::ClusterConfig cfg;
+    cfg.protocol = protocol;
+    cfg.n = n;
+    cfg.f = 0;
+    cfg.seed = 7;
+    sim::Cluster cluster(cfg);
+    cluster.start();
+    benchmark::DoNotOptimize(cluster.run_to_completion());
+  }
+}
+BENCHMARK(BM_FullConsensusRun)
+    ->Args({static_cast<long>(sim::Protocol::kProbft), 16})
+    ->Args({static_cast<long>(sim::Protocol::kPbft), 16})
+    ->Args({static_cast<long>(sim::Protocol::kHotStuff), 16})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 1b: number of exchanged messages vs system size n for PBFT,
+// HotStuff, and ProBFT with o in {1.6, 1.7, 1.8} (q = 2*sqrt(n)).
+//
+// Columns:
+//   - analytic counts from the closed-form models (quorum/analysis.hpp);
+//   - for sizes where full simulation is cheap, measured counts from the
+//     simulated protocols (normal case, correct leader).
+// The section-5 claim that ProBFT (o = 1.7) uses only a fraction of PBFT's
+// messages is printed as a ratio column.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sim/cluster.hpp"
+
+namespace {
+
+using namespace probft;
+using namespace probft::bench;
+
+std::uint64_t measured_messages(sim::Protocol protocol, std::uint32_t n,
+                                double o) {
+  sim::ClusterConfig cfg;
+  cfg.protocol = protocol;
+  cfg.n = n;
+  cfg.f = 0;
+  cfg.o = o;
+  cfg.seed = 11;
+  sim::Cluster cluster(cfg);
+  cluster.start();
+  cluster.run_to_completion();
+  return cluster.network().stats().sends;
+}
+
+void print_analytic() {
+  print_header("Figure 1b",
+               "#exchanged messages in the normal case (analytic model)");
+  std::printf("%-6s %-10s %-10s %-12s %-12s %-12s %-14s\n", "n", "PBFT",
+              "HotStuff", "ProBFT 1.6", "ProBFT 1.7", "ProBFT 1.8",
+              "ratio(1.7/PBFT)");
+  for (std::int64_t n = 100; n <= 400; n += 50) {
+    const double pbft = quorum::messages_pbft(n);
+    const double hotstuff = quorum::messages_hotstuff(n);
+    const double p16 = quorum::messages_probft(paper_params(n, 0.2, 1.6));
+    const double p17 = quorum::messages_probft(paper_params(n, 0.2, 1.7));
+    const double p18 = quorum::messages_probft(paper_params(n, 0.2, 1.8));
+    std::printf("%-6lld %-10.0f %-10.0f %-12.0f %-12.0f %-12.0f %-14.3f\n",
+                static_cast<long long>(n), pbft, hotstuff, p16, p17, p18,
+                p17 / pbft);
+  }
+  std::printf(
+      "\nShape check (paper): PBFT ~ 2n^2 (3.2e5 at n=400), ProBFT ~ 4o n^1.5,"
+      "\nHotStuff ~ 8n; ProBFT(1.7) uses ~17-35%% of PBFT over this range.\n");
+}
+
+void print_measured() {
+  print_header("Figure 1b (measured)",
+               "#messages counted on the simulated wire, normal case");
+  std::printf("%-6s %-12s %-12s %-14s %-20s\n", "n", "PBFT", "HotStuff",
+              "ProBFT(1.7)", "ratio ProBFT/PBFT");
+  for (std::uint32_t n : {50U, 100U, 150U, 200U}) {
+    const auto pbft = measured_messages(sim::Protocol::kPbft, n, 1.7);
+    const auto hotstuff = measured_messages(sim::Protocol::kHotStuff, n, 1.7);
+    const auto probft = measured_messages(sim::Protocol::kProbft, n, 1.7);
+    std::printf("%-6u %-12llu %-12llu %-14llu %-20.3f\n", n,
+                static_cast<unsigned long long>(pbft),
+                static_cast<unsigned long long>(hotstuff),
+                static_cast<unsigned long long>(probft),
+                static_cast<double>(probft) / static_cast<double>(pbft));
+  }
+}
+
+void BM_MessageCountModel(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quorum::messages_probft(paper_params(n, 0.2, 1.7)));
+  }
+}
+BENCHMARK(BM_MessageCountModel)->Arg(100)->Arg(400);
+
+void BM_SimulatedProbftRun(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        measured_messages(sim::Protocol::kProbft, n, 1.7));
+  }
+}
+BENCHMARK(BM_SimulatedProbftRun)->Arg(50)->Arg(100)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_analytic();
+  print_measured();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 5 (top-right): probability of terminating in a view (after GST,
+// correct leader) vs n, f/n = 0.2, q = 2*sqrt(n), o in {1.6, 1.7, 1.8}.
+//
+// Columns per o:
+//   exact — per-replica decision probability from the binomial model
+//           (prepare quorum x commit quorum);
+//   mc    — Monte-Carlo (sampling level) per-replica decision rate.
+// The paper's Lemma 4 Chernoff bound is printed where non-vacuous.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sim/montecarlo.hpp"
+
+namespace {
+
+using namespace probft;
+using namespace probft::bench;
+
+constexpr int kTrials = 4000;
+
+void print_figure() {
+  print_header(
+      "Figure 5 top-right",
+      "P(termination in view) vs n, correct leader after GST, f/n = 0.2");
+  std::printf("%-6s", "n");
+  for (double o : {1.6, 1.7, 1.8}) {
+    std::printf(" exact(o=%.1f) mc(o=%.1f)  mcAll(o=%.1f)", o, o, o);
+  }
+  std::printf("\n");
+  for (std::int64_t n = 100; n <= 300; n += 50) {
+    std::printf("%-6lld", static_cast<long long>(n));
+    for (double o : {1.6, 1.7, 1.8}) {
+      const auto p = paper_params(n, 0.2, o);
+      const auto mc = sim::mc_termination(
+          p, kTrials, 2000 + static_cast<std::uint64_t>(n));
+      std::printf(" %-12.6f %-11.6f %-12.6f",
+                  quorum::replica_termination_exact(p), mc.per_replica_rate,
+                  mc.all_rate);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check (paper): probability of deciding increases with n and\n"
+      "with o. `exact`/`mc` are per-replica (Lemma 4's event); `mcAll` is\n"
+      "Theorem 3's event (EVERY correct replica decides in the view).\n");
+}
+
+void BM_McTermination(benchmark::State& state) {
+  const auto p = paper_params(state.range(0), 0.2, 1.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::mc_termination(p, 200, 9));
+  }
+}
+BENCHMARK(BM_McTermination)->Arg(100)->Arg(300)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Supporting micro-benchmarks for the quorum-probability toolkit: these
+// kernels are evaluated thousands of times per Figure 5 sweep.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "quorum/prob.hpp"
+#include "sim/montecarlo.hpp"
+
+namespace {
+
+using namespace probft;
+using namespace probft::bench;
+
+void BM_BinomTail(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quorum::binom_tail_ge(n, 0.34, n / 5));
+  }
+}
+BENCHMARK(BM_BinomTail)->Arg(100)->Arg(400);
+
+void BM_HypergeomTail(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quorum::hypergeom_tail_ge(n, n / 2, n / 3, n / 6));
+  }
+}
+BENCHMARK(BM_HypergeomTail)->Arg(100)->Arg(400);
+
+void BM_TerminationExact(benchmark::State& state) {
+  const auto p = paper_params(state.range(0), 0.2, 1.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quorum::replica_termination_exact(p));
+  }
+}
+BENCHMARK(BM_TerminationExact)->Arg(100)->Arg(300);
+
+void BM_AgreementExact(benchmark::State& state) {
+  const auto p = paper_params(state.range(0), 0.2, 1.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quorum::view_disagreement_exact(p));
+  }
+}
+BENCHMARK(BM_AgreementExact)->Arg(100)->Arg(300);
+
+void BM_McTerminationTrial(benchmark::State& state) {
+  const auto p = paper_params(state.range(0), 0.2, 1.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::mc_termination(p, 10, 1));
+  }
+}
+BENCHMARK(BM_McTerminationTrial)->Arg(100)->Arg(300)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

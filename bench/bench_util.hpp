@@ -1,0 +1,31 @@
+// Small shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary prints (a) the paper's figure/table data as aligned
+// text rows, and (b) optionally registers google-benchmark timings for the
+// underlying kernels. Reproduction output goes to stdout so that
+// `for b in build/bench/*; do $b; done` regenerates every figure.
+#pragma once
+
+#include <cstdio>
+
+#include "quorum/analysis.hpp"
+
+namespace probft::bench {
+
+inline quorum::Params paper_params(std::int64_t n, double f_ratio, double o,
+                                   double l = 2.0) {
+  quorum::Params p;
+  p.n = n;
+  p.f = static_cast<std::int64_t>(static_cast<double>(n) * f_ratio);
+  p.o = o;
+  p.l = l;
+  return p;
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("================================================================\n");
+}
+
+}  // namespace probft::bench

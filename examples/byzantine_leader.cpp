@@ -1,0 +1,76 @@
+// Byzantine-leader demo: the Figure 4c "optimal split" equivocation attack.
+//
+//   $ ./examples/byzantine_leader [seed]
+//
+// Replica 1 (leader of view 1) is Byzantine and sends value A to half of
+// the correct replicas and value B to the other half; Byzantine followers
+// collude by supporting each value only toward its own partition. The demo
+// shows ProBFT's two defenses:
+//   1. equivocation detection: replicas whose VRF samples cross the
+//      partition receive both leader-signed values, block the view and
+//      gossip the evidence;
+//   2. view change: the synchronizer moves everyone to view 2, whose
+//      correct leader finishes the consensus — with agreement intact.
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/cluster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace probft;
+
+  const std::uint64_t seed =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 7;
+
+  sim::ClusterConfig cfg;
+  cfg.protocol = sim::Protocol::kProbft;
+  cfg.n = 16;
+  cfg.f = 5;
+  cfg.l = 1.5;
+  cfg.seed = seed;
+  cfg.split = sim::SplitStrategy::kOptimal;
+  cfg.attack_value_a = to_bytes("EVIL-VALUE-A");
+  cfg.attack_value_b = to_bytes("EVIL-VALUE-B");
+  cfg.behaviors.assign(cfg.n, sim::Behavior::kHonest);
+  cfg.behaviors[0] = sim::Behavior::kEquivocateLeader;   // replica 1
+  for (int i = 1; i < 5; ++i) {
+    cfg.behaviors[i] = sim::Behavior::kColludeFollower;  // replicas 2..5
+  }
+
+  std::printf("Fig. 4c attack: n=%u, %u Byzantine (equivocating leader +"
+              " colluders)\n", cfg.n, cfg.f);
+
+  sim::Cluster cluster(cfg);
+  cluster.start();
+
+  // Snapshot after the first view window: who blocked?
+  cluster.simulator().run_until(50'000);
+  int blocked = 0;
+  for (ReplicaId id = 6; id <= cfg.n; ++id) {
+    const auto* replica = cluster.probft(id);
+    if (replica != nullptr && replica->view_blocked()) ++blocked;
+  }
+  std::printf("\nafter 50 ms (still view 1): %d of %u correct replicas "
+              "detected the equivocation and blocked the view\n",
+              blocked, cfg.n - cfg.f);
+
+  const bool done = cluster.run_to_completion(/*deadline=*/120'000'000);
+  std::printf("\nconsensus finished: %s\n", done ? "yes" : "NO");
+  std::printf("agreement: %s\n", cluster.agreement_ok() ? "ok" : "VIOLATED");
+
+  for (const auto& d : cluster.decisions()) {
+    const std::string value(d.value.begin(), d.value.end());
+    std::printf("  replica %2u decided \"%s\" in view %llu\n", d.replica,
+                value.c_str(), static_cast<unsigned long long>(d.view));
+  }
+
+  const auto values = cluster.decided_values();
+  if (values.size() == 1) {
+    const std::string value(values.begin()->begin(), values.begin()->end());
+    std::printf("\nall correct replicas agreed on \"%s\"", value.c_str());
+    std::printf(value.rfind("EVIL", 0) == 0
+                    ? " (one attack value won — but consistently!)\n"
+                    : " (a correct replica's value from a later view)\n");
+  }
+  return cluster.agreement_ok() ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Protocol comparison: ProBFT vs PBFT vs HotStuff on identical workloads.
+//
+//   $ ./examples/protocol_comparison [n]
+//
+// Runs the three protocols on the same simulated cluster (same seed, same
+// latency model) and prints messages, bytes, and decision latency — the
+// trade-off triangle of paper Figure 1: ProBFT keeps PBFT's 3-step latency
+// at a fraction of its messages; HotStuff has the fewest messages but more
+// steps (higher latency).
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/cluster.hpp"
+
+namespace {
+
+struct Row {
+  const char* name;
+  bool decided;
+  std::uint64_t messages;
+  std::uint64_t bytes;
+  double last_decision_ms;
+};
+
+Row run(probft::sim::Protocol protocol, const char* name, std::uint32_t n) {
+  using namespace probft;
+  sim::ClusterConfig cfg;
+  cfg.protocol = protocol;
+  cfg.n = n;
+  cfg.f = 0;
+  cfg.seed = 99;
+  cfg.latency.min_delay = 1'000;
+  cfg.latency.max_delay_post = 8'000;
+  sim::Cluster cluster(cfg);
+  cluster.start();
+  Row row;
+  row.name = name;
+  row.decided = cluster.run_to_completion();
+  row.messages = cluster.network().stats().sends;
+  row.bytes = cluster.network().stats().bytes_sent;
+  TimePoint last = 0;
+  for (const auto& d : cluster.decisions()) last = std::max(last, d.at);
+  row.last_decision_ms = static_cast<double>(last) / 1000.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t n =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 50;
+
+  std::printf("Comparing protocols at n=%u (same seed & latency model; "
+              "1-8 ms per hop)\n\n", n);
+  std::printf("%-10s %-9s %-12s %-14s %-18s\n", "protocol", "decided",
+              "messages", "bytes", "all-decided (ms)");
+
+  const Row rows[] = {
+      run(probft::sim::Protocol::kProbft, "ProBFT", n),
+      run(probft::sim::Protocol::kPbft, "PBFT", n),
+      run(probft::sim::Protocol::kHotStuff, "HotStuff", n),
+  };
+  for (const Row& r : rows) {
+    std::printf("%-10s %-9s %-12llu %-14llu %-18.3f\n", r.name,
+                r.decided ? "yes" : "NO",
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.bytes),
+                r.last_decision_ms);
+  }
+
+  std::printf(
+      "\nreading the table (paper Fig. 1): ProBFT ~= PBFT latency (both are\n"
+      "3-step protocols) with far fewer messages; HotStuff sends the fewest\n"
+      "messages but pays extra communication steps, so it finishes last.\n");
+  return 0;
+}

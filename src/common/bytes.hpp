@@ -1,0 +1,35 @@
+// Byte-buffer primitives shared by every module.
+//
+// The whole code base standardizes on `Bytes` (a std::vector<uint8_t>) for
+// owned binary data and `ByteSpan` for borrowed views, plus small helpers to
+// convert to/from hex for test vectors and logging.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace probft {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+[[nodiscard]] std::string to_hex(ByteSpan data);
+
+/// Decodes a hex string (upper or lower case, no separators).
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+/// Converts a string literal / std::string into raw bytes.
+[[nodiscard]] Bytes to_bytes(std::string_view text);
+
+/// Byte-wise concatenation of two buffers.
+[[nodiscard]] Bytes operator+(const Bytes& a, const Bytes& b);
+
+/// Constant-time equality for fixed-size secrets (avoids early exit).
+[[nodiscard]] bool ct_equal(ByteSpan a, ByteSpan b);
+
+}  // namespace probft

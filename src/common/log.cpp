@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <atomic>
+
+namespace probft::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kOff};
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_level(Level level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void write(Level level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace probft::log

@@ -1,0 +1,75 @@
+// Minimal leveled logger.
+//
+// Logging is off by default so that Monte-Carlo sweeps stay quiet; examples
+// and debugging sessions turn it on with `log::set_level`.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace probft::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+Level level() noexcept;
+void set_level(Level level) noexcept;
+
+namespace detail {
+void write(Level level, const std::string& message);
+
+template <typename... Args>
+std::string format(const char* fmt, Args&&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return std::string(fmt);
+  } else {
+    const int needed = std::snprintf(nullptr, 0, fmt, args...);
+    if (needed <= 0) return std::string(fmt);
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::snprintf(out.data(), out.size() + 1, fmt, args...);
+    return out;
+  }
+}
+}  // namespace detail
+
+template <typename... Args>
+void trace(const char* fmt, Args&&... args) {
+  if (level() <= Level::kTrace) {
+    detail::write(Level::kTrace,
+                  detail::format(fmt, std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void debug(const char* fmt, Args&&... args) {
+  if (level() <= Level::kDebug) {
+    detail::write(Level::kDebug,
+                  detail::format(fmt, std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void info(const char* fmt, Args&&... args) {
+  if (level() <= Level::kInfo) {
+    detail::write(Level::kInfo,
+                  detail::format(fmt, std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void warn(const char* fmt, Args&&... args) {
+  if (level() <= Level::kWarn) {
+    detail::write(Level::kWarn,
+                  detail::format(fmt, std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void error(const char* fmt, Args&&... args) {
+  if (level() <= Level::kError) {
+    detail::write(Level::kError,
+                  detail::format(fmt, std::forward<Args>(args)...));
+  }
+}
+
+}  // namespace probft::log

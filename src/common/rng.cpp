@@ -1,0 +1,65 @@
+#include "common/rng.hpp"
+
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace probft {
+
+Xoshiro256StarStar Xoshiro256StarStar::from_bytes(const std::uint8_t* data,
+                                                  std::size_t size) {
+  Xoshiro256StarStar rng(0);
+  std::uint64_t words[4] = {0, 0, 0, 0};
+  // Fold the input into four words; inputs shorter than 32 bytes still
+  // perturb every word through the SplitMix pass below.
+  for (std::size_t i = 0; i < size; ++i) {
+    words[(i / 8) % 4] ^= static_cast<std::uint64_t>(data[i])
+                          << (8 * (i % 8));
+  }
+  SplitMix64 sm(words[0] ^ 0x243f6a8885a308d3ULL);
+  rng.state_[0] = sm.next() ^ words[0];
+  rng.state_[1] = sm.next() ^ words[1];
+  rng.state_[2] = sm.next() ^ words[2];
+  rng.state_[3] = sm.next() ^ words[3];
+  // All-zero state is invalid for xoshiro; nudge if it ever happens.
+  if ((rng.state_[0] | rng.state_[1] | rng.state_[2] | rng.state_[3]) == 0) {
+    rng.state_[0] = 1;
+  }
+  return rng;
+}
+
+std::uint64_t Xoshiro256StarStar::bounded(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("bounded: bound must be > 0");
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::vector<std::uint32_t> sample_without_replacement(Xoshiro256StarStar& rng,
+                                                      std::uint32_t n,
+                                                      std::uint32_t k) {
+  if (k > n) {
+    throw std::invalid_argument("sample_without_replacement: k > n");
+  }
+  std::vector<std::uint32_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0U);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto j =
+        i + static_cast<std::uint32_t>(rng.bounded(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace probft

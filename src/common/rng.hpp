@@ -1,0 +1,100 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the repository flows through these generators so that a
+// (seed, parameters) pair reproduces a simulation run bit-for-bit.
+//
+//  - SplitMix64: tiny stateless-ish mixer, used for seeding and for hashing
+//    64-bit tuples into seeds.
+//  - Xoshiro256StarStar: the workhorse generator (fast, 256-bit state,
+//    passes BigCrush), seeded from SplitMix64 per the authors'
+//    recommendation.
+//
+// Helpers provide unbiased bounded integers (Lemire rejection) and uniform
+// k-of-n sampling without replacement (partial Fisher-Yates), which is the
+// exact sampling model of the paper's probabilistic quorums.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace probft {
+
+/// SplitMix64 (Vigna). Suitable for seeding and hash-mixing, not for
+/// long streams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Mixes two 64-bit values into one seed (order-sensitive).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  SplitMix64 sm(a ^ (0x9e3779b97f4a7c15ULL + (b << 1)));
+  sm.next();
+  std::uint64_t x = sm.next() ^ b;
+  SplitMix64 sm2(x);
+  return sm2.next();
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna).
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// Seeds directly from 32 bytes of entropy (e.g. a VRF output).
+  static Xoshiro256StarStar from_bytes(const std::uint8_t* data,
+                                       std::size_t size);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased integer in [0, bound) via Lemire's rejection method.
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Draws `k` distinct values uniformly at random from {0, 1, ..., n-1}
+/// without replacement (partial Fisher-Yates). Requires k <= n.
+[[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(
+    Xoshiro256StarStar& rng, std::uint32_t n, std::uint32_t k);
+
+}  // namespace probft

@@ -1,0 +1,23 @@
+// Shared vocabulary types for the whole repository.
+#pragma once
+
+#include <cstdint>
+
+namespace probft {
+
+/// 1-based replica identifier (the paper numbers replicas 1..n).
+using ReplicaId = std::uint32_t;
+
+/// View number, starting at 1.
+using View = std::uint64_t;
+
+/// Simulated time in microseconds.
+using TimePoint = std::uint64_t;
+using Duration = std::uint64_t;
+
+/// leader(v) = ((v - 1) mod n) + 1  (paper §3.2).
+[[nodiscard]] constexpr ReplicaId leader_of(View v, std::uint32_t n) {
+  return static_cast<ReplicaId>((v - 1) % n + 1);
+}
+
+}  // namespace probft

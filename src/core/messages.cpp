@@ -1,0 +1,211 @@
+#include "core/messages.hpp"
+
+namespace probft::core {
+
+namespace {
+
+void encode_id_list(Writer& w, const std::vector<ReplicaId>& ids) {
+  w.vec(ids, [](Writer& out, ReplicaId id) { out.u32(id); });
+}
+
+std::vector<ReplicaId> decode_id_list(Reader& r) {
+  return r.vec<ReplicaId>([](Reader& in) { return in.u32(); });
+}
+
+}  // namespace
+
+// ---------------- SignedProposal ----------------
+
+void SignedProposal::encode(Writer& w) const {
+  w.u64(view);
+  w.bytes(value);
+  w.bytes(leader_sig);
+}
+
+SignedProposal SignedProposal::decode(Reader& r) {
+  SignedProposal out;
+  out.view = r.u64();
+  out.value = r.bytes();
+  out.leader_sig = r.bytes();
+  return out;
+}
+
+Bytes SignedProposal::signing_bytes(View view, ByteSpan value) {
+  Writer w;
+  w.str("probft/proposal");
+  w.u64(view);
+  w.bytes(value);
+  return std::move(w).take();
+}
+
+// ---------------- PhaseMsg ----------------
+
+void PhaseMsg::encode(Writer& w) const {
+  proposal.encode(w);
+  encode_id_list(w, sample);
+  w.bytes(vrf_proof);
+  w.u32(sender);
+  w.bytes(sender_sig);
+}
+
+PhaseMsg PhaseMsg::decode(Reader& r) {
+  PhaseMsg out;
+  out.proposal = SignedProposal::decode(r);
+  out.sample = decode_id_list(r);
+  out.vrf_proof = r.bytes();
+  out.sender = r.u32();
+  out.sender_sig = r.bytes();
+  return out;
+}
+
+Bytes PhaseMsg::signing_bytes(MsgTag tag) const {
+  Writer w;
+  w.str(tag == MsgTag::kPrepare ? "probft/prepare" : "probft/commit");
+  proposal.encode(w);
+  encode_id_list(w, sample);
+  w.bytes(vrf_proof);
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+Bytes PhaseMsg::to_bytes() const {
+  Writer w;
+  encode(w);
+  return std::move(w).take();
+}
+
+PhaseMsg PhaseMsg::from_bytes(ByteSpan data) {
+  Reader r(data);
+  auto out = decode(r);
+  r.expect_exhausted();
+  return out;
+}
+
+// ---------------- NewLeaderMsg ----------------
+
+void NewLeaderMsg::encode(Writer& w) const {
+  w.u64(view);
+  w.u64(prepared_view);
+  w.bytes(prepared_value);
+  w.vec(cert, [](Writer& out, const PhaseMsg& m) { m.encode(out); });
+  w.u32(sender);
+  w.bytes(sender_sig);
+}
+
+NewLeaderMsg NewLeaderMsg::decode(Reader& r) {
+  NewLeaderMsg out;
+  out.view = r.u64();
+  out.prepared_view = r.u64();
+  out.prepared_value = r.bytes();
+  out.cert =
+      r.vec<PhaseMsg>([](Reader& in) { return PhaseMsg::decode(in); }, 4096);
+  out.sender = r.u32();
+  out.sender_sig = r.bytes();
+  return out;
+}
+
+Bytes NewLeaderMsg::signing_bytes() const {
+  Writer w;
+  w.str("probft/newleader");
+  w.u64(view);
+  w.u64(prepared_view);
+  w.bytes(prepared_value);
+  w.vec(cert, [](Writer& out, const PhaseMsg& m) { m.encode(out); });
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+Bytes NewLeaderMsg::to_bytes() const {
+  Writer w;
+  encode(w);
+  return std::move(w).take();
+}
+
+NewLeaderMsg NewLeaderMsg::from_bytes(ByteSpan data) {
+  Reader r(data);
+  auto out = decode(r);
+  r.expect_exhausted();
+  return out;
+}
+
+// ---------------- ProposeMsg ----------------
+
+void ProposeMsg::encode(Writer& w) const {
+  proposal.encode(w);
+  w.vec(justification,
+        [](Writer& out, const NewLeaderMsg& m) { m.encode(out); });
+  w.u32(sender);
+  w.bytes(sender_sig);
+}
+
+ProposeMsg ProposeMsg::decode(Reader& r) {
+  ProposeMsg out;
+  out.proposal = SignedProposal::decode(r);
+  out.justification = r.vec<NewLeaderMsg>(
+      [](Reader& in) { return NewLeaderMsg::decode(in); }, 4096);
+  out.sender = r.u32();
+  out.sender_sig = r.bytes();
+  return out;
+}
+
+Bytes ProposeMsg::signing_bytes() const {
+  Writer w;
+  w.str("probft/propose");
+  proposal.encode(w);
+  w.vec(justification,
+        [](Writer& out, const NewLeaderMsg& m) { m.encode(out); });
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+Bytes ProposeMsg::to_bytes() const {
+  Writer w;
+  encode(w);
+  return std::move(w).take();
+}
+
+ProposeMsg ProposeMsg::from_bytes(ByteSpan data) {
+  Reader r(data);
+  auto out = decode(r);
+  r.expect_exhausted();
+  return out;
+}
+
+// ---------------- WishMsg ----------------
+
+void WishMsg::encode(Writer& w) const {
+  w.u64(view);
+  w.u32(sender);
+  w.bytes(sender_sig);
+}
+
+WishMsg WishMsg::decode(Reader& r) {
+  WishMsg out;
+  out.view = r.u64();
+  out.sender = r.u32();
+  out.sender_sig = r.bytes();
+  return out;
+}
+
+Bytes WishMsg::signing_bytes() const {
+  Writer w;
+  w.str("probft/wish");
+  w.u64(view);
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+Bytes WishMsg::to_bytes() const {
+  Writer w;
+  encode(w);
+  return std::move(w).take();
+}
+
+WishMsg WishMsg::from_bytes(ByteSpan data) {
+  Reader r(data);
+  auto out = decode(r);
+  r.expect_exhausted();
+  return out;
+}
+
+}  // namespace probft::core

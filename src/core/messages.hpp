@@ -1,0 +1,112 @@
+// ProBFT wire messages (paper Algorithm 1).
+//
+// Message kinds:
+//   Propose   — ⟨Propose, ⟨v,x⟩_leader, M⟩_leader, where M is the
+//               justification set of NewLeader messages (empty in view 1).
+//   Prepare   — ⟨Prepare, ⟨v,x⟩_leader, S_p, P_p⟩_i  (multicast to S_p)
+//   Commit    — ⟨Commit,  ⟨v,x⟩_leader, S_c, P_c⟩_i  (multicast to S_c)
+//   NewLeader — ⟨NewLeader, v, preparedView, preparedVal, cert⟩_i
+//   Wish      — synchronizer view wishes.
+//
+// Every message is signed by its sender over a domain-separated encoding of
+// its content; the proposal tuple ⟨v,x⟩ additionally carries the leader's
+// signature so that any replica relaying a Prepare/Commit transports
+// transferable evidence of what the leader proposed (this is what makes the
+// equivocation check of Alg. 1 lines 23-25 work on relayed messages).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/codec.hpp"
+#include "common/types.hpp"
+
+namespace probft::core {
+
+enum class MsgTag : std::uint8_t {
+  kPropose = 1,
+  kPrepare = 2,
+  kCommit = 3,
+  kNewLeader = 4,
+  kWish = 5,
+};
+
+/// The leader-signed proposal tuple ⟨v, x⟩_leader.
+struct SignedProposal {
+  View view = 0;
+  Bytes value;
+  Bytes leader_sig;
+
+  void encode(Writer& w) const;
+  static SignedProposal decode(Reader& r);
+  /// The byte string the leader signs.
+  [[nodiscard]] static Bytes signing_bytes(View view, ByteSpan value);
+
+  friend bool operator==(const SignedProposal&,
+                         const SignedProposal&) = default;
+};
+
+/// Shared shape of Prepare and Commit messages; `phase` disambiguates the
+/// VRF seed ("prepare" vs "commit") and the signature domain.
+struct PhaseMsg {
+  SignedProposal proposal;
+  std::vector<ReplicaId> sample;  // S: VRF-selected recipients
+  Bytes vrf_proof;                // P
+  ReplicaId sender = 0;
+  Bytes sender_sig;
+
+  void encode(Writer& w) const;
+  static PhaseMsg decode(Reader& r);
+  [[nodiscard]] Bytes signing_bytes(MsgTag tag) const;
+  [[nodiscard]] Bytes to_bytes() const;
+  static PhaseMsg from_bytes(ByteSpan data);
+};
+
+/// ⟨NewLeader, v, preparedView, preparedVal, cert⟩_sender. A prepared
+/// certificate is the probabilistic quorum of Prepare messages this sender
+/// collected (empty when it never prepared: preparedView == 0).
+struct NewLeaderMsg {
+  View view = 0;           // the view being entered
+  View prepared_view = 0;  // 0 encodes "never prepared" (⊥)
+  Bytes prepared_value;    // empty when prepared_view == 0
+  std::vector<PhaseMsg> cert;
+  ReplicaId sender = 0;
+  Bytes sender_sig;
+
+  void encode(Writer& w) const;
+  static NewLeaderMsg decode(Reader& r);
+  [[nodiscard]] Bytes signing_bytes() const;
+  [[nodiscard]] Bytes to_bytes() const;
+  static NewLeaderMsg from_bytes(ByteSpan data);
+};
+
+/// ⟨Propose, ⟨v,x⟩_leader, M⟩_leader.
+struct ProposeMsg {
+  SignedProposal proposal;
+  std::vector<NewLeaderMsg> justification;  // M (empty in view 1)
+  ReplicaId sender = 0;
+  Bytes sender_sig;
+
+  void encode(Writer& w) const;
+  static ProposeMsg decode(Reader& r);
+  [[nodiscard]] Bytes signing_bytes() const;
+  [[nodiscard]] Bytes to_bytes() const;
+  static ProposeMsg from_bytes(ByteSpan data);
+};
+
+/// Synchronizer wish.
+struct WishMsg {
+  View view = 0;
+  ReplicaId sender = 0;
+  Bytes sender_sig;
+
+  void encode(Writer& w) const;
+  static WishMsg decode(Reader& r);
+  [[nodiscard]] Bytes signing_bytes() const;
+  [[nodiscard]] Bytes to_bytes() const;
+  static WishMsg from_bytes(ByteSpan data);
+};
+
+}  // namespace probft::core

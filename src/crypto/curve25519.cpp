@@ -1,0 +1,301 @@
+#include "crypto/curve25519.hpp"
+
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace probft::crypto::curve {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+constexpr U256 kP{{0xffffffffffffffedULL, 0xffffffffffffffffULL,
+                   0xffffffffffffffffULL, 0x7fffffffffffffffULL}};
+
+constexpr U256 kL{{0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL,
+                   0x0000000000000000ULL, 0x1000000000000000ULL}};
+
+/// Reduces a 512-bit product mod p using 2^256 == 38 (mod p).
+U256 fe_fold(const U512& t) {
+  U256 r{};
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 v = static_cast<u128>(t.w[i]) +
+                   static_cast<u128>(t.w[i + 4]) * 38 + carry;
+    r.w[i] = static_cast<std::uint64_t>(v);
+    carry = static_cast<std::uint64_t>(v >> 64);
+  }
+  // Fold the (small) carry back in: carry * 2^256 == carry * 38 (mod p).
+  while (carry != 0) {
+    u128 v = static_cast<u128>(r.w[0]) + static_cast<u128>(carry) * 38;
+    r.w[0] = static_cast<std::uint64_t>(v);
+    std::uint64_t c = static_cast<std::uint64_t>(v >> 64);
+    for (int i = 1; i < 4 && c != 0; ++i) {
+      v = static_cast<u128>(r.w[i]) + c;
+      r.w[i] = static_cast<std::uint64_t>(v);
+      c = static_cast<std::uint64_t>(v >> 64);
+    }
+    carry = c;
+  }
+  while (u256_cmp(r, kP) >= 0) {
+    U256 tmp;
+    u256_sub(tmp, r, kP);
+    r = tmp;
+  }
+  return r;
+}
+
+U256 fe_from_u64(std::uint64_t v) {
+  U256 out{};
+  out.w[0] = v;
+  return out;
+}
+
+struct CurveConstants {
+  U256 d;
+  U256 d2;
+  U256 sqrt_m1;
+  Point base;
+};
+
+const CurveConstants& constants();
+
+}  // namespace
+
+const U256& field_prime() { return kP; }
+const U256& group_order() { return kL; }
+
+U256 fe_add(const U256& a, const U256& b) { return u256_addmod(a, b, kP); }
+
+U256 fe_sub(const U256& a, const U256& b) {
+  U256 out;
+  if (u256_sub(out, a, b) != 0) {
+    U256 tmp;
+    u256_add(tmp, out, kP);
+    out = tmp;
+  }
+  return out;
+}
+
+U256 fe_mul(const U256& a, const U256& b) { return fe_fold(u256_mul(a, b)); }
+
+U256 fe_sq(const U256& a) { return fe_mul(a, a); }
+
+U256 fe_neg(const U256& a) { return fe_sub(u256_zero(), a); }
+
+U256 fe_pow(const U256& base, const U256& exponent) {
+  U256 result = u256_one();
+  U256 acc = base;
+  for (int i = 0; i < 256; ++i) {
+    if (u256_bit(exponent, i)) result = fe_mul(result, acc);
+    acc = fe_sq(acc);
+  }
+  return result;
+}
+
+U256 fe_invert(const U256& a) {
+  // a^(p-2) mod p.
+  U256 exp = kP;
+  U256 two = fe_from_u64(2);
+  U256 tmp;
+  u256_sub(tmp, exp, two);
+  return fe_pow(a, tmp);
+}
+
+namespace {
+
+/// Square root mod p for p == 5 (mod 8): candidate a^((p+3)/8), fixed up by
+/// sqrt(-1) when needed. Returns nullopt when `a` is a non-residue.
+std::optional<U256> fe_sqrt(const U256& a) {
+  // (p + 3) / 8.
+  U256 exp{{0xfffffffffffffffeULL, 0xffffffffffffffffULL,
+            0xffffffffffffffffULL, 0x0fffffffffffffffULL}};
+  U256 x = fe_pow(a, exp);
+  if (fe_sq(x) == a) return x;
+  x = fe_mul(x, fe_sqrt_m1());
+  if (fe_sq(x) == a) return x;
+  return std::nullopt;
+}
+
+const CurveConstants& constants() {
+  static const CurveConstants c = [] {
+    CurveConstants out;
+    // d = -121665 / 121666 mod p.
+    const U256 num = fe_neg(fe_from_u64(121665));
+    const U256 den = fe_invert(fe_from_u64(121666));
+    out.d = fe_mul(num, den);
+    out.d2 = fe_add(out.d, out.d);
+    // sqrt(-1) = 2^((p-1)/4) mod p.
+    U256 exp{{0xfffffffffffffffbULL, 0xffffffffffffffffULL,
+              0xffffffffffffffffULL, 0x1fffffffffffffffULL}};
+    out.sqrt_m1 = fe_pow(fe_from_u64(2), exp);
+    // Base point decompressed from its canonical RFC 8032 encoding
+    // (y = 4/5, x even).
+    const Bytes encoded = from_hex(
+        "5866666666666666666666666666666666666666666666666666666666666666");
+    // point_decompress depends on sqrt_m1/d which are initialized above;
+    // replicate the decompression inline to avoid re-entering constants().
+    U256 y = u256_from_le(ByteSpan(encoded.data(), 32));
+    const U256 y2 = fe_mul(y, y);
+    const U256 u = fe_sub(y2, u256_one());
+    const U256 v = fe_add(fe_mul(out.d, y2), u256_one());
+    const U256 x2 = fe_mul(u, fe_invert(v));
+    // Inline sqrt using out.sqrt_m1.
+    U256 sqrt_exp{{0xfffffffffffffffeULL, 0xffffffffffffffffULL,
+                   0xffffffffffffffffULL, 0x0fffffffffffffffULL}};
+    U256 x = fe_pow(x2, sqrt_exp);
+    if (!(fe_sq(x) == x2)) x = fe_mul(x, out.sqrt_m1);
+    if (!(fe_sq(x) == x2)) {
+      throw std::logic_error("curve25519: base point decompression failed");
+    }
+    if ((x.w[0] & 1) != 0) x = fe_neg(x);  // encoding has sign bit 0
+    out.base.X = x;
+    out.base.Y = y;
+    out.base.Z = u256_one();
+    out.base.T = fe_mul(x, y);
+    return out;
+  }();
+  return c;
+}
+
+}  // namespace
+
+const U256& fe_sqrt_m1() { return constants().sqrt_m1; }
+const U256& fe_d() { return constants().d; }
+const U256& fe_2d() { return constants().d2; }
+
+Point point_identity() {
+  return Point{u256_zero(), u256_one(), u256_one(), u256_zero()};
+}
+
+const Point& point_base() { return constants().base; }
+
+Point point_add(const Point& p, const Point& q) {
+  // RFC 8032 5.1.4 unified addition for a = -1.
+  const U256 a = fe_mul(fe_sub(p.Y, p.X), fe_sub(q.Y, q.X));
+  const U256 b = fe_mul(fe_add(p.Y, p.X), fe_add(q.Y, q.X));
+  const U256 c = fe_mul(fe_mul(p.T, fe_2d()), q.T);
+  const U256 d = fe_mul(fe_add(p.Z, p.Z), q.Z);
+  const U256 e = fe_sub(b, a);
+  const U256 f = fe_sub(d, c);
+  const U256 g = fe_add(d, c);
+  const U256 h = fe_add(b, a);
+  return Point{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+Point point_double(const Point& p) {
+  const U256 a = fe_sq(p.X);
+  const U256 b = fe_sq(p.Y);
+  const U256 c = fe_add(fe_sq(p.Z), fe_sq(p.Z));
+  const U256 h = fe_add(a, b);
+  const U256 xy = fe_add(p.X, p.Y);
+  const U256 e = fe_sub(h, fe_sq(xy));
+  const U256 g = fe_sub(a, b);
+  const U256 f = fe_add(c, g);
+  return Point{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+Point point_negate(const Point& p) {
+  return Point{fe_neg(p.X), p.Y, p.Z, fe_neg(p.T)};
+}
+
+Point point_scalar_mul(const U256& scalar, const Point& p) {
+  Point acc = point_identity();
+  for (int i = 255; i >= 0; --i) {
+    acc = point_double(acc);
+    if (u256_bit(scalar, i)) acc = point_add(acc, p);
+  }
+  return acc;
+}
+
+Point point_mul_cofactor(const Point& p) {
+  return point_double(point_double(point_double(p)));
+}
+
+bool point_eq(const Point& p, const Point& q) {
+  return fe_mul(p.X, q.Z) == fe_mul(q.X, p.Z) &&
+         fe_mul(p.Y, q.Z) == fe_mul(q.Y, p.Z);
+}
+
+bool point_is_identity(const Point& p) {
+  return u256_is_zero(p.X) && fe_mul(p.Y, u256_one()) == p.Z;
+}
+
+void point_compress(const Point& p, std::uint8_t out[32]) {
+  const U256 zinv = fe_invert(p.Z);
+  const U256 x = fe_mul(p.X, zinv);
+  const U256 y = fe_mul(p.Y, zinv);
+  u256_to_le(y, out);
+  out[31] = static_cast<std::uint8_t>(out[31] |
+                                      (static_cast<std::uint8_t>(x.w[0] & 1)
+                                       << 7));
+}
+
+Bytes point_compress(const Point& p) {
+  Bytes out(32);
+  point_compress(p, out.data());
+  return out;
+}
+
+std::optional<Point> point_decompress(ByteSpan bytes32) {
+  if (bytes32.size() != 32) return std::nullopt;
+  std::uint8_t buf[32];
+  for (int i = 0; i < 32; ++i) buf[i] = bytes32[static_cast<std::size_t>(i)];
+  const int sign = buf[31] >> 7;
+  buf[31] &= 0x7f;
+  const U256 y = u256_from_le(ByteSpan(buf, 32));
+  if (u256_cmp(y, kP) >= 0) return std::nullopt;  // non-canonical
+  const U256 y2 = fe_mul(y, y);
+  const U256 u = fe_sub(y2, u256_one());
+  const U256 v = fe_add(fe_mul(fe_d(), y2), u256_one());
+  const auto x2 = fe_mul(u, fe_invert(v));
+  auto x_opt = fe_sqrt(x2);
+  if (!x_opt) return std::nullopt;
+  U256 x = *x_opt;
+  if (u256_is_zero(x) && sign == 1) return std::nullopt;  // -0 is invalid
+  if (static_cast<int>(x.w[0] & 1) != sign) x = fe_neg(x);
+  return Point{x, y, u256_one(), fe_mul(x, y)};
+}
+
+U256 sc_reduce_wide(ByteSpan bytes64) {
+  if (bytes64.size() != 64) {
+    throw std::invalid_argument("sc_reduce_wide: need exactly 64 bytes");
+  }
+  U512 x{};
+  for (int i = 0; i < 8; ++i) {
+    std::uint64_t v = 0;
+    for (int j = 7; j >= 0; --j) {
+      v = (v << 8) | bytes64[static_cast<std::size_t>(8 * i + j)];
+    }
+    x.w[i] = v;
+  }
+  return u512_mod(x, kL);
+}
+
+U256 sc_reduce(ByteSpan bytes32) {
+  const U256 x = u256_from_le(bytes32);
+  U512 wide{};
+  for (int i = 0; i < 4; ++i) wide.w[i] = x.w[i];
+  return u512_mod(wide, kL);
+}
+
+U256 sc_mul(const U256& a, const U256& b) { return u256_mulmod(a, b, kL); }
+
+U256 sc_add(const U256& a, const U256& b) { return u256_addmod(a, b, kL); }
+
+U256 sc_muladd(const U256& a, const U256& b, const U256& c) {
+  return sc_add(sc_mul(a, b), c);
+}
+
+U256 sc_sub(const U256& a, const U256& b) {
+  U256 out;
+  if (u256_sub(out, a, b) != 0) {
+    U256 tmp;
+    u256_add(tmp, out, kL);
+    out = tmp;
+  }
+  return out;
+}
+
+}  // namespace probft::crypto::curve

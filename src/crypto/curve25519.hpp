@@ -1,0 +1,92 @@
+// edwards25519 curve arithmetic (field mod 2^255-19, scalars mod L, group
+// operations in extended twisted-Edwards coordinates), implemented from
+// scratch on top of U256. Shared by Ed25519 signatures and the ECVRF.
+//
+// Conventions follow RFC 8032: little-endian encodings, compressed points
+// store y with the parity of x in the top bit.
+#pragma once
+
+#include <optional>
+
+#include "crypto/u256.hpp"
+
+namespace probft::crypto::curve {
+
+// Re-export the bigint vocabulary so curve users can say curve::U256 etc.
+using probft::crypto::U256;
+using probft::crypto::U512;
+using probft::crypto::u256_add;
+using probft::crypto::u256_sub;
+using probft::crypto::u256_cmp;
+using probft::crypto::u256_mul;
+using probft::crypto::u512_mod;
+using probft::crypto::u256_from_le;
+using probft::crypto::u256_to_le;
+using probft::crypto::u256_bit;
+using probft::crypto::u256_zero;
+using probft::crypto::u256_one;
+using probft::crypto::u256_is_zero;
+
+/// The field prime p = 2^255 - 19.
+const U256& field_prime();
+/// The group order L = 2^252 + 27742317777372353535851937790883648493.
+const U256& group_order();
+
+// ---- Field element operations (inputs/outputs fully reduced mod p) ----
+
+U256 fe_add(const U256& a, const U256& b);
+U256 fe_sub(const U256& a, const U256& b);
+U256 fe_mul(const U256& a, const U256& b);
+U256 fe_sq(const U256& a);
+U256 fe_neg(const U256& a);
+U256 fe_pow(const U256& base, const U256& exponent);
+U256 fe_invert(const U256& a);
+/// sqrt(-1) mod p, i.e. 2^((p-1)/4).
+const U256& fe_sqrt_m1();
+/// Curve constant d = -121665/121666 mod p, and 2d.
+const U256& fe_d();
+const U256& fe_2d();
+
+// ---- Group element operations (extended coordinates, a = -1) ----
+
+struct Point {
+  U256 X, Y, Z, T;
+};
+
+/// Neutral element (0 : 1 : 1 : 0).
+Point point_identity();
+/// The standard base point B (decompressed from its RFC 8032 encoding).
+const Point& point_base();
+
+Point point_add(const Point& p, const Point& q);
+Point point_double(const Point& p);
+Point point_negate(const Point& p);
+/// scalar * p via double-and-add (not constant-time; see u256.hpp note).
+Point point_scalar_mul(const U256& scalar, const Point& p);
+/// Multiplies by the cofactor 8 (three doublings).
+Point point_mul_cofactor(const Point& p);
+
+/// Projective equality: X1*Z2 == X2*Z1 && Y1*Z2 == Y2*Z1.
+bool point_eq(const Point& p, const Point& q);
+bool point_is_identity(const Point& p);
+
+/// RFC 8032 point compression: 32 bytes, y with sign(x) in bit 255.
+void point_compress(const Point& p, std::uint8_t out[32]);
+Bytes point_compress(const Point& p);
+/// Decompression; std::nullopt if the encoding is not a curve point.
+std::optional<Point> point_decompress(ByteSpan bytes32);
+
+// ---- Scalar (mod L) operations ----
+
+/// Reduces a 64-byte little-endian value mod L (for hash outputs).
+U256 sc_reduce_wide(ByteSpan bytes64);
+/// Reduces a 32-byte little-endian value mod L.
+U256 sc_reduce(ByteSpan bytes32);
+U256 sc_mul(const U256& a, const U256& b);
+U256 sc_add(const U256& a, const U256& b);
+/// (a * b + c) mod L.
+U256 sc_muladd(const U256& a, const U256& b, const U256& c);
+/// a - b mod L (inputs < L).
+U256 sc_sub(const U256& a, const U256& b);
+
+}  // namespace probft::crypto::curve

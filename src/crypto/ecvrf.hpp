@@ -1,0 +1,40 @@
+// ECVRF over edwards25519 in the style of RFC 9381's
+// ECVRF-EDWARDS25519-SHA512-TAI ciphersuite (suite byte 0x03, try-and-
+// increment hash-to-curve).
+//
+// Keys are shared with Ed25519 (the same 32-byte seed / compressed public
+// key), so a replica uses one keypair for both signing and sampling —
+// exactly the setup assumed in the paper's Section 2.4.
+//
+// Guarantees relied on by ProBFT (paper §2.4):
+//   - Uniqueness: for a fixed (public key, seed) there is a single provable
+//     output.
+//   - Collision resistance: distinct seeds map to independent outputs.
+//   - Pseudorandomness: outputs are unpredictable without the private key.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace probft::crypto::ecvrf {
+
+inline constexpr std::size_t kProofSize = 80;   // Gamma(32) || c(16) || s(32)
+inline constexpr std::size_t kOutputSize = 64;  // SHA-512 output
+
+struct Proof {
+  Bytes proof;   // 80-byte pi
+  Bytes output;  // 64-byte beta
+};
+
+/// Computes the VRF proof and output for `alpha` under the seed's key.
+[[nodiscard]] Proof prove(ByteSpan seed, ByteSpan alpha);
+
+/// Verifies `proof` for (public_key, alpha); returns beta when valid.
+[[nodiscard]] std::optional<Bytes> verify(ByteSpan public_key, ByteSpan alpha,
+                                          ByteSpan proof);
+
+/// Derives beta from a proof without verifying (for the prover itself).
+[[nodiscard]] Bytes proof_to_output(ByteSpan proof);
+
+}  // namespace probft::crypto::ecvrf

@@ -1,0 +1,113 @@
+#include "crypto/ed25519.hpp"
+
+#include <stdexcept>
+
+#include "crypto/curve25519.hpp"
+#include "crypto/sha512.hpp"
+
+namespace probft::crypto::ed25519 {
+
+namespace curve = probft::crypto::curve;
+
+namespace {
+
+struct ExpandedKey {
+  curve::U256 scalar;                 // clamped secret scalar a
+  std::array<std::uint8_t, 32> prefix;  // nonce-derivation prefix
+  Bytes public_key;                   // compressed A = a*B
+};
+
+ExpandedKey expand(ByteSpan seed) {
+  if (seed.size() != kSeedSize) {
+    throw std::invalid_argument("ed25519: seed must be 32 bytes");
+  }
+  const auto h = Sha512::hash(seed);
+  std::uint8_t scalar_bytes[32];
+  for (int i = 0; i < 32; ++i) scalar_bytes[i] = h[static_cast<std::size_t>(i)];
+  scalar_bytes[0] &= 248;
+  scalar_bytes[31] &= 127;
+  scalar_bytes[31] |= 64;
+
+  ExpandedKey out;
+  out.scalar = curve::u256_from_le(ByteSpan(scalar_bytes, 32));
+  for (int i = 0; i < 32; ++i) {
+    out.prefix[static_cast<std::size_t>(i)] = h[static_cast<std::size_t>(32 + i)];
+  }
+  const curve::Point a_point =
+      curve::point_scalar_mul(out.scalar, curve::point_base());
+  out.public_key = curve::point_compress(a_point);
+  return out;
+}
+
+}  // namespace
+
+Bytes derive_public(ByteSpan seed) { return expand(seed).public_key; }
+
+Bytes sign(ByteSpan seed, ByteSpan message) {
+  const ExpandedKey key = expand(seed);
+
+  Sha512 h_r;
+  h_r.update(ByteSpan(key.prefix.data(), key.prefix.size()));
+  h_r.update(message);
+  const auto r_hash = h_r.finalize();
+  const curve::U256 r =
+      curve::sc_reduce_wide(ByteSpan(r_hash.data(), r_hash.size()));
+
+  const curve::Point r_point =
+      curve::point_scalar_mul(r, curve::point_base());
+  const Bytes r_compressed = curve::point_compress(r_point);
+
+  Sha512 h_k;
+  h_k.update(ByteSpan(r_compressed.data(), r_compressed.size()));
+  h_k.update(ByteSpan(key.public_key.data(), key.public_key.size()));
+  h_k.update(message);
+  const auto k_hash = h_k.finalize();
+  const curve::U256 k =
+      curve::sc_reduce_wide(ByteSpan(k_hash.data(), k_hash.size()));
+
+  // S = (r + k * a) mod L.
+  const curve::U256 s =
+      curve::sc_muladd(k, curve::sc_reduce([&] {
+        std::uint8_t buf[32];
+        curve::u256_to_le(key.scalar, buf);
+        return Bytes(buf, buf + 32);
+      }()),
+                       r);
+
+  Bytes signature = r_compressed;
+  std::uint8_t s_bytes[32];
+  curve::u256_to_le(s, s_bytes);
+  signature.insert(signature.end(), s_bytes, s_bytes + 32);
+  return signature;
+}
+
+bool verify(ByteSpan public_key, ByteSpan message, ByteSpan signature) {
+  if (public_key.size() != kPublicKeySize ||
+      signature.size() != kSignatureSize) {
+    return false;
+  }
+  const auto a_opt = curve::point_decompress(public_key);
+  if (!a_opt) return false;
+  const auto r_opt = curve::point_decompress(signature.subspan(0, 32));
+  if (!r_opt) return false;
+
+  const curve::U256 s = curve::u256_from_le(signature.subspan(32, 32));
+  if (curve::u256_cmp(s, curve::group_order()) >= 0) return false;
+
+  Sha512 h_k;
+  h_k.update(signature.subspan(0, 32));
+  h_k.update(public_key);
+  h_k.update(message);
+  const auto k_hash = h_k.finalize();
+  const curve::U256 k =
+      curve::sc_reduce_wide(ByteSpan(k_hash.data(), k_hash.size()));
+
+  // Check S*B == R + k*A.
+  const curve::Point lhs =
+      curve::point_scalar_mul(s, curve::point_base());
+  const curve::Point rhs =
+      curve::point_add(*r_opt, curve::point_scalar_mul(k, *a_opt));
+  return curve::point_eq(lhs, rhs);
+}
+
+}  // namespace probft::crypto::ed25519

@@ -1,0 +1,26 @@
+// Ed25519 signatures (RFC 8032), from scratch.
+//
+// Secret keys are the 32-byte seed; public keys and signatures use the
+// standard RFC 8032 encodings, so outputs are interoperable with any
+// conforming implementation.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace probft::crypto::ed25519 {
+
+inline constexpr std::size_t kSeedSize = 32;
+inline constexpr std::size_t kPublicKeySize = 32;
+inline constexpr std::size_t kSignatureSize = 64;
+
+/// Derives the public key from a 32-byte seed.
+[[nodiscard]] Bytes derive_public(ByteSpan seed);
+
+/// Produces a deterministic 64-byte signature (R || S).
+[[nodiscard]] Bytes sign(ByteSpan seed, ByteSpan message);
+
+/// Verifies a signature; tolerates (rejects) malformed inputs of any size.
+[[nodiscard]] bool verify(ByteSpan public_key, ByteSpan message,
+                          ByteSpan signature);
+
+}  // namespace probft::crypto::ed25519

@@ -1,0 +1,36 @@
+#include "crypto/hmac.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace probft::crypto {
+
+Bytes hmac_sha256(ByteSpan key, ByteSpan message) {
+  constexpr std::size_t kBlockSize = 64;
+
+  Bytes key_block(kBlockSize, 0);
+  if (key.size() > kBlockSize) {
+    const auto digest = Sha256::hash(key);
+    std::copy(digest.begin(), digest.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  Bytes inner(kBlockSize), outer(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    inner[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+    outer[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 h_inner;
+  h_inner.update(ByteSpan(inner.data(), inner.size()));
+  h_inner.update(message);
+  const auto inner_digest = h_inner.finalize();
+
+  Sha256 h_outer;
+  h_outer.update(ByteSpan(outer.data(), outer.size()));
+  h_outer.update(ByteSpan(inner_digest.data(), inner_digest.size()));
+  const auto digest = h_outer.finalize();
+  return Bytes(digest.begin(), digest.end());
+}
+
+}  // namespace probft::crypto

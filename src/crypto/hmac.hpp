@@ -1,0 +1,10 @@
+// HMAC-SHA256 (RFC 2104), used for keyed derivations in tests and tools.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace probft::crypto {
+
+[[nodiscard]] Bytes hmac_sha256(ByteSpan key, ByteSpan message);
+
+}  // namespace probft::crypto

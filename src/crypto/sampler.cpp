@@ -1,0 +1,53 @@
+#include "crypto/sampler.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace probft::crypto {
+
+Bytes sample_alpha(std::uint64_t view, const char* phase) {
+  Bytes alpha;
+  for (int i = 0; i < 8; ++i) {
+    alpha.push_back(static_cast<std::uint8_t>(view >> (8 * i)));
+  }
+  alpha.push_back('|');
+  for (const char* p = phase; *p != '\0'; ++p) {
+    alpha.push_back(static_cast<std::uint8_t>(*p));
+  }
+  return alpha;
+}
+
+std::vector<ReplicaId> expand_sample(ByteSpan randomness, std::uint32_t n,
+                                     std::uint32_t k) {
+  auto rng = Xoshiro256StarStar::from_bytes(randomness.data(),
+                                            randomness.size());
+  auto zero_based = sample_without_replacement(rng, n, k);
+  std::vector<ReplicaId> sample(zero_based.size());
+  std::transform(zero_based.begin(), zero_based.end(), sample.begin(),
+                 [](std::uint32_t id) { return id + 1; });
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
+SampleResult vrf_sample(const CryptoSuite& suite, ByteSpan secret_key,
+                        ByteSpan alpha, std::uint32_t n, std::uint32_t k) {
+  auto vrf = suite.vrf_prove(secret_key, alpha);
+  SampleResult out;
+  out.sample = expand_sample(ByteSpan(vrf.output.data(), vrf.output.size()),
+                             n, k);
+  out.proof = std::move(vrf.proof);
+  return out;
+}
+
+bool vrf_sample_verify(const CryptoSuite& suite, ByteSpan public_key,
+                       ByteSpan alpha, std::uint32_t n, std::uint32_t k,
+                       const std::vector<ReplicaId>& claimed, ByteSpan proof) {
+  const auto output = suite.vrf_verify(public_key, alpha, proof);
+  if (!output) return false;
+  const auto expected =
+      expand_sample(ByteSpan(output->data(), output->size()), n, k);
+  return expected == claimed;
+}
+
+}  // namespace probft::crypto

@@ -1,0 +1,48 @@
+// VRF-driven recipient sampling (paper §2.4 / §3.1).
+//
+// VRF_prove(sk, seed, s) in the paper both proves and *selects* a uniform
+// sample of s distinct replica IDs. We realize this by expanding the VRF's
+// pseudorandom output into a k-of-n sample with a partial Fisher-Yates
+// shuffle seeded from the output. The proof shipped in messages is the VRF
+// proof; verifiers re-derive the sample from the verified output, so a
+// Byzantine replica cannot bias its recipient sample (benefit (1) of §3.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/suite.hpp"
+
+namespace probft::crypto {
+
+using ReplicaId = std::uint32_t;
+
+struct SampleResult {
+  std::vector<ReplicaId> sample;  // sorted, 1-based replica IDs
+  Bytes proof;
+};
+
+/// Builds the alpha string for a (view, phase) pair: the paper's `v || T`.
+[[nodiscard]] Bytes sample_alpha(std::uint64_t view, const char* phase);
+
+/// VRF_prove(K_p, alpha, k): selects k distinct IDs from {1..n}.
+[[nodiscard]] SampleResult vrf_sample(const CryptoSuite& suite,
+                                      ByteSpan secret_key, ByteSpan alpha,
+                                      std::uint32_t n, std::uint32_t k);
+
+/// VRF_verify(K_u, alpha, k, S, P): true iff `claimed` is exactly the sample
+/// that `proof` commits to.
+[[nodiscard]] bool vrf_sample_verify(const CryptoSuite& suite,
+                                     ByteSpan public_key, ByteSpan alpha,
+                                     std::uint32_t n, std::uint32_t k,
+                                     const std::vector<ReplicaId>& claimed,
+                                     ByteSpan proof);
+
+/// Deterministically expands pseudorandom bytes into a sorted k-of-n sample
+/// of 1-based IDs (shared by prover and verifier).
+[[nodiscard]] std::vector<ReplicaId> expand_sample(ByteSpan randomness,
+                                                   std::uint32_t n,
+                                                   std::uint32_t k);
+
+}  // namespace probft::crypto

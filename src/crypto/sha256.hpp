@@ -1,0 +1,36 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace probft::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  Sha256& update(ByteSpan data);
+  [[nodiscard]] Digest finalize();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(ByteSpan data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+/// Hash returning an owned Bytes (handy for codec-heavy call sites).
+[[nodiscard]] Bytes sha256(ByteSpan data);
+
+}  // namespace probft::crypto

@@ -1,0 +1,34 @@
+// SHA-512 (FIPS 180-4), implemented from scratch. Used by Ed25519 / ECVRF.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace probft::crypto {
+
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha512();
+
+  Sha512& update(ByteSpan data);
+  [[nodiscard]] Digest finalize();
+
+  [[nodiscard]] static Digest hash(ByteSpan data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_{};
+  std::array<std::uint8_t, 128> buffer_{};
+  std::uint64_t total_bytes_ = 0;  // messages < 2^64 bytes are plenty here
+  std::size_t buffer_len_ = 0;
+};
+
+[[nodiscard]] Bytes sha512(ByteSpan data);
+
+}  // namespace probft::crypto

@@ -1,0 +1,116 @@
+#include "crypto/suite.hpp"
+
+#include "common/rng.hpp"
+#include "crypto/ecvrf.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/sha256.hpp"
+
+namespace probft::crypto {
+
+namespace {
+
+Bytes seed_bytes_from_u64(std::uint64_t seed, const char* domain) {
+  Bytes material = to_bytes(domain);
+  for (int i = 0; i < 8; ++i) {
+    material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+  }
+  return sha256(ByteSpan(material.data(), material.size()));
+}
+
+class Ed25519Suite final : public CryptoSuite {
+ public:
+  [[nodiscard]] std::string name() const override { return "ed25519"; }
+
+  [[nodiscard]] KeyPair keygen(std::uint64_t seed) const override {
+    KeyPair kp;
+    kp.secret_key = seed_bytes_from_u64(seed, "probft-ed25519-seed");
+    kp.public_key = ed25519::derive_public(
+        ByteSpan(kp.secret_key.data(), kp.secret_key.size()));
+    return kp;
+  }
+
+  [[nodiscard]] Bytes sign(ByteSpan secret_key,
+                           ByteSpan message) const override {
+    return ed25519::sign(secret_key, message);
+  }
+
+  [[nodiscard]] bool verify(ByteSpan public_key, ByteSpan message,
+                            ByteSpan signature) const override {
+    return ed25519::verify(public_key, message, signature);
+  }
+
+  [[nodiscard]] VrfResult vrf_prove(ByteSpan secret_key,
+                                    ByteSpan alpha) const override {
+    auto proof = ecvrf::prove(secret_key, alpha);
+    return VrfResult{std::move(proof.output), std::move(proof.proof)};
+  }
+
+  [[nodiscard]] std::optional<Bytes> vrf_verify(
+      ByteSpan public_key, ByteSpan alpha, ByteSpan proof) const override {
+    return ecvrf::verify(public_key, alpha, proof);
+  }
+};
+
+// SimSuite derives everything from the public key. secret_key == public_key,
+// so verification is recomputation. Fast and deterministic, secure only
+// against the simulated (non-forging) adversary.
+class SimSuite final : public CryptoSuite {
+ public:
+  [[nodiscard]] std::string name() const override { return "sim"; }
+
+  [[nodiscard]] KeyPair keygen(std::uint64_t seed) const override {
+    KeyPair kp;
+    kp.secret_key = seed_bytes_from_u64(seed, "probft-sim-key");
+    kp.public_key = kp.secret_key;
+    return kp;
+  }
+
+  [[nodiscard]] Bytes sign(ByteSpan secret_key,
+                           ByteSpan message) const override {
+    return tag(secret_key, message, "sig");
+  }
+
+  [[nodiscard]] bool verify(ByteSpan public_key, ByteSpan message,
+                            ByteSpan signature) const override {
+    const Bytes expected = tag(public_key, message, "sig");
+    return ct_equal(ByteSpan(expected.data(), expected.size()), signature);
+  }
+
+  [[nodiscard]] VrfResult vrf_prove(ByteSpan secret_key,
+                                    ByteSpan alpha) const override {
+    Bytes output = tag(secret_key, alpha, "vrf");
+    return VrfResult{output, output};  // proof == output
+  }
+
+  [[nodiscard]] std::optional<Bytes> vrf_verify(
+      ByteSpan public_key, ByteSpan alpha, ByteSpan proof) const override {
+    const Bytes expected = tag(public_key, alpha, "vrf");
+    if (!ct_equal(ByteSpan(expected.data(), expected.size()), proof)) {
+      return std::nullopt;
+    }
+    return expected;
+  }
+
+ private:
+  static Bytes tag(ByteSpan key, ByteSpan message, const char* domain) {
+    Sha256 h;
+    h.update(key);
+    const Bytes domain_bytes = to_bytes(domain);
+    h.update(ByteSpan(domain_bytes.data(), domain_bytes.size()));
+    h.update(message);
+    const auto digest = h.finalize();
+    return Bytes(digest.begin(), digest.end());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CryptoSuite> make_ed25519_suite() {
+  return std::make_unique<Ed25519Suite>();
+}
+
+std::unique_ptr<CryptoSuite> make_sim_suite() {
+  return std::make_unique<SimSuite>();
+}
+
+}  // namespace probft::crypto

@@ -1,0 +1,66 @@
+// CryptoSuite: the interface protocol code uses for signatures and VRFs.
+//
+// Two implementations exist:
+//  - Ed25519Suite: real Ed25519 + ECVRF (crypto/ed25519.hpp, crypto/ecvrf.hpp)
+//  - SimSuite:     fast, deterministic, NON-cryptographic stand-in for large
+//                  Monte-Carlo sweeps. Its "signatures" and "VRF outputs" are
+//                  plain hashes keyed by material that is derivable from the
+//                  public key, so a real adversary could forge them — but the
+//                  simulated adversaries in this repository never do, which
+//                  preserves the protocol-visible behavior the paper assumes
+//                  (see DESIGN.md substitution notes).
+//
+// Both suites share these shapes: keygen is deterministic from a 64-bit
+// seed, sign/verify operate on raw byte strings, and vrf_prove/vrf_verify
+// implement the paper's VRF_prove/VRF_verify pair (§2.4) with `output` as
+// the pseudorandom value that seeds recipient sampling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace probft::crypto {
+
+struct KeyPair {
+  Bytes public_key;
+  Bytes secret_key;
+};
+
+struct VrfResult {
+  Bytes output;  // pseudorandom bytes (>= 32)
+  Bytes proof;   // verification string shipped in messages
+};
+
+class CryptoSuite {
+ public:
+  virtual ~CryptoSuite() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deterministically derives a keypair from a 64-bit seed.
+  [[nodiscard]] virtual KeyPair keygen(std::uint64_t seed) const = 0;
+
+  [[nodiscard]] virtual Bytes sign(ByteSpan secret_key,
+                                   ByteSpan message) const = 0;
+  [[nodiscard]] virtual bool verify(ByteSpan public_key, ByteSpan message,
+                                    ByteSpan signature) const = 0;
+
+  /// VRF_prove(sk, alpha): pseudorandom output plus proof.
+  [[nodiscard]] virtual VrfResult vrf_prove(ByteSpan secret_key,
+                                            ByteSpan alpha) const = 0;
+  /// VRF_verify(pk, alpha, proof): the output when the proof is valid.
+  [[nodiscard]] virtual std::optional<Bytes> vrf_verify(
+      ByteSpan public_key, ByteSpan alpha, ByteSpan proof) const = 0;
+};
+
+/// Real Ed25519 + ECVRF suite.
+[[nodiscard]] std::unique_ptr<CryptoSuite> make_ed25519_suite();
+
+/// Fast deterministic simulation suite (not cryptographically secure).
+[[nodiscard]] std::unique_ptr<CryptoSuite> make_sim_suite();
+
+}  // namespace probft::crypto

@@ -1,0 +1,119 @@
+#include "crypto/u256.hpp"
+
+#include <stdexcept>
+
+namespace probft::crypto {
+
+using u128 = unsigned __int128;
+
+std::uint64_t u256_add(U256& out, const U256& a, const U256& b) {
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 sum = static_cast<u128>(a.w[i]) + b.w[i] + carry;
+    out.w[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  return carry;
+}
+
+std::uint64_t u256_sub(U256& out, const U256& a, const U256& b) {
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 diff =
+        static_cast<u128>(a.w[i]) - b.w[i] - borrow;
+    out.w[i] = static_cast<std::uint64_t>(diff);
+    borrow = static_cast<std::uint64_t>((diff >> 64) & 1);
+  }
+  return borrow;
+}
+
+int u256_cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.w[i] < b.w[i]) return -1;
+    if (a.w[i] > b.w[i]) return 1;
+  }
+  return 0;
+}
+
+U512 u256_mul(const U256& a, const U256& b) {
+  U512 out{};
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a.w[i]) * b.w[j] +
+                       out.w[i + j] + carry;
+      out.w[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out.w[i + 4] = carry;
+  }
+  return out;
+}
+
+U256 u512_mod(const U512& x, const U256& m) {
+  if (u256_is_zero(m)) throw std::invalid_argument("u512_mod: zero modulus");
+  if (m.w[3] >> 63) {
+    throw std::invalid_argument("u512_mod: modulus must be < 2^255");
+  }
+  U256 r{};
+  for (int i = 511; i >= 0; --i) {
+    // r = (r << 1) | bit_i(x); r stays < 2m < 2^256.
+    std::uint64_t top = 0;
+    for (int j = 0; j < 4; ++j) {
+      const std::uint64_t next_top = r.w[j] >> 63;
+      r.w[j] = (r.w[j] << 1) | top;
+      top = next_top;
+    }
+    const int bit = static_cast<int>(
+        (x.w[static_cast<std::size_t>(i) / 64] >>
+         (static_cast<std::size_t>(i) % 64)) &
+        1U);
+    r.w[0] |= static_cast<std::uint64_t>(bit);
+    if (u256_cmp(r, m) >= 0) {
+      U256 tmp;
+      u256_sub(tmp, r, m);
+      r = tmp;
+    }
+  }
+  return r;
+}
+
+U256 u256_mulmod(const U256& a, const U256& b, const U256& m) {
+  return u512_mod(u256_mul(a, b), m);
+}
+
+U256 u256_addmod(const U256& a, const U256& b, const U256& m) {
+  U256 sum;
+  const std::uint64_t carry = u256_add(sum, a, b);
+  if (carry != 0 || u256_cmp(sum, m) >= 0) {
+    U256 tmp;
+    u256_sub(tmp, sum, m);
+    return tmp;
+  }
+  return sum;
+}
+
+U256 u256_from_le(ByteSpan bytes32) {
+  if (bytes32.size() != 32) {
+    throw std::invalid_argument("u256_from_le: need exactly 32 bytes");
+  }
+  U256 out{};
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    for (int j = 7; j >= 0; --j) {
+      v = (v << 8) | bytes32[static_cast<std::size_t>(8 * i + j)];
+    }
+    out.w[i] = v;
+  }
+  return out;
+}
+
+void u256_to_le(const U256& x, std::uint8_t out[32]) {
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      out[8 * i + j] = static_cast<std::uint8_t>(x.w[i] >> (8 * j));
+    }
+  }
+}
+
+}  // namespace probft::crypto

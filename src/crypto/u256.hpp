@@ -1,0 +1,68 @@
+// Fixed-width 256/512-bit unsigned integer arithmetic.
+//
+// This is the arithmetic substrate for the from-scratch edwards25519
+// implementation (field elements mod 2^255-19 and scalars mod the group
+// order L). Representation is little-endian 64-bit limbs. The code favors
+// obvious correctness over speed; the field layer adds a fast reduction for
+// the special prime. Operations are NOT constant-time — this library is a
+// research/simulation artifact, not a hardened crypto library (documented in
+// README).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace probft::crypto {
+
+struct U256 {
+  std::array<std::uint64_t, 4> w{};
+
+  friend constexpr bool operator==(const U256&, const U256&) = default;
+};
+
+struct U512 {
+  std::array<std::uint64_t, 8> w{};
+};
+
+/// out = a + b, returns the carry bit.
+std::uint64_t u256_add(U256& out, const U256& a, const U256& b);
+
+/// out = a - b, returns the borrow bit.
+std::uint64_t u256_sub(U256& out, const U256& a, const U256& b);
+
+/// Three-way comparison: -1, 0, or +1.
+int u256_cmp(const U256& a, const U256& b);
+
+/// Full 256x256 -> 512-bit product (schoolbook with 128-bit accumulators).
+U512 u256_mul(const U256& a, const U256& b);
+
+/// x mod m, via binary long division. Requires m != 0 and m < 2^255 so the
+/// running remainder can be shifted without overflow.
+U256 u512_mod(const U512& x, const U256& m);
+
+/// (a * b) mod m. Requires m < 2^255.
+U256 u256_mulmod(const U256& a, const U256& b, const U256& m);
+
+/// (a + b) mod m. Requires a, b < m.
+U256 u256_addmod(const U256& a, const U256& b, const U256& m);
+
+/// Little-endian byte conversions.
+U256 u256_from_le(ByteSpan bytes32);
+void u256_to_le(const U256& x, std::uint8_t out[32]);
+
+/// Extracts bit `i` (0 = least significant).
+inline int u256_bit(const U256& x, int i) {
+  return static_cast<int>((x.w[static_cast<std::size_t>(i) / 64] >>
+                           (static_cast<std::size_t>(i) % 64)) &
+                          1U);
+}
+
+constexpr U256 u256_zero() { return U256{}; }
+constexpr U256 u256_one() { return U256{{1, 0, 0, 0}}; }
+inline bool u256_is_zero(const U256& x) {
+  return (x.w[0] | x.w[1] | x.w[2] | x.w[3]) == 0;
+}
+
+}  // namespace probft::crypto

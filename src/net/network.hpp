@@ -1,0 +1,99 @@
+// Simulated point-to-point message network with partial synchrony.
+//
+// Model (paper §2.1): the system is partially synchronous — before an
+// unknown global stabilization time (GST) the adversarial scheduler may
+// delay messages arbitrarily (but finitely); after GST every message is
+// delivered within an unknown bound Δ. The scheduler here draws delays
+// uniformly at random, independent of the sender's identity and of whether
+// it is Byzantine — exactly the sender-oblivious adversary the paper
+// assumes. Optionally, a pre-GST loss probability models messages the
+// scheduler holds forever-before-GST (they are re-delivered after GST,
+// never silently lost, preserving eventual delivery).
+//
+// Fault injection: a user-supplied filter can drop/partition links, used by
+// tests to create network partitions and targeted outages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/simulator.hpp"
+
+namespace probft::net {
+
+struct LatencyConfig {
+  TimePoint gst = 0;                 // global stabilization time
+  Duration min_delay = 1'000;        // 1 ms floor
+  Duration max_delay_post = 10'000;  // Δ: post-GST delivery bound
+  Duration max_delay_pre = 500'000;  // worst pre-GST adversarial delay
+  double hold_until_gst_prob = 0.0;  // chance a pre-GST send is held to GST+
+  double duplicate_prob = 0.0;       // chance a message is delivered twice
+                                     // (with an independent second delay)
+};
+
+class Network {
+ public:
+  using Handler =
+      std::function<void(ReplicaId from, std::uint8_t tag, const Bytes&)>;
+  /// Returns true to drop the message (fault injection).
+  using Filter =
+      std::function<bool(ReplicaId from, ReplicaId to, std::uint8_t tag)>;
+
+  struct Stats {
+    std::uint64_t sends = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t bytes_sent = 0;
+    std::map<std::uint8_t, std::uint64_t> sends_by_tag;
+
+    [[nodiscard]] std::uint64_t sends_for(std::uint8_t tag) const {
+      const auto it = sends_by_tag.find(tag);
+      return it == sends_by_tag.end() ? 0 : it->second;
+    }
+  };
+
+  Network(Simulator& sim, std::uint32_t n, std::uint64_t seed,
+          LatencyConfig config);
+
+  /// Registers the receive callback for replica `id` (1-based).
+  void register_handler(ReplicaId id, Handler handler);
+
+  /// Sends one point-to-point message; self-sends are allowed and get the
+  /// minimum delay.
+  void send(ReplicaId from, ReplicaId to, std::uint8_t tag, Bytes payload);
+
+  /// Sends to every replica except (optionally) the sender itself.
+  void broadcast(ReplicaId from, std::uint8_t tag, const Bytes& payload,
+                 bool include_self = false);
+
+  /// Sends to an explicit recipient list (the VRF sample).
+  void multicast(ReplicaId from, const std::vector<ReplicaId>& recipients,
+                 std::uint8_t tag, const Bytes& payload);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  void set_filter(Filter filter) { filter_ = std::move(filter); }
+  void clear_filter() { filter_ = nullptr; }
+
+  [[nodiscard]] std::uint32_t size() const { return n_; }
+  [[nodiscard]] const LatencyConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] Duration draw_delay();
+
+  Simulator& sim_;
+  std::uint32_t n_;
+  LatencyConfig config_;
+  Xoshiro256StarStar rng_;
+  std::vector<Handler> handlers_;  // index 0 unused
+  Filter filter_;
+  Stats stats_;
+};
+
+}  // namespace probft::net

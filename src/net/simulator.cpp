@@ -1,0 +1,67 @@
+#include "net/simulator.hpp"
+
+#include <utility>
+
+namespace probft::net {
+
+Simulator::EventId Simulator::schedule_at(TimePoint at, Callback fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(at, now_), id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+Simulator::EventId Simulator::schedule_after(Duration delay, Callback fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  if (callbacks_.contains(id)) cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) {
+      callbacks_.erase(ev.id);
+      continue;
+    }
+    auto it = callbacks_.find(ev.id);
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.at;
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && step()) ++fired;
+  return fired;
+}
+
+std::size_t Simulator::run_until(TimePoint deadline) {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    // Peek past cancelled events.
+    Event ev = queue_.top();
+    while (cancelled_.contains(ev.id)) {
+      queue_.pop();
+      cancelled_.erase(ev.id);
+      callbacks_.erase(ev.id);
+      if (queue_.empty()) return fired;
+      ev = queue_.top();
+    }
+    if (ev.at >= deadline) break;
+    step();
+    ++fired;
+  }
+  now_ = std::max(now_, deadline);
+  return fired;
+}
+
+}  // namespace probft::net

@@ -1,0 +1,69 @@
+// Deterministic discrete-event simulator.
+//
+// A single-threaded event loop with a virtual clock. Events scheduled for
+// the same instant fire in schedule order (a strictly increasing sequence
+// number breaks ties), so a (seed, scenario) pair replays bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace probft::net {
+
+class Simulator {
+ public:
+  using EventId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now()).
+  EventId schedule_at(TimePoint at, Callback fn);
+
+  /// Schedules `fn` after `delay` from now().
+  EventId schedule_after(Duration delay, Callback fn);
+
+  /// Cancels a pending event; no-op if already fired or unknown.
+  void cancel(EventId id);
+
+  /// Runs the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` fired; returns #fired.
+  std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
+
+  /// Runs every event scheduled strictly before `deadline`.
+  std::size_t run_until(TimePoint deadline);
+
+  [[nodiscard]] bool empty() const { return queue_.size() == cancelled_.size(); }
+  [[nodiscard]] std::size_t pending() const {
+    return queue_.size() - cancelled_.size();
+  }
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    EventId id;
+    // Ordered as a min-heap on (at, id).
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return id > other.id;
+    }
+  };
+
+  TimePoint now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace probft::net

@@ -1,0 +1,202 @@
+#include "quorum/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quorum/prob.hpp"
+
+namespace probft::quorum {
+
+namespace {
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+}  // namespace
+
+std::int64_t Params::q() const {
+  return static_cast<std::int64_t>(
+      std::ceil(l * std::sqrt(static_cast<double>(n))));
+}
+
+std::int64_t Params::s() const {
+  const auto raw = static_cast<std::int64_t>(
+      std::ceil(o * static_cast<double>(q())));
+  return std::min(raw, n);
+}
+
+std::int64_t Params::det_quorum() const { return (n + f + 2) / 2; }
+
+bool Params::valid() const {
+  return n > 0 && f >= 0 && 3 * f < n && o > 1.0 && l >= 1.0 && q() <= n;
+}
+
+// ---------------- Quorum formation ----------------
+
+double quorum_formation_bound(const Params& p) {
+  const double c = p.o * static_cast<double>(p.n - p.f) /
+                   static_cast<double>(p.n);
+  if (c <= 1.0) return 0.0;  // bound precondition n < o (n-f) violated
+  const double q = static_cast<double>(p.q());
+  return clamp01(1.0 - std::exp(-q * (c - 1.0) * (c - 1.0) / (2.0 * c)));
+}
+
+double quorum_formation_exact(const Params& p) {
+  return quorum_formation_exact_r(p, p.n - p.f);
+}
+
+double quorum_formation_exact_r(const Params& p, std::int64_t r) {
+  const double hit = static_cast<double>(p.s()) / static_cast<double>(p.n);
+  return binom_tail_ge(r, hit, p.q());
+}
+
+double quorum_formation_bound_r(const Params& p, std::int64_t r) {
+  const double n = static_cast<double>(p.n);
+  const double s = static_cast<double>(p.s());
+  const double rr = static_cast<double>(r);
+  if (!(n < p.o * rr)) return 0.0;
+  const double delta = 1.0 - n / (p.o * rr);
+  return clamp01(1.0 - std::exp(-(s * rr / (2.0 * n)) * delta * delta));
+}
+
+double theorem2_max_o(std::int64_t n, std::int64_t f) {
+  return (2.0 + std::sqrt(3.0)) * static_cast<double>(n) /
+         static_cast<double>(n - f);
+}
+
+// ---------------- Termination ----------------
+
+double lemma3_alpha(const Params& p) {
+  const double n = static_cast<double>(p.n);
+  const double s = static_cast<double>(p.s());
+  return (s / n) * static_cast<double>(p.n - p.f) *
+         (1.0 - std::exp(-std::sqrt(n)));
+}
+
+double replica_termination_bound(const Params& p) {
+  const double alpha = lemma3_alpha(p);
+  const double q = static_cast<double>(p.q());
+  if (alpha <= q) return 0.0;
+  const double commit_fail =
+      std::exp(-(alpha - q) * (alpha - q) / (2.0 * alpha));
+  const double prepare_fail = std::exp(-std::sqrt(static_cast<double>(p.n)));
+  return clamp01(1.0 - commit_fail - prepare_fail);
+}
+
+double all_termination_bound(const Params& p) {
+  const double alpha = lemma3_alpha(p);
+  const double q = static_cast<double>(p.q());
+  if (alpha <= q) return 0.0;
+  const double commit_fail =
+      std::exp(-(alpha - q) * (alpha - q) / (2.0 * alpha));
+  const double prepare_fail = std::exp(-std::sqrt(static_cast<double>(p.n)));
+  return clamp01(1.0 - static_cast<double>(p.n - p.f) *
+                           (commit_fail + prepare_fail));
+}
+
+double replica_termination_exact(const Params& p) {
+  // Prepare phase: all n-f correct replicas multicast.
+  const double p_prepare = quorum_formation_exact_r(p, p.n - p.f);
+  // Commit phase: only correct replicas that formed a prepare quorum send.
+  const auto committers = static_cast<std::int64_t>(
+      std::floor(static_cast<double>(p.n - p.f) * p_prepare));
+  const double p_commit = quorum_formation_exact_r(p, committers);
+  return clamp01(p_prepare * p_commit);
+}
+
+double all_termination_exact(const Params& p) {
+  const double per_replica = replica_termination_exact(p);
+  return clamp01(1.0 -
+                 static_cast<double>(p.n - p.f) * (1.0 - per_replica));
+}
+
+// ---------------- Agreement within a view ----------------
+
+double split_quorum_bound(const Params& p) {
+  const double n = static_cast<double>(p.n);
+  const double r = static_cast<double>(p.n + p.f) / 2.0;
+  if (r > n / p.o) return 1.0;  // Chernoff precondition fails: trivial bound
+  const double delta = n / (p.o * r) - 1.0;
+  const double q = static_cast<double>(p.q());
+  return clamp01(
+      std::exp(-delta * delta * p.o * q * r / (n * (delta + 2.0))));
+}
+
+double view_disagreement_bound(const Params& p) {
+  const double b = split_quorum_bound(p);
+  return clamp01(b * b * b * b);
+}
+
+double view_agreement_bound(const Params& p) {
+  return clamp01(1.0 - view_disagreement_bound(p));
+}
+
+double view_disagreement_exact(const Params& p) {
+  const double n = static_cast<double>(p.n);
+  const double hit = static_cast<double>(p.s()) / n;
+  // Optimal split (Fig. 4c): each value is backed by half the correct
+  // replicas plus all Byzantine ones.
+  const auto r = static_cast<std::int64_t>(
+      std::floor(static_cast<double>(p.n + p.f) / 2.0));
+  const auto other_correct = static_cast<std::int64_t>(
+      std::floor(static_cast<double>(p.n - p.f) / 2.0));
+  const double p_form = binom_tail_ge(r, hit, p.q());
+  // Probability a replica receives no message at all from the other side's
+  // correct senders in one phase (one such message blocks the view).
+  const double p_clean =
+      std::pow(1.0 - hit, static_cast<double>(other_correct));
+  // One replica decides one value: quorum + clean in both phases.
+  const double p_decide = std::pow(p_form * p_clean, 2.0);
+  // Disagreement: both replicas of the pair decide opposite values.
+  return clamp01(p_decide * p_decide);
+}
+
+double view_agreement_exact(const Params& p) {
+  return clamp01(1.0 - view_disagreement_exact(p));
+}
+
+// ---------------- Agreement across views ----------------
+
+double decide_with_r_prepared_exact(const Params& p, std::int64_t r) {
+  const double hit = static_cast<double>(p.s()) / static_cast<double>(p.n);
+  return binom_tail_ge(r, hit, p.q());
+}
+
+double cross_view_violation_bound(const Params& p) {
+  const double n = static_cast<double>(p.n);
+  const double delta = 2.0 * n / (p.o * static_cast<double>(p.n + p.f)) - 1.0;
+  if (delta <= 0.0) return 1.0;  // bound vacuous
+  const double q = static_cast<double>(p.q());
+  return clamp01(3.0 * std::exp(-q * delta * delta /
+                                ((delta + 1.0) * (delta + 2.0))));
+}
+
+double cross_view_safety_bound(const Params& p) {
+  return clamp01(1.0 - cross_view_violation_bound(p));
+}
+
+// ---------------- Message-count models ----------------
+
+int steps_pbft() { return 3; }
+int steps_probft() { return 3; }
+int steps_hotstuff() { return 7; }
+
+double messages_pbft(std::int64_t n) {
+  // Propose broadcast + all-to-all Prepare + all-to-all Commit.
+  const double nn = static_cast<double>(n);
+  return (nn - 1.0) + 2.0 * nn * (nn - 1.0);
+}
+
+double messages_probft(const Params& p) {
+  // Propose broadcast + per-replica multicasts of size s in each of the
+  // prepare and commit phases (normal case: every replica participates).
+  const double nn = static_cast<double>(p.n);
+  return (nn - 1.0) + 2.0 * nn * static_cast<double>(p.s());
+}
+
+double messages_hotstuff(std::int64_t n) {
+  // Single-shot chained pattern: leader broadcast + votes to leader across
+  // prepare / pre-commit / commit, plus the final decide broadcast:
+  // 4 leader->all + 3 all->leader = 7 (n-1) message flows, plus the initial
+  // new-view collection (n-1).
+  return 8.0 * (static_cast<double>(n) - 1.0);
+}
+
+}  // namespace probft::quorum

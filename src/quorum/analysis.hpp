@@ -1,0 +1,137 @@
+// Closed-form analysis of ProBFT (paper §4, §5, Appendices B-D).
+//
+// For every quantity the paper derives we expose two flavors:
+//   *_bound  — the paper's own Chernoff-style closed form (loose but
+//              matches the theorem statements);
+//   *_exact  — the same event computed with exact binomial tails under the
+//              i.i.d.-sampling model of the proofs (each of r senders
+//              includes a given replica in its s-of-n sample independently
+//              with probability s/n).
+// The Figure 5 benches print both plus Monte-Carlo estimates so the curve
+// shapes can be compared against the paper.
+#pragma once
+
+#include <cstdint>
+
+namespace probft::quorum {
+
+/// Protocol parameters for one configuration point.
+struct Params {
+  std::int64_t n = 0;   // replicas
+  std::int64_t f = 0;   // Byzantine replicas (f < n/3)
+  double o = 1.7;       // sample over-provisioning factor (> 1)
+  double l = 2.0;       // quorum size factor: q = l * sqrt(n)
+
+  /// q = ceil(l * sqrt(n)) — probabilistic quorum size.
+  [[nodiscard]] std::int64_t q() const;
+  /// s = ceil(o * q) — per-replica sample size (capped at n).
+  [[nodiscard]] std::int64_t s() const;
+  /// Deterministic quorum used by NewLeader collection: ceil((n+f+1)/2).
+  [[nodiscard]] std::int64_t det_quorum() const;
+  [[nodiscard]] bool valid() const;
+};
+
+// ---------------------------------------------------------------------
+// Quorum formation (Appendix B).
+// ---------------------------------------------------------------------
+
+/// Corollary 2: lower bound on the probability that a replica forms a
+/// probabilistic quorum when all n-f correct replicas multicast to random
+/// s-of-n samples: 1 - exp(-q (c-1)^2 / (2c)), c = o (n-f) / n.
+/// Requires c > 1 (i.e. n < o (n-f)).
+[[nodiscard]] double quorum_formation_bound(const Params& p);
+
+/// Exact counterpart: P(Bin(n-f, s/n) >= q).
+[[nodiscard]] double quorum_formation_exact(const Params& p);
+
+/// Generalization used by Theorems 6/11: probability of forming a quorum
+/// when exactly r replicas multicast. Exact binomial tail.
+[[nodiscard]] double quorum_formation_exact_r(const Params& p,
+                                              std::int64_t r);
+
+/// Theorem 11 bound for r senders: 1 - exp(-(s r / 2n)(1 - n/(o r))^2),
+/// valid when n < o r.
+[[nodiscard]] double quorum_formation_bound_r(const Params& p,
+                                              std::int64_t r);
+
+/// Theorem 2's admissible range for o: [ (2-sqrt(3)) n/(n-f),
+/// (2+sqrt(3)) n/(n-f) ] intersected with o >= 1. Returns the upper end
+/// (the paper quotes 3.732 * n/(n-f)).
+[[nodiscard]] double theorem2_max_o(std::int64_t n, std::int64_t f);
+
+// ---------------------------------------------------------------------
+// Termination (Appendix D.1).
+// ---------------------------------------------------------------------
+
+/// Lemma 3's alpha = (s/n)(n-f)(1 - exp(-sqrt(n))).
+[[nodiscard]] double lemma3_alpha(const Params& p);
+
+/// Lemma 4 bound: a correct replica decides (correct leader, after GST)
+/// with probability >= 1 - exp(-(alpha-q)^2/(2 alpha)) - exp(-sqrt(n)).
+[[nodiscard]] double replica_termination_bound(const Params& p);
+
+/// Theorem 15 bound for ALL correct replicas deciding (union bound).
+[[nodiscard]] double all_termination_bound(const Params& p);
+
+/// Exact-model estimate of a single replica deciding: it must form a
+/// prepare quorum (from n-f senders) and a commit quorum (from the
+/// expected number of correct replicas that themselves formed prepare
+/// quorums).
+[[nodiscard]] double replica_termination_exact(const Params& p);
+
+/// Exact-model estimate for all correct replicas (union bound over n-f).
+[[nodiscard]] double all_termination_exact(const Params& p);
+
+// ---------------------------------------------------------------------
+// Agreement within a view (Appendix D.2, optimal split of Fig. 4c).
+// ---------------------------------------------------------------------
+
+/// Lemma 5/6 building block: bound on the probability that a replica forms
+/// a quorum for one value when r = (n+f)/2 replicas send it:
+/// exp(-delta^2 o q r / (n (delta+2))), delta = n/(o r) - 1, needs r <= n/o.
+/// Returns 1.0 (trivial bound) when the precondition fails.
+[[nodiscard]] double split_quorum_bound(const Params& p);
+
+/// Theorem 7 bound on agreement violation in a view: split_quorum_bound^4.
+[[nodiscard]] double view_disagreement_bound(const Params& p);
+[[nodiscard]] double view_agreement_bound(const Params& p) ;
+
+/// Exact-model estimate of the same event: both replicas of a fixed pair
+/// form prepare AND commit quorums for opposite values, with each quorum
+/// fed by r = (n+f)/2 senders, *and* neither replica receives a single
+/// conflicting message from the (n-f)/2 correct senders of the other value
+/// in either phase (receiving one blocks the view, Alg. 1 lines 23-25).
+[[nodiscard]] double view_disagreement_exact(const Params& p);
+[[nodiscard]] double view_agreement_exact(const Params& p);
+
+// ---------------------------------------------------------------------
+// Agreement across views (Appendix D.3).
+// ---------------------------------------------------------------------
+
+/// Lemma 6: probability a correct replica decides val when only r replicas
+/// prepared it (exact binomial form P(Bin(r, s/n) >= q)).
+[[nodiscard]] double decide_with_r_prepared_exact(const Params& p,
+                                                  std::int64_t r);
+
+/// Theorem 8/19 bound: probability that a different value gets proposed
+/// after val was decided: 3 exp(-q delta^2/((delta+1)(delta+2))),
+/// delta = 2n/(o (n+f)) - 1.
+[[nodiscard]] double cross_view_violation_bound(const Params& p);
+[[nodiscard]] double cross_view_safety_bound(const Params& p);
+
+// ---------------------------------------------------------------------
+// Message-count models (Figure 1).
+// ---------------------------------------------------------------------
+
+/// Communication steps in the good case (Figure 1a).
+[[nodiscard]] int steps_pbft();
+[[nodiscard]] int steps_probft();
+[[nodiscard]] int steps_hotstuff();
+
+/// Expected messages exchanged in the normal case (correct leader,
+/// first view, no NewLeader traffic), counting each point-to-point send.
+[[nodiscard]] double messages_pbft(std::int64_t n);
+[[nodiscard]] double messages_probft(const Params& p);
+[[nodiscard]] double messages_hotstuff(std::int64_t n);
+
+}  // namespace probft::quorum

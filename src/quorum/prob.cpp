@@ -1,0 +1,93 @@
+#include "quorum/prob.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace probft::quorum {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+double ln_choose(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n || n < 0) return kNegInf;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binom_pmf(std::int64_t n, double p, std::int64_t k) {
+  if (k < 0 || k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double ln_p = ln_choose(n, k) +
+                      static_cast<double>(k) * std::log(p) +
+                      static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(ln_p);
+}
+
+double binom_cdf(std::int64_t n, double p, std::int64_t k) {
+  if (k < 0) return 0.0;
+  if (k >= n) return 1.0;
+  // Sum the smaller tail for accuracy.
+  const double mean = static_cast<double>(n) * p;
+  if (static_cast<double>(k) < mean) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i <= k; ++i) sum += binom_pmf(n, p, i);
+    return std::min(1.0, sum);
+  }
+  double upper = 0.0;
+  for (std::int64_t i = k + 1; i <= n; ++i) upper += binom_pmf(n, p, i);
+  return std::max(0.0, 1.0 - upper);
+}
+
+double binom_tail_ge(std::int64_t n, double p, std::int64_t k) {
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  return std::max(0.0, 1.0 - binom_cdf(n, p, k - 1));
+}
+
+double hypergeom_pmf(std::int64_t N, std::int64_t M, std::int64_t r,
+                     std::int64_t k) {
+  if (N < 0 || M < 0 || M > N || r < 0 || r > N) {
+    throw std::invalid_argument("hypergeom_pmf: bad parameters");
+  }
+  const double ln_p =
+      ln_choose(M, k) + ln_choose(N - M, r - k) - ln_choose(N, r);
+  return std::isfinite(ln_p) ? std::exp(ln_p) : 0.0;
+}
+
+double hypergeom_tail_ge(std::int64_t N, std::int64_t M, std::int64_t r,
+                         std::int64_t k) {
+  const std::int64_t hi = std::min(M, r);
+  double sum = 0.0;
+  for (std::int64_t i = std::max<std::int64_t>(k, 0); i <= hi; ++i) {
+    sum += hypergeom_pmf(N, M, r, i);
+  }
+  return std::min(1.0, sum);
+}
+
+double chernoff_lower(double delta, double mean) {
+  if (delta <= 0.0 || delta >= 1.0 || mean <= 0.0) {
+    throw std::invalid_argument("chernoff_lower: need delta in (0,1), mean>0");
+  }
+  return std::exp(-delta * delta * mean / 2.0);
+}
+
+double chernoff_upper(double delta, double mean) {
+  if (delta < 0.0 || mean <= 0.0) {
+    throw std::invalid_argument("chernoff_upper: need delta>=0, mean>0");
+  }
+  return std::exp(-delta * delta * mean / (2.0 + delta));
+}
+
+double hypergeom_chvatal_bound(std::int64_t r, double t) {
+  if (r <= 0 || t <= 0.0) {
+    throw std::invalid_argument("hypergeom_chvatal_bound: need r>0, t>0");
+  }
+  return std::exp(-2.0 * static_cast<double>(r) * t * t);
+}
+
+}  // namespace probft::quorum

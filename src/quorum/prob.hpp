@@ -1,0 +1,45 @@
+// Probability primitives used in the ProBFT analysis (paper Appendix A).
+//
+// Everything is computed in log space with std::lgamma, so binomial and
+// hypergeometric tails stay accurate for the paper's parameter ranges
+// (n up to several hundred, probabilities down to ~1e-300).
+#pragma once
+
+#include <cstdint>
+
+namespace probft::quorum {
+
+/// ln C(n, k); returns -inf for k < 0 or k > n.
+[[nodiscard]] double ln_choose(std::int64_t n, std::int64_t k);
+
+/// Binomial pmf P(X = k), X ~ Bin(n, p).
+[[nodiscard]] double binom_pmf(std::int64_t n, double p, std::int64_t k);
+
+/// Binomial CDF P(X <= k).
+[[nodiscard]] double binom_cdf(std::int64_t n, double p, std::int64_t k);
+
+/// Upper tail P(X >= k).
+[[nodiscard]] double binom_tail_ge(std::int64_t n, double p, std::int64_t k);
+
+/// Hypergeometric pmf: P(X = k) when drawing r items from a population of
+/// size N containing M marked items.
+[[nodiscard]] double hypergeom_pmf(std::int64_t N, std::int64_t M,
+                                   std::int64_t r, std::int64_t k);
+
+/// Hypergeometric upper tail P(X >= k).
+[[nodiscard]] double hypergeom_tail_ge(std::int64_t N, std::int64_t M,
+                                       std::int64_t r, std::int64_t k);
+
+/// Chernoff lower-tail bound (Appendix A, inequality (1)):
+/// P(X <= (1-delta) E[X]) <= exp(-delta^2 E[X] / 2), delta in (0,1).
+[[nodiscard]] double chernoff_lower(double delta, double mean);
+
+/// Chernoff upper-tail bound (Appendix A, inequality (2)):
+/// P(X >= (1+delta) E[X]) <= exp(-delta^2 E[X] / (2 + delta)), delta >= 0.
+[[nodiscard]] double chernoff_upper(double delta, double mean);
+
+/// Hypergeometric tail bound (Appendix A, inequality (3)):
+/// P(X <= E[X] - r t) <= exp(-2 r t^2).
+[[nodiscard]] double hypergeom_chvatal_bound(std::int64_t r, double t);
+
+}  // namespace probft::quorum

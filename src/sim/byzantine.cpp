@@ -1,0 +1,204 @@
+#include "sim/byzantine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/messages.hpp"
+
+namespace probft::sim {
+
+using core::MsgTag;
+using core::PhaseMsg;
+using core::ProposeMsg;
+using core::SignedProposal;
+
+std::uint32_t ByzantineEnv::q() const {
+  return static_cast<std::uint32_t>(
+      std::ceil(l * std::sqrt(static_cast<double>(n))));
+}
+
+std::uint32_t ByzantineEnv::sample_size() const {
+  const auto raw =
+      static_cast<std::uint32_t>(std::ceil(o * static_cast<double>(q())));
+  return std::min(raw, n);
+}
+
+// ---------------- AttackPlan ----------------
+
+AttackPlan AttackPlan::make(SplitStrategy strategy, std::uint32_t n,
+                            const std::vector<bool>& is_byzantine,
+                            Bytes value_a, Bytes value_b) {
+  AttackPlan plan;
+  plan.value_a = std::move(value_a);
+  plan.value_b = std::move(value_b);
+  plan.side.assign(n + 1, Side::kNone);
+
+  switch (strategy) {
+    case SplitStrategy::kOptimal: {
+      // Fig. 4c: correct replicas split in half; Byzantine see both values.
+      std::uint32_t correct_seen = 0;
+      std::uint32_t correct_total = 0;
+      for (ReplicaId id = 1; id <= n; ++id) {
+        if (!is_byzantine[id]) ++correct_total;
+      }
+      for (ReplicaId id = 1; id <= n; ++id) {
+        if (is_byzantine[id]) {
+          plan.side[id] = Side::kBoth;
+        } else {
+          plan.side[id] =
+              (correct_seen++ < correct_total / 2) ? Side::kA : Side::kB;
+        }
+      }
+      break;
+    }
+    case SplitStrategy::kHalves: {
+      // Fig. 4b: everyone (Byzantine included) split in half.
+      for (ReplicaId id = 1; id <= n; ++id) {
+        plan.side[id] = (id <= n / 2) ? Side::kA : Side::kB;
+      }
+      break;
+    }
+    case SplitStrategy::kGeneralThreeWay: {
+      // A Fig. 4a instance: a third each gets A, B, or nothing at all.
+      for (ReplicaId id = 1; id <= n; ++id) {
+        switch (id % 3) {
+          case 0: plan.side[id] = Side::kA; break;
+          case 1: plan.side[id] = Side::kB; break;
+          default: plan.side[id] = Side::kNone; break;
+        }
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+// ---------------- EquivocatingLeaderNode ----------------
+
+EquivocatingLeaderNode::EquivocatingLeaderNode(
+    ByzantineEnv env, std::shared_ptr<const AttackPlan> plan)
+    : env_(std::move(env)), plan_(std::move(plan)) {}
+
+core::ProposeMsg EquivocatingLeaderNode::make_propose(
+    const Bytes& value) const {
+  SignedProposal prop;
+  prop.view = 1;
+  prop.value = value;
+  prop.leader_sig = env_.suite->sign(
+      env_.secret_key, SignedProposal::signing_bytes(1, value));
+  ProposeMsg msg;
+  msg.proposal = std::move(prop);
+  msg.sender = env_.id;
+  msg.sender_sig = env_.suite->sign(env_.secret_key, msg.signing_bytes());
+  return msg;
+}
+
+void EquivocatingLeaderNode::start() {
+  const Bytes raw_a = make_propose(plan_->value_a).to_bytes();
+  const Bytes raw_b = make_propose(plan_->value_b).to_bytes();
+  for (ReplicaId to = 1; to <= env_.n; ++to) {
+    if (to == env_.id) continue;
+    switch (plan_->side[to]) {
+      case AttackPlan::Side::kA:
+        env_.send(to, core::tag_byte(MsgTag::kPropose), raw_a);
+        break;
+      case AttackPlan::Side::kB:
+        env_.send(to, core::tag_byte(MsgTag::kPropose), raw_b);
+        break;
+      case AttackPlan::Side::kBoth:
+        env_.send(to, core::tag_byte(MsgTag::kPropose), raw_a);
+        env_.send(to, core::tag_byte(MsgTag::kPropose), raw_b);
+        break;
+      case AttackPlan::Side::kNone:
+        break;
+    }
+  }
+}
+
+// ---------------- ColludingFollowerNode ----------------
+
+ColludingFollowerNode::ColludingFollowerNode(
+    ByzantineEnv env, std::shared_ptr<const AttackPlan> plan)
+    : env_(std::move(env)), plan_(std::move(plan)) {}
+
+void ColludingFollowerNode::start() {}
+
+void ColludingFollowerNode::on_message(ReplicaId /*from*/, std::uint8_t tag,
+                                       const Bytes& payload) {
+  if (tag != core::tag_byte(MsgTag::kPropose)) return;
+  core::ProposeMsg msg;
+  try {
+    msg = core::ProposeMsg::from_bytes(payload);
+  } catch (const CodecError&) {
+    return;
+  }
+  if (msg.proposal.view != 1) return;
+  support(msg.proposal.view, msg.proposal.value, msg.proposal.leader_sig);
+}
+
+void ColludingFollowerNode::support(View view, const Bytes& value,
+                                    const Bytes& leader_sig) {
+  // Send one Prepare and one Commit for `value` to the members of our
+  // (VRF-pinned) samples that belong to this value's partition. Never send
+  // conflicting values to the same *correct* replica — that would expose
+  // the leader (Alg. 1 lines 23-25).
+  const AttackPlan::Side value_side =
+      (value == plan_->value_a) ? AttackPlan::Side::kA : AttackPlan::Side::kB;
+
+  for (const char* phase : {"prepare", "commit"}) {
+    const Bytes alpha = crypto::sample_alpha(view, phase);
+    auto sampled = crypto::vrf_sample(*env_.suite, env_.secret_key,
+                                      ByteSpan(alpha.data(), alpha.size()),
+                                      env_.n, env_.sample_size());
+    PhaseMsg pm;
+    pm.proposal.view = view;
+    pm.proposal.value = value;
+    pm.proposal.leader_sig = leader_sig;
+    pm.sample = sampled.sample;
+    pm.vrf_proof = sampled.proof;
+    pm.sender = env_.id;
+    const MsgTag tag = (phase[0] == 'p') ? MsgTag::kPrepare : MsgTag::kCommit;
+    pm.sender_sig =
+        env_.suite->sign(env_.secret_key, pm.signing_bytes(tag));
+    const Bytes raw = pm.to_bytes();
+    for (const ReplicaId to : pm.sample) {
+      const auto to_side = plan_->side[to];
+      if (to_side == value_side || to_side == AttackPlan::Side::kBoth) {
+        env_.send(to, core::tag_byte(tag), raw);
+      }
+    }
+  }
+}
+
+// ---------------- FloodingNode ----------------
+
+FloodingNode::FloodingNode(ByzantineEnv env, Bytes value)
+    : env_(std::move(env)), value_(std::move(value)) {}
+
+void FloodingNode::start() {
+  // Claim a fabricated sample that covers everyone and attach a proof for a
+  // *different* (the real) sample. Correct replicas must reject it.
+  for (const char* phase : {"prepare", "commit"}) {
+    const Bytes alpha = crypto::sample_alpha(1, phase);
+    auto real = crypto::vrf_sample(*env_.suite, env_.secret_key,
+                                   ByteSpan(alpha.data(), alpha.size()),
+                                   env_.n, env_.sample_size());
+    PhaseMsg pm;
+    pm.proposal.view = 1;
+    pm.proposal.value = value_;
+    // Self-signed "leader" tuple: only valid if this node IS the leader;
+    // otherwise rejected even earlier (leader-signature check).
+    pm.proposal.leader_sig = env_.suite->sign(
+        env_.secret_key, SignedProposal::signing_bytes(1, value_));
+    pm.sample.resize(env_.n);
+    for (ReplicaId id = 1; id <= env_.n; ++id) pm.sample[id - 1] = id;
+    pm.vrf_proof = real.proof;  // proof does not match the claimed sample
+    pm.sender = env_.id;
+    const MsgTag tag = (phase[0] == 'p') ? MsgTag::kPrepare : MsgTag::kCommit;
+    pm.sender_sig =
+        env_.suite->sign(env_.secret_key, pm.signing_bytes(tag));
+    env_.broadcast(core::tag_byte(tag), pm.to_bytes());
+  }
+}
+
+}  // namespace probft::sim

@@ -1,0 +1,136 @@
+// Byzantine node behaviors for the simulation harness (paper §4.3, Fig. 4).
+//
+// Byzantine replicas hold legitimate keys (the adversary statically corrupts
+// replicas, §2.1) but deviate from the protocol. Crucially they CANNOT forge
+// other replicas' signatures nor bias their own VRF samples — the VRF pins
+// each replica's recipient sample per (view, phase). What they can do is
+// choose *which payload* (if any) goes to each member of that fixed sample.
+//
+// Implemented behaviors:
+//   SilentNode             — sends nothing at all (crash-like worst case for
+//                            liveness; also models a silent leader).
+//   EquivocatingLeaderNode — the leader of view 1 sends different proposals
+//                            to different partitions: the general case
+//                            (m-way), the sub-optimal halves case (Fig. 4b)
+//                            and the optimal split (Fig. 4c).
+//   ColludingFollowerNode  — a Byzantine follower executing the Fig. 4c
+//                            attack: it sends Prepare and Commit messages
+//                            for value A to sample members in partition A
+//                            and for value B to members in partition B,
+//                            without ever revealing the equivocation to a
+//                            correct replica (sending both values to the
+//                            same correct replica would expose the leader).
+//   FloodingNode           — tries to force quorums by sending Prepare and
+//                            Commit messages to EVERY replica while claiming
+//                            a fabricated recipient sample; correct replicas
+//                            must reject these because the VRF proof does
+//                            not match (tests benefit (1) of §3.1).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "core/replica.hpp"
+#include "crypto/sampler.hpp"
+#include "crypto/suite.hpp"
+
+namespace probft::sim {
+
+/// Equivocation strategy (Fig. 4 a/b/c).
+enum class SplitStrategy {
+  kGeneralThreeWay,  // Fig. 4a flavor: three overlapping-ish groups
+  kHalves,           // Fig. 4b: split everyone (incl. Byzantine) in halves
+  kOptimal,          // Fig. 4c: split correct replicas; Byzantine get both
+};
+
+/// Shared description of the coordinated equivocation attack.
+struct AttackPlan {
+  Bytes value_a;
+  Bytes value_b;
+  /// 1-based; for each replica, which value its partition receives.
+  /// kOptimal: Byzantine replicas are marked 'both'.
+  enum class Side : std::uint8_t { kA, kB, kBoth, kNone };
+  std::vector<Side> side;  // index 0 unused
+
+  /// Builds the plan for n replicas where ids (1..f) — or a caller-chosen
+  /// set — are Byzantine.
+  static AttackPlan make(SplitStrategy strategy, std::uint32_t n,
+                         const std::vector<bool>& is_byzantine,
+                         Bytes value_a, Bytes value_b);
+};
+
+struct ByzantineEnv {
+  ReplicaId id = 0;
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  double o = 1.7;
+  double l = 2.0;
+  const crypto::CryptoSuite* suite = nullptr;
+  Bytes secret_key;
+  std::vector<Bytes> public_keys;
+  std::function<void(ReplicaId to, std::uint8_t tag, const Bytes&)> send;
+  std::function<void(std::uint8_t tag, const Bytes&)> broadcast;
+
+  [[nodiscard]] std::uint32_t q() const;
+  [[nodiscard]] std::uint32_t sample_size() const;
+};
+
+/// Completely silent replica.
+class SilentNode final : public core::INode {
+ public:
+  explicit SilentNode(ByzantineEnv env) : env_(std::move(env)) {}
+  void start() override {}
+  void on_message(ReplicaId, std::uint8_t, const Bytes&) override {}
+
+ private:
+  ByzantineEnv env_;
+};
+
+/// Byzantine leader of view 1 sending per-partition proposals.
+class EquivocatingLeaderNode final : public core::INode {
+ public:
+  EquivocatingLeaderNode(ByzantineEnv env,
+                         std::shared_ptr<const AttackPlan> plan);
+  void start() override;
+  void on_message(ReplicaId, std::uint8_t, const Bytes&) override {}
+
+ private:
+  [[nodiscard]] core::ProposeMsg make_propose(const Bytes& value) const;
+
+  ByzantineEnv env_;
+  std::shared_ptr<const AttackPlan> plan_;
+};
+
+/// Byzantine follower executing the Fig. 4c collusion.
+class ColludingFollowerNode final : public core::INode {
+ public:
+  ColludingFollowerNode(ByzantineEnv env,
+                        std::shared_ptr<const AttackPlan> plan);
+  void start() override;
+  void on_message(ReplicaId from, std::uint8_t tag,
+                  const Bytes& payload) override;
+
+ private:
+  void support(View view, const Bytes& value, const Bytes& leader_sig);
+
+  ByzantineEnv env_;
+  std::shared_ptr<const AttackPlan> plan_;
+  bool supported_ = false;
+};
+
+/// Sends Prepare/Commit for a fabricated value to everyone with a forged
+/// (non-VRF) sample covering all replicas.
+class FloodingNode final : public core::INode {
+ public:
+  explicit FloodingNode(ByzantineEnv env, Bytes value);
+  void start() override;
+  void on_message(ReplicaId, std::uint8_t, const Bytes&) override {}
+
+ private:
+  ByzantineEnv env_;
+  Bytes value_;
+};
+
+}  // namespace probft::sim

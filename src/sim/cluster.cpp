@@ -1,0 +1,242 @@
+#include "sim/cluster.hpp"
+
+#include <stdexcept>
+
+namespace probft::sim {
+
+namespace {
+
+Bytes default_value_for(const ClusterConfig& cfg, ReplicaId id) {
+  if (id <= cfg.my_values.size() && !cfg.my_values[id - 1].empty()) {
+    return cfg.my_values[id - 1];
+  }
+  Bytes value = cfg.value_prefix.empty() ? to_bytes("value-")
+                                         : cfg.value_prefix;
+  value.push_back(static_cast<std::uint8_t>('0' + (id % 10)));
+  value.push_back(static_cast<std::uint8_t>(id >> 8));
+  value.push_back(static_cast<std::uint8_t>(id & 0xff));
+  return value;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config) : cfg_(std::move(config)) {
+  if (cfg_.n == 0) throw std::invalid_argument("Cluster: n must be > 0");
+  if (cfg_.suite == nullptr) {
+    owned_suite_ = crypto::make_sim_suite();
+    suite_ = owned_suite_.get();
+  } else {
+    suite_ = cfg_.suite;
+  }
+  network_ = std::make_unique<net::Network>(sim_, cfg_.n, cfg_.seed,
+                                            cfg_.latency);
+  keys_.resize(cfg_.n + 1);
+  for (ReplicaId id = 1; id <= cfg_.n; ++id) {
+    keys_[id] = suite_->keygen(mix64(cfg_.seed, id));
+  }
+  decided_.assign(cfg_.n + 1, false);
+  build_nodes();
+}
+
+Cluster::~Cluster() = default;
+
+Behavior Cluster::behavior_of(ReplicaId id) const {
+  if (id < cfg_.behaviors.size() + 1 && id >= 1) {
+    return cfg_.behaviors[id - 1];
+  }
+  return Behavior::kHonest;
+}
+
+bool Cluster::is_byzantine(ReplicaId id) const {
+  return behavior_of(id) != Behavior::kHonest;
+}
+
+void Cluster::build_nodes() {
+  std::vector<Bytes> public_keys(cfg_.n + 1);
+  for (ReplicaId id = 1; id <= cfg_.n; ++id) {
+    public_keys[id] = keys_[id].public_key;
+  }
+
+  // Attack plan (shared by equivocating leader and colluders).
+  std::vector<bool> byz(cfg_.n + 1, false);
+  for (ReplicaId id = 1; id <= cfg_.n; ++id) byz[id] = is_byzantine(id);
+  Bytes value_a = cfg_.attack_value_a.empty() ? to_bytes("attack-value-A")
+                                              : cfg_.attack_value_a;
+  Bytes value_b = cfg_.attack_value_b.empty() ? to_bytes("attack-value-B")
+                                              : cfg_.attack_value_b;
+  plan_ = std::make_shared<const AttackPlan>(
+      AttackPlan::make(cfg_.split, cfg_.n, byz, value_a, value_b));
+
+  nodes_.clear();
+  nodes_.resize(cfg_.n + 1);
+
+  for (ReplicaId id = 1; id <= cfg_.n; ++id) {
+    auto send = [this, id](ReplicaId to, std::uint8_t tag, const Bytes& m) {
+      network_->send(id, to, tag, m);
+    };
+    auto broadcast = [this, id](std::uint8_t tag, const Bytes& m) {
+      network_->broadcast(id, tag, m);
+    };
+    auto set_timer = [this](Duration d, std::function<void()> fn) {
+      sim_.schedule_after(d, std::move(fn));
+    };
+    auto on_decide = [this, id](View view, const Bytes& value) {
+      if (!decided_[id]) {
+        decided_[id] = true;
+        decisions_.push_back(DecisionRecord{id, view, value, sim_.now()});
+      }
+    };
+
+    const Behavior behavior = behavior_of(id);
+    if (behavior == Behavior::kHonest) {
+      switch (cfg_.protocol) {
+        case Protocol::kProbft: {
+          core::ReplicaConfig rc;
+          rc.id = id;
+          rc.n = cfg_.n;
+          rc.f = cfg_.f;
+          rc.o = cfg_.o;
+          rc.l = cfg_.l;
+          rc.my_value = default_value_for(cfg_, id);
+          rc.stop_sync_on_decide = cfg_.stop_sync_on_decide;
+          rc.suite = suite_;
+          rc.secret_key = keys_[id].secret_key;
+          rc.public_keys = public_keys;
+          core::Replica::Hooks hooks{send, broadcast, set_timer, on_decide};
+          nodes_[id] = std::make_unique<core::Replica>(std::move(rc),
+                                                       cfg_.sync, hooks);
+          break;
+        }
+        case Protocol::kPbft: {
+          pbft::PbftConfig rc;
+          rc.id = id;
+          rc.n = cfg_.n;
+          rc.f = cfg_.f;
+          rc.my_value = default_value_for(cfg_, id);
+          rc.stop_sync_on_decide = cfg_.stop_sync_on_decide;
+          rc.suite = suite_;
+          rc.secret_key = keys_[id].secret_key;
+          rc.public_keys = public_keys;
+          pbft::PbftReplica::Hooks hooks{send, broadcast, set_timer,
+                                         on_decide};
+          nodes_[id] = std::make_unique<pbft::PbftReplica>(std::move(rc),
+                                                           cfg_.sync, hooks);
+          break;
+        }
+        case Protocol::kHotStuff: {
+          hotstuff::HotStuffConfig rc;
+          rc.id = id;
+          rc.n = cfg_.n;
+          rc.f = cfg_.f;
+          rc.my_value = default_value_for(cfg_, id);
+          rc.stop_sync_on_decide = cfg_.stop_sync_on_decide;
+          rc.suite = suite_;
+          rc.secret_key = keys_[id].secret_key;
+          rc.public_keys = public_keys;
+          hotstuff::HotStuffReplica::Hooks hooks{send, broadcast, set_timer,
+                                                 on_decide};
+          nodes_[id] = std::make_unique<hotstuff::HotStuffReplica>(
+              std::move(rc), cfg_.sync, hooks);
+          break;
+        }
+      }
+    } else {
+      ByzantineEnv env;
+      env.id = id;
+      env.n = cfg_.n;
+      env.f = cfg_.f;
+      env.o = cfg_.o;
+      env.l = cfg_.l;
+      env.suite = suite_;
+      env.secret_key = keys_[id].secret_key;
+      env.public_keys = public_keys;
+      env.send = send;
+      env.broadcast = broadcast;
+      switch (behavior) {
+        case Behavior::kSilent:
+          nodes_[id] = std::make_unique<SilentNode>(std::move(env));
+          break;
+        case Behavior::kEquivocateLeader:
+          nodes_[id] = std::make_unique<EquivocatingLeaderNode>(
+              std::move(env), plan_);
+          break;
+        case Behavior::kColludeFollower:
+          nodes_[id] = std::make_unique<ColludingFollowerNode>(
+              std::move(env), plan_);
+          break;
+        case Behavior::kFlood:
+          nodes_[id] = std::make_unique<FloodingNode>(
+              std::move(env), to_bytes("flood-value"));
+          break;
+        case Behavior::kHonest:
+          break;  // unreachable
+      }
+    }
+
+    network_->register_handler(
+        id, [this, id](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+          nodes_[id]->on_message(from, tag, m);
+        });
+  }
+}
+
+void Cluster::start() {
+  for (ReplicaId id = 1; id <= cfg_.n; ++id) {
+    nodes_[id]->start();
+  }
+}
+
+bool Cluster::run_to_completion(TimePoint deadline, std::size_t max_events) {
+  std::size_t fired = 0;
+  while (!all_correct_decided() && fired < max_events &&
+         sim_.now() < deadline) {
+    if (!sim_.step()) break;
+    ++fired;
+  }
+  return all_correct_decided();
+}
+
+std::vector<ReplicaId> Cluster::correct_ids() const {
+  std::vector<ReplicaId> out;
+  for (ReplicaId id = 1; id <= cfg_.n; ++id) {
+    if (!is_byzantine(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t Cluster::correct_decided_count() const {
+  std::size_t count = 0;
+  for (const ReplicaId id : correct_ids()) {
+    if (decided_[id]) ++count;
+  }
+  return count;
+}
+
+bool Cluster::all_correct_decided() const {
+  for (const ReplicaId id : correct_ids()) {
+    if (!decided_[id]) return false;
+  }
+  return true;
+}
+
+std::set<Bytes> Cluster::decided_values() const {
+  std::set<Bytes> values;
+  for (const auto& d : decisions_) {
+    if (!is_byzantine(d.replica)) values.insert(d.value);
+  }
+  return values;
+}
+
+const core::Replica* Cluster::probft(ReplicaId id) const {
+  return dynamic_cast<const core::Replica*>(nodes_[id].get());
+}
+
+const pbft::PbftReplica* Cluster::pbft(ReplicaId id) const {
+  return dynamic_cast<const pbft::PbftReplica*>(nodes_[id].get());
+}
+
+const hotstuff::HotStuffReplica* Cluster::hotstuff(ReplicaId id) const {
+  return dynamic_cast<const hotstuff::HotStuffReplica*>(nodes_[id].get());
+}
+
+}  // namespace probft::sim

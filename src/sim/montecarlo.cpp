@@ -1,0 +1,206 @@
+#include "sim/montecarlo.hpp"
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace probft::sim {
+
+namespace {
+
+/// Increments `count[member]` for every member of a fresh s-of-n sample.
+void splash_sample(Xoshiro256StarStar& rng, std::uint32_t n, std::uint32_t s,
+                   std::vector<std::uint16_t>& count) {
+  for (const auto member : sample_without_replacement(rng, n, s)) {
+    ++count[member];
+  }
+}
+
+}  // namespace
+
+TerminationStats mc_termination(const quorum::Params& params, int trials,
+                                std::uint64_t seed) {
+  const auto n = static_cast<std::uint32_t>(params.n);
+  const auto f = static_cast<std::uint32_t>(params.f);
+  const auto q = static_cast<std::uint32_t>(params.q());
+  const auto s = static_cast<std::uint32_t>(params.s());
+  const std::uint32_t correct = n - f;
+
+  std::uint64_t decided_total = 0;
+  std::uint64_t prepared_total = 0;
+  std::uint64_t all_decided_trials = 0;
+
+  std::vector<std::uint16_t> prepare_count(n);
+  std::vector<std::uint16_t> commit_count(n);
+
+  for (int t = 0; t < trials; ++t) {
+    Xoshiro256StarStar rng(mix64(seed, static_cast<std::uint64_t>(t)));
+    prepare_count.assign(n, 0);
+    commit_count.assign(n, 0);
+
+    // Replicas 0..correct-1 are the correct ones (sampling is symmetric).
+    for (std::uint32_t j = 0; j < correct; ++j) {
+      splash_sample(rng, n, s, prepare_count);
+    }
+    std::uint32_t committers = 0;
+    for (std::uint32_t j = 0; j < correct; ++j) {
+      if (prepare_count[j] >= q) {
+        ++committers;
+        splash_sample(rng, n, s, commit_count);
+      }
+    }
+    prepared_total += committers;
+
+    std::uint32_t decided = 0;
+    for (std::uint32_t i = 0; i < correct; ++i) {
+      if (prepare_count[i] >= q && commit_count[i] >= q) ++decided;
+    }
+    decided_total += decided;
+    if (decided == correct) ++all_decided_trials;
+  }
+
+  TerminationStats out;
+  const double denom = static_cast<double>(trials) * correct;
+  out.per_replica_rate = static_cast<double>(decided_total) / denom;
+  out.prepare_quorum_rate = static_cast<double>(prepared_total) / denom;
+  out.all_rate = static_cast<double>(all_decided_trials) / trials;
+  return out;
+}
+
+AgreementStats mc_agreement_optimal_split(const quorum::Params& params,
+                                          int trials, std::uint64_t seed) {
+  const auto n = static_cast<std::uint32_t>(params.n);
+  const auto f = static_cast<std::uint32_t>(params.f);
+  const auto q = static_cast<std::uint32_t>(params.q());
+  const auto s = static_cast<std::uint32_t>(params.s());
+  const std::uint32_t correct = n - f;
+  const std::uint32_t half = correct / 2;
+
+  // Layout: replicas 0..half-1 -> side A, half..correct-1 -> side B,
+  // correct..n-1 -> Byzantine (support both sides).
+  const auto side_of = [&](std::uint32_t id) -> int {
+    if (id < half) return 0;       // A
+    if (id < correct) return 1;    // B
+    return 2;                      // Byzantine
+  };
+
+  std::uint64_t violations = 0;
+  std::uint64_t any_decisions = 0;
+  std::uint64_t violations_quorum_only = 0;
+  std::uint64_t any_decisions_quorum_only = 0;
+  std::uint64_t blocked_total = 0;
+
+  std::vector<std::uint16_t> prep[2];     // per-value prepare in-degree
+  std::vector<std::uint16_t> comm[2];     // per-value commit in-degree
+  std::vector<std::uint8_t> prep_conflict;  // saw the other value's Prepare
+  std::vector<std::uint8_t> conflict;       // saw the other value at all
+
+  for (int t = 0; t < trials; ++t) {
+    Xoshiro256StarStar rng(mix64(seed ^ 0xa5a5a5a5ULL,
+                                 static_cast<std::uint64_t>(t)));
+    prep[0].assign(n, 0);
+    prep[1].assign(n, 0);
+    comm[0].assign(n, 0);
+    comm[1].assign(n, 0);
+    prep_conflict.assign(n, 0);
+    conflict.assign(n, 0);
+
+    // Prepare phase. Correct senders multicast their side's value to their
+    // whole sample; Byzantine senders send value X only to members of side
+    // X (plus other Byzantine members), never exposing the equivocation.
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const int sj = side_of(j);
+      const auto sample = sample_without_replacement(rng, n, s);
+      for (const auto member : sample) {
+        const int sm = side_of(member);
+        if (sj < 2) {
+          ++prep[sj][member];
+          if (sm < 2 && sm != sj) {
+            prep_conflict[member] = 1;
+            conflict[member] = 1;
+          }
+        } else {
+          // Byzantine: value matching the member's side (both to Byzantine).
+          if (sm == 0 || sm == 2) ++prep[0][member];
+          if (sm == 1 || sm == 2) ++prep[1][member];
+        }
+      }
+    }
+
+    // Commit phase: correct replicas that formed a prepare quorum for their
+    // side commit; Byzantine commit both side-selectively.
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const int sj = side_of(j);
+      if (sj < 2 && prep[sj][j] < q) continue;  // no prepare quorum: silent
+      const auto sample = sample_without_replacement(rng, n, s);
+      for (const auto member : sample) {
+        const int sm = side_of(member);
+        if (sj < 2) {
+          ++comm[sj][member];
+          if (sm < 2 && sm != sj) conflict[member] = 1;
+        } else {
+          if (sm == 0 || sm == 2) ++comm[0][member];
+          if (sm == 1 || sm == 2) ++comm[1][member];
+        }
+      }
+    }
+
+    // Decisions under both models (see montecarlo.hpp).
+    bool decided_a = false, decided_b = false;        // blocking-aware
+    bool decided_a_qo = false, decided_b_qo = false;  // quorum-only
+    std::uint32_t blocked = 0;
+    for (std::uint32_t i = 0; i < correct; ++i) {
+      const int si = side_of(i);
+      const bool quorums = prep[si][i] >= q && comm[si][i] >= q;
+      if (quorums) {
+        (si == 0 ? decided_a_qo : decided_b_qo) = true;
+        if (!prep_conflict[i]) {
+          (si == 0 ? decided_a : decided_b) = true;
+        }
+      }
+      if (conflict[i]) ++blocked;
+    }
+    if (decided_a && decided_b) ++violations;
+    if (decided_a || decided_b) ++any_decisions;
+    if (decided_a_qo && decided_b_qo) ++violations_quorum_only;
+    if (decided_a_qo || decided_b_qo) ++any_decisions_quorum_only;
+    blocked_total += blocked;
+  }
+
+  AgreementStats out;
+  out.violation_rate = static_cast<double>(violations) / trials;
+  out.any_decision_rate = static_cast<double>(any_decisions) / trials;
+  out.violation_rate_quorum_only =
+      static_cast<double>(violations_quorum_only) / trials;
+  out.any_decision_rate_quorum_only =
+      static_cast<double>(any_decisions_quorum_only) / trials;
+  out.blocked_rate = static_cast<double>(blocked_total) /
+                     (static_cast<double>(trials) * correct);
+  return out;
+}
+
+double mc_quorum_with_r_senders(const quorum::Params& params, std::int64_t r,
+                                int trials, std::uint64_t seed) {
+  const auto n = static_cast<std::uint32_t>(params.n);
+  const auto q = static_cast<std::uint32_t>(params.q());
+  const auto s = static_cast<std::uint32_t>(params.s());
+  std::uint64_t quorums = 0;
+  for (int t = 0; t < trials; ++t) {
+    Xoshiro256StarStar rng(mix64(seed ^ 0xc3c3c3c3ULL,
+                                 static_cast<std::uint64_t>(t)));
+    // Count how many of the r senders include replica 0 in their sample.
+    std::uint32_t in_degree = 0;
+    for (std::int64_t j = 0; j < r; ++j) {
+      for (const auto member : sample_without_replacement(rng, n, s)) {
+        if (member == 0) {
+          ++in_degree;
+          break;
+        }
+      }
+    }
+    if (in_degree >= q) ++quorums;
+  }
+  return static_cast<double>(quorums) / trials;
+}
+
+}  // namespace probft::sim

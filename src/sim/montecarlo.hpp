@@ -1,0 +1,65 @@
+// Sampling-level Monte-Carlo experiments matching the probabilistic model
+// of the paper's proofs (Appendices B-D).
+//
+// Instead of simulating the full message-passing protocol, these experiments
+// draw the VRF recipient samples directly and evaluate quorum formation —
+// which is exactly the random experiment the theorems analyze. This scales
+// to n = 300+ with 10^4..10^6 trials, producing smooth Figure 5 curves that
+// the closed forms in quorum/analysis.hpp can be checked against.
+#pragma once
+
+#include <cstdint>
+
+#include "quorum/analysis.hpp"
+
+namespace probft::sim {
+
+struct TerminationStats {
+  double per_replica_rate = 0;  // fraction of (trial, replica) that decide
+  double all_rate = 0;          // fraction of trials where EVERY correct
+                                // replica decides
+  double prepare_quorum_rate = 0;  // per-replica prepare-quorum formation
+};
+
+/// Correct leader after GST (Fig. 5 right panels): all n-f correct replicas
+/// multicast Prepare to fresh s-of-n samples; correct replicas that form a
+/// q-quorum multicast Commit to fresh samples; a replica decides when it
+/// forms both quorums. Byzantine replicas stay silent (worst case for
+/// termination, as in Theorem 2's statement).
+[[nodiscard]] TerminationStats mc_termination(const quorum::Params& params,
+                                              int trials, std::uint64_t seed);
+
+struct AgreementStats {
+  // Blocking-aware model (the protocol's actual defense): a correct replica
+  // that receives even one conflicting Prepare is blocked before any commit
+  // quorum can complete (a conflicting prepare is one network hop; a commit
+  // quorum needs two), so it never decides.
+  double violation_rate = 0;     // trials with opposite decisions
+  double any_decision_rate = 0;  // trials where any correct replica decides
+  // Quorum-formation-only model (the counting used by the paper's Lemma 5
+  // Chernoff bound, which ignores the blocking rule): much larger — this is
+  // the quantity the analysis bounds, not the protocol's real violation
+  // rate.
+  double violation_rate_quorum_only = 0;
+  double any_decision_rate_quorum_only = 0;
+  double blocked_rate = 0;  // avg fraction of correct replicas that would
+                            // observe the equivocation (and block)
+};
+
+/// Byzantine leader running the optimal split attack (Fig. 4c, left panels
+/// of Fig. 5): correct replicas split into halves receiving value A or B;
+/// Byzantine replicas support both sides but only towards same-side
+/// replicas. A correct replica is *blocked* the moment any message for the
+/// other value reaches it (Alg. 1 lines 23-25) and then never decides.
+[[nodiscard]] AgreementStats mc_agreement_optimal_split(
+    const quorum::Params& params, int trials, std::uint64_t seed);
+
+/// Lemma 6 experiment (cross-view safety, Theorem 8): exactly r replicas
+/// multicast matching Commit messages to fresh s-of-n samples; returns the
+/// empirical probability that a fixed replica forms a commit quorum —
+/// comparable against quorum::decide_with_r_prepared_exact().
+[[nodiscard]] double mc_quorum_with_r_senders(const quorum::Params& params,
+                                              std::int64_t r, int trials,
+                                              std::uint64_t seed);
+
+}  // namespace probft::sim

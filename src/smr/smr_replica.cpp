@@ -1,0 +1,144 @@
+#include "smr/smr_replica.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/codec.hpp"
+
+namespace probft::smr {
+
+namespace {
+
+const Bytes& noop_command() {
+  static const Bytes noop = to_bytes("__noop__");
+  return noop;
+}
+
+}  // namespace
+
+SmrReplica::SmrReplica(SmrConfig config, Hooks hooks)
+    : cfg_(std::move(config)), hooks_(std::move(hooks)) {
+  if (cfg_.id == 0 || cfg_.id > cfg_.n || cfg_.suite == nullptr ||
+      cfg_.public_keys.size() != cfg_.n + 1 || cfg_.max_slots == 0) {
+    throw std::invalid_argument("SmrReplica: bad configuration");
+  }
+}
+
+void SmrReplica::start() { open_next_slot(); }
+
+void SmrReplica::submit(Bytes command) {
+  if (command.empty() || command == noop_command()) {
+    throw std::invalid_argument("submit: command must be non-empty");
+  }
+  queue_.push_back(std::move(command));
+}
+
+bool SmrReplica::has_committed(const Bytes& command) const {
+  return std::find(log_.begin(), log_.end(), command) != log_.end();
+}
+
+Bytes SmrReplica::proposal_for_next_slot() const {
+  for (const auto& command : queue_) {
+    if (!has_committed(command)) return command;
+  }
+  return noop_command();
+}
+
+void SmrReplica::open_next_slot() {
+  if (next_slot_ >= cfg_.max_slots) return;
+  const std::uint64_t slot = next_slot_++;
+
+  core::ReplicaConfig rc;
+  rc.id = cfg_.id;
+  rc.n = cfg_.n;
+  rc.f = cfg_.f;
+  rc.o = cfg_.o;
+  rc.l = cfg_.l;
+  rc.my_value = proposal_for_next_slot();
+  rc.suite = cfg_.suite;
+  rc.secret_key = cfg_.secret_key;
+  rc.public_keys = cfg_.public_keys;
+
+  core::Replica::Hooks hooks;
+  hooks.send = [this, slot](ReplicaId to, std::uint8_t tag, const Bytes& m) {
+    Writer w;
+    w.u64(slot);
+    w.u8(tag);
+    w.raw(m);
+    hooks_.send(to, kSmrTag, std::move(w).take());
+  };
+  hooks.broadcast = [this, slot](std::uint8_t tag, const Bytes& m) {
+    Writer w;
+    w.u64(slot);
+    w.u8(tag);
+    w.raw(m);
+    hooks_.broadcast(kSmrTag, std::move(w).take());
+  };
+  hooks.set_timer = hooks_.set_timer;
+  hooks.on_decide = [this, slot](View /*view*/, const Bytes& value) {
+    on_slot_decided(slot, value);
+  };
+
+  instances_.emplace(slot, std::make_unique<core::Replica>(std::move(rc),
+                                                           cfg_.sync, hooks));
+  instances_.at(slot)->start();
+
+  // Replay traffic that raced ahead of this slot.
+  const auto it = buffered_.find(slot);
+  if (it != buffered_.end()) {
+    const auto pending = std::move(it->second);
+    buffered_.erase(it);
+    for (const auto& msg : pending) {
+      instances_.at(slot)->on_message(msg.from, msg.tag, msg.payload);
+    }
+  }
+}
+
+void SmrReplica::on_slot_decided(std::uint64_t slot, const Bytes& value) {
+  decided_out_of_order_.emplace(slot, value);
+  bool advanced = false;
+  while (true) {
+    const auto it = decided_out_of_order_.find(log_.size());
+    if (it == decided_out_of_order_.end()) break;
+    const Bytes command = it->second;
+    decided_out_of_order_.erase(it);
+    log_.push_back(command);
+    advanced = true;
+    // Committed commands leave the local client queue.
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), command),
+                 queue_.end());
+    if (hooks_.on_commit && command != to_bytes("__noop__")) {
+      hooks_.on_commit(log_.size() - 1, command);
+    }
+  }
+  if (advanced && log_.size() == next_slot_) {
+    open_next_slot();
+  }
+}
+
+void SmrReplica::on_message(ReplicaId from, std::uint8_t tag,
+                            const Bytes& payload) {
+  if (tag != kSmrTag) return;
+  try {
+    Reader r(ByteSpan(payload.data(), payload.size()));
+    const std::uint64_t slot = r.u64();
+    const std::uint8_t inner_tag = r.u8();
+    Bytes inner = r.raw(r.remaining());
+    if (slot >= cfg_.max_slots) return;  // out of configured range
+
+    const auto it = instances_.find(slot);
+    if (it != instances_.end()) {
+      it->second->on_message(from, inner_tag, inner);
+      return;
+    }
+    // Slot not opened yet: buffer (bounded per slot to resist flooding).
+    auto& bucket = buffered_[slot];
+    if (bucket.size() < 4096) {
+      bucket.push_back(Buffered{from, inner_tag, std::move(inner)});
+    }
+  } catch (const CodecError&) {
+    // Malformed envelope: drop.
+  }
+}
+
+}  // namespace probft::smr

@@ -1,0 +1,106 @@
+// State machine replication on top of ProBFT (paper §7: "leveraging ProBFT
+// for constructing a scalable state machine replication protocol").
+//
+// Design: the replicated log is a sequence of slots; each slot is decided
+// by an independent single-shot ProBFT instance. All instances of one
+// replica share the node's keypair and network connection — wire messages
+// are the ProBFT messages prefixed with the slot number. A replica opens
+// slot k+1 as soon as its slot-k instance decides, executes decided
+// commands strictly in slot order, and proposes its oldest not-yet-
+// committed client command whenever it leads a slot (a no-op filler
+// otherwise).
+//
+// Because each slot is a full ProBFT instance, the probabilistic agreement
+// guarantee applies per slot, and the SMR inherits safety with probability
+// (1 - exp(-Θ(√n)))^slots — still overwhelmingly close to 1 for realistic
+// log lengths.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "core/replica.hpp"
+
+namespace probft::smr {
+
+/// The byte every SMR wire message starts with, so SMR traffic can share a
+/// network with other tags if needed.
+inline constexpr std::uint8_t kSmrTag = 0x20;
+
+struct SmrConfig {
+  ReplicaId id = 0;
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  double o = 1.7;
+  double l = 2.0;
+  /// Hard cap on the number of slots this replica will open (bounds the
+  /// simulation; a production deployment would run unbounded).
+  std::uint64_t max_slots = 1024;
+
+  const crypto::CryptoSuite* suite = nullptr;
+  Bytes secret_key;
+  std::vector<Bytes> public_keys;
+
+  /// Consensus pacing (per-slot synchronizer settings).
+  sync::SyncConfig sync;
+};
+
+class SmrReplica : public core::INode {
+ public:
+  struct Hooks {
+    std::function<void(ReplicaId to, std::uint8_t tag, const Bytes&)> send;
+    std::function<void(std::uint8_t tag, const Bytes&)> broadcast;
+    sync::Synchronizer::TimerSetter set_timer;
+    /// Called once per committed log entry, in slot order.
+    std::function<void(std::uint64_t slot, const Bytes& command)> on_commit;
+  };
+
+  SmrReplica(SmrConfig config, Hooks hooks);
+
+  /// Opens slot 0.
+  void start() override;
+
+  /// Enqueues a client command; it will be proposed whenever this replica
+  /// leads a slot and the command is still uncommitted.
+  void submit(Bytes command);
+
+  void on_message(ReplicaId from, std::uint8_t tag,
+                  const Bytes& payload) override;
+
+  // ---- inspection ----
+  /// Committed commands, in slot order.
+  [[nodiscard]] const std::vector<Bytes>& log() const { return log_; }
+  [[nodiscard]] std::uint64_t committed_slots() const { return log_.size(); }
+  [[nodiscard]] std::uint64_t open_slot() const { return next_slot_ - 1; }
+  [[nodiscard]] std::size_t pending_commands() const { return queue_.size(); }
+  [[nodiscard]] bool has_committed(const Bytes& command) const;
+
+ private:
+  void open_next_slot();
+  void on_slot_decided(std::uint64_t slot, const Bytes& value);
+  [[nodiscard]] Bytes proposal_for_next_slot() const;
+
+  SmrConfig cfg_;
+  Hooks hooks_;
+
+  std::uint64_t next_slot_ = 0;  // next slot to open
+  std::map<std::uint64_t, std::unique_ptr<core::Replica>> instances_;
+  std::map<std::uint64_t, Bytes> decided_out_of_order_;
+  std::vector<Bytes> log_;
+  std::deque<Bytes> queue_;
+
+  // Messages for slots we have not opened yet.
+  struct Buffered {
+    ReplicaId from;
+    std::uint8_t tag;
+    Bytes payload;
+  };
+  std::map<std::uint64_t, std::vector<Buffered>> buffered_;
+};
+
+}  // namespace probft::smr

@@ -1,0 +1,132 @@
+// Edge-case hardening tests for the curve/Ed25519 layer: pathological
+// encodings and inputs a Byzantine peer could ship.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/curve25519.hpp"
+#include "crypto/ed25519.hpp"
+
+namespace probft::crypto::curve {
+namespace {
+
+TEST(CurveEdge, IdentityEncodingDecodesToIdentity) {
+  // y = 1, sign 0: 0x01 || 0x00...
+  Bytes enc(32, 0);
+  enc[0] = 1;
+  const auto point = point_decompress(enc);
+  ASSERT_TRUE(point.has_value());
+  EXPECT_TRUE(point_is_identity(*point));
+}
+
+TEST(CurveEdge, IdentityCompressesCanonically) {
+  const Bytes enc = point_compress(point_identity());
+  Bytes expected(32, 0);
+  expected[0] = 1;
+  EXPECT_EQ(enc, expected);
+}
+
+TEST(CurveEdge, MinusZeroXRejected) {
+  // y with x = 0 but sign bit set ("negative zero") must be rejected.
+  Bytes enc(32, 0);
+  enc[0] = 1;      // y = 1 -> x = 0
+  enc[31] = 0x80;  // claim x is odd
+  EXPECT_FALSE(point_decompress(enc).has_value());
+}
+
+TEST(CurveEdge, NonCanonicalFieldElementRejected) {
+  // y = p (= 0 mod p but non-canonical bytes).
+  std::uint8_t p_bytes[32];
+  u256_to_le(field_prime(), p_bytes);
+  EXPECT_FALSE(point_decompress(ByteSpan(p_bytes, 32)).has_value());
+}
+
+TEST(CurveEdge, ScalarMulByZeroIsIdentity) {
+  EXPECT_TRUE(
+      point_is_identity(point_scalar_mul(u256_zero(), point_base())));
+}
+
+TEST(CurveEdge, ScalarMulByOneIsSame) {
+  EXPECT_TRUE(
+      point_eq(point_scalar_mul(u256_one(), point_base()), point_base()));
+}
+
+TEST(CurveEdge, LMinusOneTimesBaseIsNegBase) {
+  U256 l_minus_1;
+  u256_sub(l_minus_1, group_order(), u256_one());
+  const Point p = point_scalar_mul(l_minus_1, point_base());
+  EXPECT_TRUE(point_eq(p, point_negate(point_base())));
+}
+
+TEST(CurveEdge, DoubleOfIdentityIsIdentity) {
+  EXPECT_TRUE(point_is_identity(point_double(point_identity())));
+}
+
+TEST(CurveEdge, CompressDecompressRandomPoints) {
+  // Walk a few multiples of B through compression roundtrips.
+  Point acc = point_base();
+  for (int i = 0; i < 16; ++i) {
+    const Bytes enc = point_compress(acc);
+    const auto back = point_decompress(enc);
+    ASSERT_TRUE(back.has_value()) << "multiple " << i;
+    EXPECT_TRUE(point_eq(*back, acc)) << "multiple " << i;
+    acc = point_add(acc, point_base());
+  }
+}
+
+TEST(CurveEdge, NegationIsInvolution) {
+  const Point b2 = point_double(point_base());
+  EXPECT_TRUE(point_eq(point_negate(point_negate(b2)), b2));
+}
+
+}  // namespace
+}  // namespace probft::crypto::curve
+
+namespace probft::crypto::ed25519 {
+namespace {
+
+TEST(Ed25519Edge, RejectsIdentityEncodedR) {
+  // Signature whose R is the identity encoding but S mismatched.
+  const Bytes seed = from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto pk = derive_public(seed);
+  Bytes sig(64, 0);
+  sig[0] = 1;  // R = identity
+  EXPECT_FALSE(verify(pk, to_bytes("m"), sig));
+}
+
+TEST(Ed25519Edge, RejectsAllZeroSignature) {
+  const Bytes seed = from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto pk = derive_public(seed);
+  EXPECT_FALSE(verify(pk, to_bytes("m"), Bytes(64, 0)));
+}
+
+TEST(Ed25519Edge, RejectsNonCanonicalPk) {
+  Bytes bad_pk(32, 0xff);
+  bad_pk[31] = 0x7f;  // y >= p
+  EXPECT_FALSE(verify(bad_pk, to_bytes("m"), Bytes(64, 1)));
+}
+
+TEST(Ed25519Edge, SignRejectsBadSeedSize) {
+  EXPECT_THROW((void)sign(Bytes(31, 0), to_bytes("m")),
+               std::invalid_argument);
+  EXPECT_THROW((void)derive_public(Bytes(33, 0)), std::invalid_argument);
+}
+
+TEST(Ed25519Edge, EmptyMessageRoundtrip) {
+  const Bytes seed = from_hex(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  const auto pk = derive_public(seed);
+  EXPECT_TRUE(verify(pk, Bytes{}, sign(seed, Bytes{})));
+}
+
+TEST(Ed25519Edge, CrossMessageSignatureReuseFails) {
+  const Bytes seed = from_hex(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  const auto pk = derive_public(seed);
+  const auto sig = sign(seed, to_bytes("message-1"));
+  EXPECT_FALSE(verify(pk, to_bytes("message-2"), sig));
+}
+
+}  // namespace
+}  // namespace probft::crypto::ed25519

@@ -1,0 +1,111 @@
+#include "crypto/ecvrf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/ed25519.hpp"
+
+namespace probft::crypto::ecvrf {
+namespace {
+
+Bytes seed_a() { return from_hex(
+    "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60"); }
+Bytes seed_b() { return from_hex(
+    "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb"); }
+
+TEST(Ecvrf, ProveVerifyRoundtrip) {
+  const auto seed = seed_a();
+  const auto pk = ed25519::derive_public(seed);
+  const Bytes alpha = to_bytes("view-7|prepare");
+  const auto proof = prove(seed, alpha);
+  EXPECT_EQ(proof.proof.size(), kProofSize);
+  EXPECT_EQ(proof.output.size(), kOutputSize);
+  const auto verified = verify(pk, alpha, proof.proof);
+  ASSERT_TRUE(verified.has_value());
+  EXPECT_EQ(*verified, proof.output);
+}
+
+TEST(Ecvrf, OutputIsDeterministic) {
+  const auto seed = seed_a();
+  const Bytes alpha = to_bytes("alpha");
+  EXPECT_EQ(prove(seed, alpha).output, prove(seed, alpha).output);
+  EXPECT_EQ(prove(seed, alpha).proof, prove(seed, alpha).proof);
+}
+
+TEST(Ecvrf, DistinctAlphasDistinctOutputs) {
+  const auto seed = seed_a();
+  EXPECT_NE(prove(seed, to_bytes("1|prepare")).output,
+            prove(seed, to_bytes("1|commit")).output);
+}
+
+TEST(Ecvrf, DistinctKeysDistinctOutputs) {
+  const Bytes alpha = to_bytes("1|prepare");
+  EXPECT_NE(prove(seed_a(), alpha).output, prove(seed_b(), alpha).output);
+}
+
+TEST(Ecvrf, VerifyRejectsWrongKey) {
+  const Bytes alpha = to_bytes("x");
+  const auto proof = prove(seed_a(), alpha);
+  const auto other_pk = ed25519::derive_public(seed_b());
+  EXPECT_FALSE(verify(other_pk, alpha, proof.proof).has_value());
+}
+
+TEST(Ecvrf, VerifyRejectsWrongAlpha) {
+  const auto seed = seed_a();
+  const auto pk = ed25519::derive_public(seed);
+  const auto proof = prove(seed, to_bytes("alpha-1"));
+  EXPECT_FALSE(verify(pk, to_bytes("alpha-2"), proof.proof).has_value());
+}
+
+TEST(Ecvrf, VerifyRejectsTamperedProof) {
+  const auto seed = seed_a();
+  const auto pk = ed25519::derive_public(seed);
+  const Bytes alpha = to_bytes("alpha");
+  const auto proof = prove(seed, alpha);
+  for (std::size_t i : {0UL, 32UL, 47UL, 48UL, 79UL}) {
+    Bytes bad = proof.proof;
+    bad[i] ^= 0x20;
+    EXPECT_FALSE(verify(pk, alpha, bad).has_value()) << "byte " << i;
+  }
+}
+
+TEST(Ecvrf, VerifyRejectsBadSizes) {
+  const auto pk = ed25519::derive_public(seed_a());
+  EXPECT_FALSE(verify(pk, to_bytes("a"), Bytes(79, 0)).has_value());
+  EXPECT_FALSE(verify(pk, to_bytes("a"), Bytes{}).has_value());
+  EXPECT_FALSE(verify(Bytes(31, 0), to_bytes("a"), Bytes(80, 0)).has_value());
+}
+
+TEST(Ecvrf, ProofToOutputMatchesProve) {
+  const auto proof = prove(seed_a(), to_bytes("alpha"));
+  EXPECT_EQ(proof_to_output(proof.proof), proof.output);
+}
+
+TEST(Ecvrf, UniquenessSameInputsSameProof) {
+  // VRF uniqueness: the prover cannot produce two different verifying
+  // outputs for one (key, alpha). Deterministic prove covers the honest
+  // path; here we additionally check a mauled proof never verifies to a
+  // *different* output.
+  const auto seed = seed_a();
+  const auto pk = ed25519::derive_public(seed);
+  const Bytes alpha = to_bytes("unique");
+  const auto honest = prove(seed, alpha);
+  int verified_differently = 0;
+  for (int i = 0; i < 80; ++i) {
+    Bytes mauled = honest.proof;
+    mauled[static_cast<std::size_t>(i)] ^= 1;
+    const auto out = verify(pk, alpha, mauled);
+    if (out.has_value() && *out != honest.output) ++verified_differently;
+  }
+  EXPECT_EQ(verified_differently, 0);
+}
+
+TEST(Ecvrf, EmptyAlphaSupported) {
+  const auto seed = seed_b();
+  const auto pk = ed25519::derive_public(seed);
+  const auto proof = prove(seed, Bytes{});
+  EXPECT_TRUE(verify(pk, Bytes{}, proof.proof).has_value());
+}
+
+}  // namespace
+}  // namespace probft::crypto::ecvrf

@@ -1,0 +1,118 @@
+#include "crypto/ed25519.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace probft::crypto::ed25519 {
+namespace {
+
+// RFC 8032 section 7.1, TEST 1.
+const char* kSeed1 =
+    "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60";
+const char* kPub1 =
+    "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a";
+
+// RFC 8032 section 7.1, TEST 2.
+const char* kSeed2 =
+    "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb";
+const char* kPub2 =
+    "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c";
+
+TEST(Ed25519, Rfc8032Test1PublicKey) {
+  EXPECT_EQ(to_hex(derive_public(from_hex(kSeed1))), kPub1);
+}
+
+TEST(Ed25519, Rfc8032Test2PublicKey) {
+  EXPECT_EQ(to_hex(derive_public(from_hex(kSeed2))), kPub2);
+}
+
+TEST(Ed25519, Rfc8032Test1Signature) {
+  const auto sig = sign(from_hex(kSeed1), Bytes{});
+  EXPECT_EQ(to_hex(sig),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b");
+}
+
+TEST(Ed25519, Rfc8032Test2Signature) {
+  const Bytes msg = {0x72};
+  const auto sig = sign(from_hex(kSeed2), msg);
+  EXPECT_EQ(to_hex(sig),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00");
+}
+
+TEST(Ed25519, SignVerifyRoundtrip) {
+  const auto seed = from_hex(kSeed1);
+  const auto pk = derive_public(seed);
+  const Bytes msg = to_bytes("probft consensus message");
+  const auto sig = sign(seed, msg);
+  EXPECT_TRUE(verify(pk, msg, sig));
+}
+
+TEST(Ed25519, VerifyRejectsTamperedMessage) {
+  const auto seed = from_hex(kSeed1);
+  const auto pk = derive_public(seed);
+  Bytes msg = to_bytes("original");
+  const auto sig = sign(seed, msg);
+  msg[0] ^= 1;
+  EXPECT_FALSE(verify(pk, msg, sig));
+}
+
+TEST(Ed25519, VerifyRejectsTamperedSignature) {
+  const auto seed = from_hex(kSeed1);
+  const auto pk = derive_public(seed);
+  const Bytes msg = to_bytes("message");
+  auto sig = sign(seed, msg);
+  for (std::size_t i : {0UL, 31UL, 32UL, 63UL}) {
+    Bytes bad = sig;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(verify(pk, msg, bad)) << "byte " << i;
+  }
+}
+
+TEST(Ed25519, VerifyRejectsWrongKey) {
+  const auto sig = sign(from_hex(kSeed1), to_bytes("m"));
+  EXPECT_FALSE(verify(from_hex(kPub2), to_bytes("m"), sig));
+}
+
+TEST(Ed25519, VerifyRejectsMalformedSizes) {
+  const auto seed = from_hex(kSeed1);
+  const auto pk = derive_public(seed);
+  const Bytes msg = to_bytes("m");
+  const auto sig = sign(seed, msg);
+  EXPECT_FALSE(verify(Bytes(31, 0), msg, sig));
+  EXPECT_FALSE(verify(pk, msg, Bytes(63, 0)));
+  EXPECT_FALSE(verify(pk, msg, Bytes{}));
+}
+
+TEST(Ed25519, VerifyRejectsOversizedS) {
+  const auto seed = from_hex(kSeed1);
+  const auto pk = derive_public(seed);
+  const Bytes msg = to_bytes("m");
+  auto sig = sign(seed, msg);
+  // Force S >= L by setting its top byte to 0xff (L < 2^253).
+  sig[63] = 0xff;
+  EXPECT_FALSE(verify(pk, msg, sig));
+}
+
+TEST(Ed25519, SigningIsDeterministic) {
+  const auto seed = from_hex(kSeed2);
+  const Bytes msg = to_bytes("same message");
+  EXPECT_EQ(sign(seed, msg), sign(seed, msg));
+}
+
+TEST(Ed25519, DistinctMessagesDistinctSignatures) {
+  const auto seed = from_hex(kSeed2);
+  EXPECT_NE(sign(seed, to_bytes("a")), sign(seed, to_bytes("b")));
+}
+
+TEST(Ed25519, LargeMessage) {
+  const auto seed = from_hex(kSeed1);
+  const auto pk = derive_public(seed);
+  const Bytes msg(4096, 0x5c);
+  EXPECT_TRUE(verify(pk, msg, sign(seed, msg)));
+}
+
+}  // namespace
+}  // namespace probft::crypto::ed25519

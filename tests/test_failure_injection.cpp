@@ -1,0 +1,182 @@
+// Failure injection on the full ProBFT protocol: partitions, message
+// duplication, and hostile pre-GST scheduling. Safety must hold in every
+// scenario; liveness must resume once the fault clears / GST passes.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+
+namespace probft::sim {
+namespace {
+
+ClusterConfig base_config(std::uint32_t n, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.protocol = Protocol::kProbft;
+  cfg.n = n;
+  cfg.f = 0;
+  cfg.seed = seed;
+  cfg.sync.base_timeout = 80'000;
+  cfg.latency.min_delay = 500;
+  cfg.latency.max_delay_post = 4'000;
+  return cfg;
+}
+
+TEST(FailureInjection, MessageDuplicationIsHarmless) {
+  // Every message duplicated with 50% probability: quorum counting is
+  // per-sender, so duplicates must not create phantom quorums or double
+  // decisions.
+  auto cfg = base_config(12, 5);
+  cfg.latency.duplicate_prob = 0.5;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_TRUE(cluster.agreement_ok());
+  std::set<ReplicaId> deciders;
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_TRUE(deciders.insert(d.replica).second);
+  }
+}
+
+TEST(FailureInjection, FullDuplicationStillOneDecisionEach) {
+  auto cfg = base_config(8, 6);
+  cfg.latency.duplicate_prob = 1.0;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_EQ(cluster.decisions().size(), 8U);
+  EXPECT_TRUE(cluster.agreement_ok());
+}
+
+TEST(FailureInjection, TemporaryPartitionHealsAndDecides) {
+  // Replicas {1..4} and {5..10} are partitioned for the first 200 ms (the
+  // filter drops cross-partition traffic); after healing, consensus must
+  // complete with agreement.
+  auto cfg = base_config(10, 7);
+  cfg.l = 1.5;
+  Cluster cluster(cfg);
+  auto& net = cluster.network();
+  auto& sim = cluster.simulator();
+  net.set_filter([&sim](ReplicaId from, ReplicaId to, std::uint8_t) {
+    if (sim.now() >= 200'000) return false;  // healed
+    const bool from_a = from <= 4, to_a = to <= 4;
+    return from_a != to_a;
+  });
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion(/*deadline=*/300'000'000));
+  EXPECT_TRUE(cluster.agreement_ok());
+}
+
+TEST(FailureInjection, MinorityPartitionCannotDecideAlone) {
+  // Isolate replicas {1, 2, 3} of 12 (including the view-1 leader) for a
+  // long window; with l = 2 -> q = 7 > 3 no quorum can form inside the
+  // minority side.
+  auto cfg = base_config(12, 8);
+  Cluster cluster(cfg);
+  auto& net = cluster.network();
+  net.set_filter([](ReplicaId from, ReplicaId to, std::uint8_t) {
+    const bool from_minority = from <= 3, to_minority = to <= 3;
+    return from_minority != to_minority;
+  });
+  cluster.start();
+  cluster.simulator().run_until(500'000);
+  for (ReplicaId id = 1; id <= 3; ++id) {
+    const auto* replica = cluster.probft(id);
+    ASSERT_NE(replica, nullptr);
+    EXPECT_FALSE(replica->decided()) << "minority replica " << id;
+  }
+  // Heal and finish.
+  net.clear_filter();
+  EXPECT_TRUE(cluster.run_to_completion(/*deadline=*/300'000'000));
+  EXPECT_TRUE(cluster.agreement_ok());
+}
+
+TEST(FailureInjection, LossyPreGstPeriodThenRecovery) {
+  // Before GST, 40% of messages are held back until after GST and the rest
+  // take up to 150 ms; ProBFT must still terminate after GST with
+  // agreement intact.
+  auto cfg = base_config(10, 9);
+  cfg.latency.gst = 400'000;
+  cfg.latency.max_delay_pre = 150'000;
+  cfg.latency.hold_until_gst_prob = 0.4;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion(/*deadline=*/400'000'000));
+  EXPECT_TRUE(cluster.agreement_ok());
+}
+
+TEST(FailureInjection, DuplicationPlusAttackStillSafe) {
+  // Equivocation attack combined with duplicated messages (duplicates make
+  // conflicting evidence spread faster, never slower).
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto cfg = base_config(13, seed);
+    cfg.f = 4;
+    cfg.l = 1.5;
+    cfg.latency.duplicate_prob = 0.4;
+    cfg.split = SplitStrategy::kOptimal;
+    cfg.behaviors.assign(13, Behavior::kHonest);
+    cfg.behaviors[0] = Behavior::kEquivocateLeader;
+    for (int i = 1; i < 4; ++i) {
+      cfg.behaviors[i] = Behavior::kColludeFollower;
+    }
+    Cluster cluster(cfg);
+    cluster.start();
+    cluster.run_to_completion(/*deadline=*/120'000'000);
+    EXPECT_TRUE(cluster.agreement_ok()) << "seed " << seed;
+  }
+}
+
+TEST(FailureInjection, DropAllPrepareFromOneReplica) {
+  // A targeted outage: replica 5's Prepare messages all vanish. With n=12
+  // and q = ceil(1.5*sqrt(12)) = 6 <= 11 remaining senders, consensus
+  // still completes.
+  auto cfg = base_config(12, 10);
+  cfg.l = 1.5;
+  Cluster cluster(cfg);
+  cluster.network().set_filter([](ReplicaId from, ReplicaId, std::uint8_t tag) {
+    return from == 5 && tag == core::tag_byte(core::MsgTag::kPrepare);
+  });
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion(/*deadline=*/120'000'000));
+  EXPECT_TRUE(cluster.agreement_ok());
+}
+
+TEST(FailureInjection, PbftSurvivesDuplication) {
+  auto cfg = base_config(7, 11);
+  cfg.protocol = Protocol::kPbft;
+  cfg.f = 2;
+  cfg.latency.duplicate_prob = 0.7;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_TRUE(cluster.agreement_ok());
+}
+
+TEST(FailureInjection, HotStuffSurvivesDuplication) {
+  auto cfg = base_config(7, 12);
+  cfg.protocol = Protocol::kHotStuff;
+  cfg.f = 2;
+  cfg.sync.base_timeout = 200'000;
+  cfg.latency.duplicate_prob = 0.7;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_TRUE(cluster.agreement_ok());
+}
+
+TEST(FailureInjection, NetworkDuplicationStats) {
+  // Duplication inflates deliveries, not sends.
+  net::Simulator sim;
+  net::LatencyConfig cfg;
+  cfg.duplicate_prob = 1.0;
+  net::Network net(sim, 2, 1, cfg);
+  int received = 0;
+  net.register_handler(2, [&](ReplicaId, std::uint8_t, const Bytes&) {
+    ++received;
+  });
+  for (int i = 0; i < 10; ++i) net.send(1, 2, 0, {});
+  sim.run();
+  EXPECT_EQ(net.stats().sends, 10U);
+  EXPECT_EQ(received, 20);
+}
+
+}  // namespace
+}  // namespace probft::sim

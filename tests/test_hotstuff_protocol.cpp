@@ -1,0 +1,120 @@
+// Single-shot HotStuff baseline integration tests.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+
+namespace probft::sim {
+namespace {
+
+ClusterConfig base_config(std::uint32_t n, std::uint32_t f,
+                          std::uint64_t seed = 1) {
+  ClusterConfig cfg;
+  cfg.protocol = Protocol::kHotStuff;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.seed = seed;
+  cfg.sync.base_timeout = 200'000;  // more steps: allow a longer view
+  cfg.latency.min_delay = 500;
+  cfg.latency.max_delay_post = 5'000;
+  return cfg;
+}
+
+TEST(HotStuffProtocol, HappyPathDecides) {
+  Cluster cluster(base_config(4, 1));
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_TRUE(cluster.agreement_ok());
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_EQ(d.view, 1U);
+  }
+}
+
+TEST(HotStuffProtocol, ToleratesFSilent) {
+  auto cfg = base_config(10, 3, 5);
+  cfg.behaviors.assign(10, Behavior::kHonest);
+  cfg.behaviors[7] = Behavior::kSilent;
+  cfg.behaviors[8] = Behavior::kSilent;
+  cfg.behaviors[9] = Behavior::kSilent;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_TRUE(cluster.agreement_ok());
+  EXPECT_EQ(cluster.correct_decided_count(), 7U);
+}
+
+TEST(HotStuffProtocol, SilentLeaderViewChange) {
+  auto cfg = base_config(7, 2, 9);
+  cfg.behaviors.assign(7, Behavior::kHonest);
+  cfg.behaviors[0] = Behavior::kSilent;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_TRUE(cluster.agreement_ok());
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_GE(d.view, 2U);
+  }
+}
+
+TEST(HotStuffProtocol, LinearMessageComplexity) {
+  Cluster cluster(base_config(20, 0, 3));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_to_completion());
+  // All flows are leader-to-all or all-to-leader: total messages must be
+  // O(n), far below PBFT's 2n^2 (= 800 here). 8 flows of <= n-1 messages.
+  EXPECT_LE(cluster.network().stats().sends, 8U * 19U);
+  EXPECT_GT(cluster.network().stats().sends, 4U * 19U);
+}
+
+TEST(HotStuffProtocol, FewerMessagesThanProbftAndPbft) {
+  const std::uint32_t n = 30;
+  std::uint64_t counts[3];
+  int i = 0;
+  for (Protocol proto :
+       {Protocol::kHotStuff, Protocol::kProbft, Protocol::kPbft}) {
+    auto cfg = base_config(n, 0, 3);
+    cfg.protocol = proto;
+    Cluster cluster(cfg);
+    cluster.start();
+    EXPECT_TRUE(cluster.run_to_completion());
+    counts[i++] = cluster.network().stats().sends;
+  }
+  EXPECT_LT(counts[0], counts[1]);  // HotStuff < ProBFT
+  EXPECT_LT(counts[1], counts[2]);  // ProBFT < PBFT
+}
+
+TEST(HotStuffProtocol, LockedQcSetAfterDecision) {
+  Cluster cluster(base_config(4, 1, 2));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_to_completion());
+  for (ReplicaId id = 1; id <= 4; ++id) {
+    const auto* replica = cluster.hotstuff(id);
+    ASSERT_NE(replica, nullptr);
+    EXPECT_TRUE(replica->decided());
+    EXPECT_FALSE(replica->locked_qc().is_null());
+  }
+}
+
+TEST(HotStuffProtocol, DeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Cluster cluster(base_config(7, 2, seed));
+    cluster.start();
+    cluster.run_to_completion();
+    std::vector<TimePoint> times;
+    for (const auto& d : cluster.decisions()) times.push_back(d.at);
+    return times;
+  };
+  EXPECT_EQ(run_once(4), run_once(4));
+}
+
+TEST(HotStuffProtocol, SurvivesPreGstAsynchrony) {
+  auto cfg = base_config(7, 2, 13);
+  cfg.latency.gst = 400'000;
+  cfg.latency.max_delay_pre = 200'000;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion(/*deadline=*/300'000'000));
+  EXPECT_TRUE(cluster.agreement_ok());
+}
+
+}  // namespace
+}  // namespace probft::sim

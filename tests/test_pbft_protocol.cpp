@@ -1,0 +1,124 @@
+// Single-shot PBFT baseline integration tests.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+
+namespace probft::sim {
+namespace {
+
+ClusterConfig base_config(std::uint32_t n, std::uint32_t f,
+                          std::uint64_t seed = 1) {
+  ClusterConfig cfg;
+  cfg.protocol = Protocol::kPbft;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.seed = seed;
+  cfg.sync.base_timeout = 100'000;
+  cfg.latency.min_delay = 500;
+  cfg.latency.max_delay_post = 5'000;
+  return cfg;
+}
+
+TEST(PbftProtocol, HappyPathDecidesInViewOne) {
+  Cluster cluster(base_config(4, 1));
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_TRUE(cluster.agreement_ok());
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_EQ(d.view, 1U);
+  }
+}
+
+TEST(PbftProtocol, ToleratesFSilentReplicas) {
+  // n = 3f+1 = 10, f = 3 silent: classical BFT resilience bound.
+  auto cfg = base_config(10, 3, 5);
+  cfg.behaviors.assign(10, Behavior::kHonest);
+  cfg.behaviors[7] = Behavior::kSilent;
+  cfg.behaviors[8] = Behavior::kSilent;
+  cfg.behaviors[9] = Behavior::kSilent;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_TRUE(cluster.agreement_ok());
+  EXPECT_EQ(cluster.correct_decided_count(), 7U);
+}
+
+TEST(PbftProtocol, SilentLeaderViewChange) {
+  auto cfg = base_config(7, 2, 9);
+  cfg.behaviors.assign(7, Behavior::kHonest);
+  cfg.behaviors[0] = Behavior::kSilent;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_TRUE(cluster.agreement_ok());
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_GE(d.view, 2U);
+  }
+}
+
+TEST(PbftProtocol, QuadraticMessageComplexity) {
+  Cluster cluster(base_config(20, 0, 3));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_to_completion());
+  const auto& stats = cluster.network().stats();
+  // Propose: n-1. Prepare/Commit: each replica broadcasts to n-1 others.
+  EXPECT_EQ(stats.sends_for(core::tag_byte(core::MsgTag::kPropose)), 19U);
+  EXPECT_EQ(stats.sends_for(core::tag_byte(core::MsgTag::kPrepare)),
+            20U * 19U);
+  EXPECT_EQ(stats.sends_for(core::tag_byte(core::MsgTag::kCommit)),
+            20U * 19U);
+}
+
+TEST(PbftProtocol, DeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Cluster cluster(base_config(7, 2, seed));
+    cluster.start();
+    cluster.run_to_completion();
+    std::vector<TimePoint> times;
+    for (const auto& d : cluster.decisions()) times.push_back(d.at);
+    return times;
+  };
+  EXPECT_EQ(run_once(3), run_once(3));
+}
+
+TEST(PbftProtocol, EquivocatingLeaderCannotSplitDecision) {
+  // PBFT under the same Fig. 4 attack: deterministic quorums intersect, so
+  // no two correct replicas can decide differently — and typically nobody
+  // decides in view 1, with a later view resolving.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto cfg = base_config(10, 3, seed);
+    cfg.behaviors.assign(10, Behavior::kHonest);
+    cfg.behaviors[0] = Behavior::kEquivocateLeader;
+    cfg.split = SplitStrategy::kHalves;
+    Cluster cluster(cfg);
+    cluster.start();
+    cluster.run_to_completion(/*deadline=*/60'000'000);
+    EXPECT_TRUE(cluster.agreement_ok()) << "seed " << seed;
+  }
+}
+
+TEST(PbftProtocol, SurvivesPreGstAsynchrony) {
+  auto cfg = base_config(7, 2, 13);
+  cfg.latency.gst = 400'000;
+  cfg.latency.max_delay_pre = 200'000;
+  cfg.latency.hold_until_gst_prob = 0.25;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion(/*deadline=*/300'000'000));
+  EXPECT_TRUE(cluster.agreement_ok());
+}
+
+TEST(PbftProtocol, PreparedViewTracksProgress) {
+  Cluster cluster(base_config(4, 1, 2));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_to_completion());
+  for (ReplicaId id = 1; id <= 4; ++id) {
+    const auto* replica = cluster.pbft(id);
+    ASSERT_NE(replica, nullptr);
+    EXPECT_TRUE(replica->decided());
+    EXPECT_GE(replica->prepared_view(), 1U);
+  }
+}
+
+}  // namespace
+}  // namespace probft::sim

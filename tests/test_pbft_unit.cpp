@@ -1,0 +1,205 @@
+// Direct-drive unit tests for the PBFT baseline replica: adversarial
+// messages, quorum thresholds, and view-change value selection.
+#include <gtest/gtest.h>
+
+#include "protocol_test_util.hpp"
+
+namespace probft::pbft {
+namespace {
+
+using core::MsgTag;
+using core::tag_byte;
+using testutil::TestBed;
+
+class PbftUnitTest : public ::testing::Test {
+ protected:
+  // n = 9, f = 2 -> quorum = ceil((9+2+1)/2) = 6.
+  PbftUnitTest() : bed_(9, 2) {
+    replica_ = bed_.make_pbft_replica(3);
+    replica_->start();
+  }
+
+  void deliver_prepares(const Bytes& value, int count) {
+    int sent = 0;
+    for (ReplicaId s = 1; s <= 9 && sent < count; ++s) {
+      if (s == 3) continue;  // own prepare is counted internally
+      replica_->on_message(
+          s, tag_byte(MsgTag::kPrepare),
+          bed_.make_plain_phase(MsgTag::kPrepare, 1, value, s, 1).to_bytes());
+      ++sent;
+    }
+  }
+
+  void deliver_commits(const Bytes& value, int count) {
+    int sent = 0;
+    for (ReplicaId s = 1; s <= 9 && sent < count; ++s) {
+      if (s == 3) continue;
+      replica_->on_message(
+          s, tag_byte(MsgTag::kCommit),
+          bed_.make_plain_phase(MsgTag::kCommit, 1, value, s, 1).to_bytes());
+      ++sent;
+    }
+  }
+
+  TestBed bed_;
+  std::unique_ptr<PbftReplica> replica_;
+};
+
+TEST_F(PbftUnitTest, DecidesAfterQuorumOfPreparesAndCommits) {
+  const Bytes value = to_bytes("v");
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, value, 1).to_bytes());
+  deliver_prepares(value, 5);  // + own prepare = 6 = quorum
+  EXPECT_EQ(replica_->prepared_view(), 1U);
+  EXPECT_FALSE(replica_->decided());
+  deliver_commits(value, 5);  // + own commit = 6
+  ASSERT_TRUE(replica_->decided());
+  EXPECT_EQ(replica_->decided_value(), value);
+}
+
+TEST_F(PbftUnitTest, SubQuorumPreparesDoNotPrepare) {
+  const Bytes value = to_bytes("v");
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, value, 1).to_bytes());
+  deliver_prepares(value, 4);  // + own = 5 < 6
+  EXPECT_EQ(replica_->prepared_view(), 0U);
+}
+
+TEST_F(PbftUnitTest, CommitsBeforePreparedDoNotDecide) {
+  const Bytes value = to_bytes("v");
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, value, 1).to_bytes());
+  deliver_commits(value, 8);
+  EXPECT_FALSE(replica_->decided());  // never prepared, commits buffered
+  deliver_prepares(value, 5);
+  EXPECT_TRUE(replica_->decided());  // buffered commits now apply
+}
+
+TEST_F(PbftUnitTest, MismatchedValuePreparesIgnored) {
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, to_bytes("good"), 1).to_bytes());
+  deliver_prepares(to_bytes("evil"), 8);
+  EXPECT_EQ(replica_->prepared_view(), 0U);
+}
+
+TEST_F(PbftUnitTest, SecondProposalFromLeaderIgnored) {
+  // PBFT accepts only the first proposal per view (no blocking needed:
+  // deterministic quorums cannot split).
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, to_bytes("first"), 1).to_bytes());
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, to_bytes("second"), 1).to_bytes());
+  deliver_prepares(to_bytes("first"), 5);
+  deliver_commits(to_bytes("first"), 5);
+  ASSERT_TRUE(replica_->decided());
+  EXPECT_EQ(replica_->decided_value(), to_bytes("first"));
+}
+
+TEST_F(PbftUnitTest, ForgedSignaturesRejectedEverywhere) {
+  const Bytes value = to_bytes("v");
+  auto propose = bed_.make_propose(1, value, 1);
+  propose.sender_sig[0] ^= 1;
+  replica_->on_message(1, tag_byte(MsgTag::kPropose), propose.to_bytes());
+  EXPECT_EQ(replica_->current_view(), 1U);
+
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, value, 1).to_bytes());
+  auto prepare = bed_.make_plain_phase(MsgTag::kPrepare, 1, value, 4, 1);
+  prepare.sender_sig[1] ^= 1;
+  for (int i = 0; i < 8; ++i) {
+    replica_->on_message(4, tag_byte(MsgTag::kPrepare), prepare.to_bytes());
+  }
+  EXPECT_EQ(replica_->prepared_view(), 0U);
+}
+
+TEST_F(PbftUnitTest, DuplicatePreparesCountOnce) {
+  const Bytes value = to_bytes("v");
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, value, 1).to_bytes());
+  const auto prepare =
+      bed_.make_plain_phase(MsgTag::kPrepare, 1, value, 4, 1);
+  for (int i = 0; i < 10; ++i) {
+    replica_->on_message(4, tag_byte(MsgTag::kPrepare), prepare.to_bytes());
+  }
+  EXPECT_EQ(replica_->prepared_view(), 0U);  // 1 distinct + own = 2 < 6
+}
+
+TEST_F(PbftUnitTest, NonLeaderProposalRejected) {
+  replica_->on_message(5, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, to_bytes("v"), 5).to_bytes());
+  deliver_prepares(to_bytes("v"), 8);
+  EXPECT_EQ(replica_->prepared_view(), 0U);  // never voted
+}
+
+TEST_F(PbftUnitTest, GarbageMessagesDropped) {
+  replica_->on_message(2, tag_byte(MsgTag::kPropose), Bytes{1, 2, 3});
+  replica_->on_message(2, tag_byte(MsgTag::kPrepare), Bytes(500, 0xee));
+  replica_->on_message(2, 77, Bytes{});
+  EXPECT_EQ(replica_->current_view(), 1U);
+  EXPECT_FALSE(replica_->decided());
+}
+
+TEST_F(PbftUnitTest, PreparesBroadcastAfterVote) {
+  bed_.outbox.clear();
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, to_bytes("v"), 1).to_bytes());
+  bool prepare_broadcast = false;
+  for (const auto& sent : bed_.outbox) {
+    if (sent.tag == tag_byte(MsgTag::kPrepare) && sent.to == 0) {
+      prepare_broadcast = true;
+      // PBFT phase messages carry no VRF fields.
+      const auto msg = core::PhaseMsg::from_bytes(sent.payload);
+      EXPECT_TRUE(msg.sample.empty());
+      EXPECT_TRUE(msg.vrf_proof.empty());
+    }
+  }
+  EXPECT_TRUE(prepare_broadcast);
+}
+
+TEST_F(PbftUnitTest, ViewChangeSelectsHighestPreparedView) {
+  // Drive replica 2 as leader of view 2 with NewLeader messages claiming
+  // different prepared views: the freshest certificate must win.
+  auto leader = bed_.make_pbft_replica(2);
+  leader->start();
+  // Force into view 2.
+  for (ReplicaId s = 1; s <= 9; ++s) {
+    if (s == 2) continue;
+    core::WishMsg wish;
+    wish.view = 2;
+    wish.sender = s;
+    wish.sender_sig = bed_.suite().sign(bed_.secret(s), wish.signing_bytes());
+    leader->on_message(s, tag_byte(MsgTag::kWish), wish.to_bytes());
+  }
+  ASSERT_EQ(leader->current_view(), 2U);
+  bed_.outbox.clear();
+
+  // Build PBFT prepared certs: quorum-many plain prepares.
+  auto make_cert = [this](View v, const Bytes& val) {
+    std::vector<core::PhaseMsg> cert;
+    for (ReplicaId s = 1; s <= 6; ++s) {
+      cert.push_back(bed_.make_plain_phase(MsgTag::kPrepare, v, val, s,
+                                           leader_of(v, 9)));
+    }
+    return cert;
+  };
+  leader->on_message(
+      4, tag_byte(MsgTag::kNewLeader),
+      bed_.make_new_leader(2, 4, 1, to_bytes("old"),
+                           make_cert(1, to_bytes("old")))
+          .to_bytes());
+  for (ReplicaId s = 5; s <= 9; ++s) {
+    leader->on_message(s, tag_byte(MsgTag::kNewLeader),
+                       bed_.make_new_leader(2, s).to_bytes());
+  }
+  bool proposed = false;
+  for (const auto& sent : bed_.outbox) {
+    if (sent.tag != tag_byte(MsgTag::kPropose)) continue;
+    const auto msg = core::ProposeMsg::from_bytes(sent.payload);
+    EXPECT_EQ(msg.proposal.value, to_bytes("old"));
+    proposed = true;
+  }
+  EXPECT_TRUE(proposed);
+}
+
+}  // namespace
+}  // namespace probft::pbft

@@ -1,0 +1,182 @@
+// Unit tests for the paper's predicates (§3.2): safeProposal,
+// validNewLeader, prepared. Uses n = 9, l = 3 so q = 9 = n and s = n: every
+// VRF sample covers every replica, making certificate construction
+// deterministic.
+#include <gtest/gtest.h>
+
+#include "protocol_test_util.hpp"
+
+namespace probft::core {
+namespace {
+
+using testutil::TestBed;
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  PredicateTest() : bed_(9, 2, /*o=*/1.7, /*l=*/3.0) {
+    replica_ = bed_.make_replica(2);
+    replica_->start();  // enters view 1
+  }
+
+  TestBed bed_;
+  std::unique_ptr<Replica> replica_;
+};
+
+TEST_F(PredicateTest, ViewOneProposalFromLeaderIsSafe) {
+  const auto m = bed_.make_propose(1, to_bytes("v"), 1);
+  EXPECT_TRUE(replica_->safe_proposal(m));
+}
+
+TEST_F(PredicateTest, RejectsNonLeaderSender) {
+  // leader(1) = 1; replica 3 proposing is unsafe.
+  const auto m = bed_.make_propose(1, to_bytes("v"), 3);
+  EXPECT_FALSE(replica_->safe_proposal(m));
+}
+
+TEST_F(PredicateTest, RejectsInvalidValue) {
+  const auto m = bed_.make_propose(1, Bytes{}, 1);  // empty fails valid()
+  EXPECT_FALSE(replica_->safe_proposal(m));
+}
+
+TEST_F(PredicateTest, RejectsForgedLeaderSignature) {
+  auto m = bed_.make_propose(1, to_bytes("v"), 1);
+  m.proposal.leader_sig[0] ^= 1;
+  EXPECT_FALSE(replica_->safe_proposal(m));
+}
+
+TEST_F(PredicateTest, ViewTwoNeedsJustification) {
+  const auto m = bed_.make_propose(2, to_bytes("v"), 2);
+  EXPECT_FALSE(replica_->safe_proposal(m));  // |M| = 0 < det quorum
+}
+
+TEST_F(PredicateTest, ViewTwoAcceptsQuorumOfEmptyNewLeaders) {
+  // det quorum for n=9, f=2 is ceil(12/2) = 6.
+  std::vector<NewLeaderMsg> m_set;
+  for (ReplicaId s = 1; s <= 6; ++s) {
+    m_set.push_back(bed_.make_new_leader(2, s));
+  }
+  const auto m = bed_.make_propose(2, to_bytes("fresh"), 2, m_set);
+  EXPECT_TRUE(replica_->safe_proposal(m));
+}
+
+TEST_F(PredicateTest, ViewTwoRejectsDuplicateSenders) {
+  std::vector<NewLeaderMsg> m_set;
+  for (int i = 0; i < 6; ++i) {
+    m_set.push_back(bed_.make_new_leader(2, 1));  // same sender six times
+  }
+  const auto m = bed_.make_propose(2, to_bytes("fresh"), 2, m_set);
+  EXPECT_FALSE(replica_->safe_proposal(m));
+}
+
+TEST_F(PredicateTest, ViewTwoEnforcesPreparedValue) {
+  // One NewLeader reports value "locked" prepared in view 1 with a valid
+  // certificate: the leader MUST propose "locked".
+  const Bytes locked = to_bytes("locked");
+  auto cert = bed_.make_cert(1, locked, /*target=*/4, /*leader=*/1);
+  std::vector<NewLeaderMsg> m_set;
+  m_set.push_back(bed_.make_new_leader(2, 4, 1, locked, cert));
+  for (ReplicaId s = 5; s <= 9; ++s) {
+    m_set.push_back(bed_.make_new_leader(2, s));
+  }
+  const auto good = bed_.make_propose(2, locked, 2, m_set);
+  EXPECT_TRUE(replica_->safe_proposal(good));
+  const auto bad = bed_.make_propose(2, to_bytes("other"), 2, m_set);
+  EXPECT_FALSE(replica_->safe_proposal(bad));
+}
+
+TEST_F(PredicateTest, ModePicksMostFrequentValueOfHighestView) {
+  // Two values prepared in view 1: "a" by two replicas, "b" by one. The
+  // leader must propose "a".
+  const Bytes a = to_bytes("a"), b = to_bytes("b");
+  std::vector<NewLeaderMsg> m_set;
+  m_set.push_back(
+      bed_.make_new_leader(2, 3, 1, a, bed_.make_cert(1, a, 3, 1)));
+  m_set.push_back(
+      bed_.make_new_leader(2, 4, 1, a, bed_.make_cert(1, a, 4, 1)));
+  m_set.push_back(
+      bed_.make_new_leader(2, 5, 1, b, bed_.make_cert(1, b, 5, 1)));
+  for (ReplicaId s = 6; s <= 8; ++s) {
+    m_set.push_back(bed_.make_new_leader(2, s));
+  }
+  EXPECT_TRUE(
+      replica_->safe_proposal(bed_.make_propose(2, a, 2, m_set)));
+  EXPECT_FALSE(
+      replica_->safe_proposal(bed_.make_propose(2, b, 2, m_set)));
+}
+
+TEST_F(PredicateTest, ValidNewLeaderEmptyPrepared) {
+  EXPECT_TRUE(replica_->valid_new_leader(bed_.make_new_leader(2, 3)));
+}
+
+TEST_F(PredicateTest, ValidNewLeaderWithCert) {
+  const Bytes val = to_bytes("x");
+  const auto cert = bed_.make_cert(1, val, 3, 1);
+  EXPECT_TRUE(replica_->valid_new_leader(
+      bed_.make_new_leader(2, 3, 1, val, cert)));
+}
+
+TEST_F(PredicateTest, ValidNewLeaderRejectsFuturePreparedView) {
+  const Bytes val = to_bytes("x");
+  const auto cert = bed_.make_cert(1, val, 3, 1);
+  // prepared_view (2) >= view (2) must be rejected.
+  EXPECT_FALSE(replica_->valid_new_leader(
+      bed_.make_new_leader(2, 3, 2, val, cert)));
+}
+
+TEST_F(PredicateTest, ValidNewLeaderRejectsCertForOtherReplica) {
+  // Certificate addressed to replica 4 cannot be claimed by replica 3
+  // unless every sample happens to include 3 — break it by dropping the
+  // cert check target: craft cert for target 4, claim as sender 5 whose
+  // membership is not guaranteed... with s == n all samples cover everyone,
+  // so instead corrupt one prepare's sample membership directly.
+  const Bytes val = to_bytes("x");
+  auto cert = bed_.make_cert(1, val, 4, 1);
+  ASSERT_FALSE(cert.empty());
+  // Remove replica 4 from the first prepare's claimed sample: the VRF proof
+  // no longer matches the claimed sample.
+  auto& sample = cert[0].sample;
+  sample.erase(std::remove(sample.begin(), sample.end(), 4), sample.end());
+  EXPECT_FALSE(replica_->valid_new_leader(
+      bed_.make_new_leader(2, 4, 1, val, cert)));
+}
+
+TEST_F(PredicateTest, PreparedCertValidHappyPath) {
+  const Bytes val = to_bytes("x");
+  const auto cert = bed_.make_cert(1, val, 7, 1);
+  EXPECT_TRUE(replica_->prepared_cert_valid(cert, 1, val, 7));
+}
+
+TEST_F(PredicateTest, PreparedCertRejectsTooFew) {
+  const Bytes val = to_bytes("x");
+  auto cert = bed_.make_cert(1, val, 7, 1);
+  cert.pop_back();
+  EXPECT_FALSE(replica_->prepared_cert_valid(cert, 1, val, 7));
+}
+
+TEST_F(PredicateTest, PreparedCertRejectsMixedValues) {
+  const Bytes val = to_bytes("x");
+  auto cert = bed_.make_cert(1, val, 7, 1);
+  auto other = bed_.make_cert(1, to_bytes("y"), 7, 1);
+  cert[0] = other[0];
+  EXPECT_FALSE(replica_->prepared_cert_valid(cert, 1, val, 7));
+}
+
+TEST_F(PredicateTest, PreparedCertRejectsDuplicateSenders) {
+  const Bytes val = to_bytes("x");
+  auto cert = bed_.make_cert(1, val, 7, 1);
+  for (auto& m : cert) m = cert[0];  // all from the same sender
+  EXPECT_FALSE(replica_->prepared_cert_valid(cert, 1, val, 7));
+}
+
+TEST_F(PredicateTest, PreparedCertRejectsWrongView) {
+  const Bytes val = to_bytes("x");
+  const auto cert = bed_.make_cert(1, val, 7, 1);
+  EXPECT_FALSE(replica_->prepared_cert_valid(cert, 2, val, 7));
+}
+
+TEST_F(PredicateTest, PreparedCertRejectsViewZero) {
+  EXPECT_FALSE(replica_->prepared_cert_valid({}, 0, to_bytes("x"), 7));
+}
+
+}  // namespace
+}  // namespace probft::core

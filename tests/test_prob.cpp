@@ -1,0 +1,136 @@
+#include "quorum/prob.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace probft::quorum {
+namespace {
+
+TEST(LnChoose, SmallValues) {
+  EXPECT_NEAR(std::exp(ln_choose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(ln_choose(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(ln_choose(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(ln_choose(52, 5)), 2598960.0, 1e-3);
+}
+
+TEST(LnChoose, OutOfRangeIsMinusInf) {
+  EXPECT_TRUE(std::isinf(ln_choose(5, 6)));
+  EXPECT_TRUE(std::isinf(ln_choose(5, -1)));
+}
+
+TEST(BinomPmf, MatchesHandComputation) {
+  // Bin(4, 0.5): P(X=2) = 6/16.
+  EXPECT_NEAR(binom_pmf(4, 0.5, 2), 0.375, 1e-12);
+  // Bin(3, 0.2): P(X=0) = 0.512.
+  EXPECT_NEAR(binom_pmf(3, 0.2, 0), 0.512, 1e-12);
+}
+
+TEST(BinomPmf, DegenerateProbabilities) {
+  EXPECT_EQ(binom_pmf(5, 0.0, 0), 1.0);
+  EXPECT_EQ(binom_pmf(5, 0.0, 1), 0.0);
+  EXPECT_EQ(binom_pmf(5, 1.0, 5), 1.0);
+  EXPECT_EQ(binom_pmf(5, 1.0, 4), 0.0);
+}
+
+TEST(BinomPmf, SumsToOne) {
+  double total = 0;
+  for (int k = 0; k <= 30; ++k) total += binom_pmf(30, 0.37, k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(BinomCdf, MonotoneAndBounded) {
+  double prev = 0;
+  for (int k = 0; k <= 50; ++k) {
+    const double c = binom_cdf(50, 0.3, k);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(binom_cdf(50, 0.3, 50), 1.0, 1e-12);
+}
+
+TEST(BinomTail, ComplementsCdf) {
+  for (int k = 0; k <= 20; ++k) {
+    EXPECT_NEAR(binom_tail_ge(20, 0.4, k) + binom_cdf(20, 0.4, k - 1), 1.0,
+                1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(BinomTail, EdgeCases) {
+  EXPECT_EQ(binom_tail_ge(10, 0.5, 0), 1.0);
+  EXPECT_EQ(binom_tail_ge(10, 0.5, 11), 0.0);
+}
+
+TEST(Hypergeom, PmfMatchesHandComputation) {
+  // Draw 2 from 5 (2 marked): P(X=1) = C(2,1)C(3,1)/C(5,2) = 6/10.
+  EXPECT_NEAR(hypergeom_pmf(5, 2, 2, 1), 0.6, 1e-12);
+  EXPECT_NEAR(hypergeom_pmf(5, 2, 2, 2), 0.1, 1e-12);
+  EXPECT_NEAR(hypergeom_pmf(5, 2, 2, 0), 0.3, 1e-12);
+}
+
+TEST(Hypergeom, PmfSumsToOne) {
+  double total = 0;
+  for (int k = 0; k <= 10; ++k) total += hypergeom_pmf(30, 10, 10, k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Hypergeom, TailComplementsSum) {
+  const double tail = hypergeom_tail_ge(30, 10, 10, 4);
+  double direct = 0;
+  for (int k = 4; k <= 10; ++k) direct += hypergeom_pmf(30, 10, 10, k);
+  EXPECT_NEAR(tail, direct, 1e-12);
+}
+
+TEST(Hypergeom, RejectsBadParameters) {
+  EXPECT_THROW((void)hypergeom_pmf(5, 6, 2, 1), std::invalid_argument);
+  EXPECT_THROW((void)hypergeom_pmf(5, 2, 6, 1), std::invalid_argument);
+}
+
+TEST(Chernoff, LowerBoundDominatesExactTail) {
+  // For X ~ Bin(n, p), P(X <= (1-d) E[X]) <= exp(-d^2 E[X]/2).
+  const int n = 200;
+  const double p = 0.3;
+  const double mean = n * p;
+  for (double d : {0.1, 0.3, 0.5, 0.8}) {
+    const auto k = static_cast<std::int64_t>(std::floor((1 - d) * mean));
+    const double exact = binom_cdf(n, p, k);
+    EXPECT_LE(exact, chernoff_lower(d, mean) + 1e-12) << "d=" << d;
+  }
+}
+
+TEST(Chernoff, UpperBoundDominatesExactTail) {
+  const int n = 200;
+  const double p = 0.3;
+  const double mean = n * p;
+  for (double d : {0.1, 0.5, 1.0, 1.5}) {
+    const auto k = static_cast<std::int64_t>(std::ceil((1 + d) * mean));
+    const double exact = binom_tail_ge(n, p, k);
+    EXPECT_LE(exact, chernoff_upper(d, mean) + 1e-12) << "d=" << d;
+  }
+}
+
+TEST(Chernoff, RejectsBadArguments) {
+  EXPECT_THROW((void)chernoff_lower(0.0, 10), std::invalid_argument);
+  EXPECT_THROW((void)chernoff_lower(1.0, 10), std::invalid_argument);
+  EXPECT_THROW((void)chernoff_lower(0.5, 0), std::invalid_argument);
+  EXPECT_THROW((void)chernoff_upper(-0.1, 10), std::invalid_argument);
+}
+
+TEST(ChvatalBound, DominatesHypergeometricTail) {
+  // P(X <= E[X] - r t) <= exp(-2 r t^2) for X ~ HG(N, M, r).
+  const std::int64_t N = 100, M = 60, r = 30;
+  const double mean = static_cast<double>(r) * M / N;
+  for (double t : {0.05, 0.1, 0.2}) {
+    const auto cutoff = static_cast<std::int64_t>(std::floor(mean - r * t));
+    double exact = 0;
+    for (std::int64_t k = 0; k <= cutoff; ++k) {
+      exact += hypergeom_pmf(N, M, r, k);
+    }
+    EXPECT_LE(exact, hypergeom_chvatal_bound(r, t) + 1e-12) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace probft::quorum

@@ -1,0 +1,206 @@
+// End-to-end ProBFT integration tests on the simulated network.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/cluster.hpp"
+
+namespace probft::sim {
+namespace {
+
+ClusterConfig base_config(std::uint32_t n, std::uint32_t f,
+                          std::uint64_t seed = 1) {
+  ClusterConfig cfg;
+  cfg.protocol = Protocol::kProbft;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.seed = seed;
+  cfg.sync.base_timeout = 100'000;
+  cfg.latency.min_delay = 500;
+  cfg.latency.max_delay_post = 5'000;
+  return cfg;
+}
+
+TEST(ProbftProtocol, HappyPathSmallCluster) {
+  // n = 4, l = 2 -> q = 4 = n, s = 4: every replica needs everyone's
+  // messages; works because all replicas are honest.
+  Cluster cluster(base_config(4, 0));
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_TRUE(cluster.agreement_ok());
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_EQ(d.view, 1U);
+  }
+}
+
+TEST(ProbftProtocol, HappyPathMediumCluster) {
+  Cluster cluster(base_config(30, 0, 7));
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_TRUE(cluster.agreement_ok());
+  EXPECT_EQ(cluster.correct_decided_count(), 30U);
+}
+
+TEST(ProbftProtocol, DecidedValueIsTheLeaders) {
+  Cluster cluster(base_config(10, 0, 3));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_to_completion());
+  const auto values = cluster.decided_values();
+  ASSERT_EQ(values.size(), 1U);
+  // Leader of view 1 is replica 1: my_value ends with id bytes (0,1).
+  const Bytes& v = *values.begin();
+  EXPECT_EQ(v[v.size() - 1], 1);
+  EXPECT_EQ(v[v.size() - 2], 0);
+}
+
+TEST(ProbftProtocol, DeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Cluster cluster(base_config(12, 0, seed));
+    cluster.start();
+    cluster.run_to_completion();
+    std::vector<std::pair<ReplicaId, TimePoint>> trace;
+    for (const auto& d : cluster.decisions()) {
+      trace.emplace_back(d.replica, d.at);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+TEST(ProbftProtocol, SilentByzantineFollowersTolerated) {
+  // n = 16, f = 3 silent followers; l = 1.5 keeps q = 6 well below the 13
+  // correct senders, so quorums still form.
+  auto cfg = base_config(16, 3, 21);
+  cfg.l = 1.5;
+  cfg.behaviors.assign(16, Behavior::kHonest);
+  cfg.behaviors[13] = Behavior::kSilent;  // replicas 14..16
+  cfg.behaviors[14] = Behavior::kSilent;
+  cfg.behaviors[15] = Behavior::kSilent;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_TRUE(cluster.agreement_ok());
+  EXPECT_EQ(cluster.correct_decided_count(), 13U);
+}
+
+TEST(ProbftProtocol, SilentLeaderTriggersViewChange) {
+  // Replica 1 (leader of view 1) is silent: the synchronizer must move
+  // everyone to view 2 whose leader (replica 2) then drives a decision.
+  auto cfg = base_config(10, 2, 33);
+  cfg.l = 1.5;  // q = 5 <= 9 correct senders
+  cfg.behaviors.assign(10, Behavior::kHonest);
+  cfg.behaviors[0] = Behavior::kSilent;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion());
+  EXPECT_TRUE(cluster.agreement_ok());
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_GE(d.view, 2U);
+  }
+  const auto values = cluster.decided_values();
+  ASSERT_EQ(values.size(), 1U);
+  const Bytes& v = *values.begin();
+  EXPECT_EQ(v[v.size() - 1], 2);  // view-2 leader's value
+}
+
+TEST(ProbftProtocol, SurvivesPreGstAsynchrony) {
+  // Messages are arbitrarily delayed (up to 300ms) before GST at 500ms;
+  // liveness must resume after GST.
+  auto cfg = base_config(10, 0, 44);
+  cfg.latency.gst = 500'000;
+  cfg.latency.max_delay_pre = 300'000;
+  cfg.latency.hold_until_gst_prob = 0.3;
+  cfg.sync.base_timeout = 50'000;
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_to_completion(/*deadline=*/300'000'000));
+  EXPECT_TRUE(cluster.agreement_ok());
+}
+
+TEST(ProbftProtocol, MessageCountsMatchAnalyticModel) {
+  // Normal case (correct leader, view 1): Propose = n-1 sends, Prepare and
+  // Commit = one s-sized multicast per replica.
+  Cluster cluster(base_config(25, 0, 9));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_to_completion());
+  const auto& stats = cluster.network().stats();
+  const std::uint32_t n = 25;
+  const auto q = static_cast<std::uint32_t>(std::ceil(2.0 * 5.0));  // l√n
+  const auto s = static_cast<std::uint32_t>(std::ceil(1.7 * q));
+  EXPECT_EQ(stats.sends_for(core::tag_byte(core::MsgTag::kPropose)), n - 1U);
+  EXPECT_EQ(stats.sends_for(core::tag_byte(core::MsgTag::kPrepare)),
+            static_cast<std::uint64_t>(n) * s);
+  EXPECT_LE(stats.sends_for(core::tag_byte(core::MsgTag::kCommit)),
+            static_cast<std::uint64_t>(n) * s);
+  EXPECT_GT(stats.sends_for(core::tag_byte(core::MsgTag::kCommit)), 0U);
+  EXPECT_EQ(stats.sends_for(core::tag_byte(core::MsgTag::kNewLeader)), 0U);
+}
+
+TEST(ProbftProtocol, FarFewerMessagesThanPbft) {
+  auto probft_cfg = base_config(40, 0, 13);
+  Cluster probft_cluster(probft_cfg);
+  probft_cluster.start();
+  ASSERT_TRUE(probft_cluster.run_to_completion());
+
+  auto pbft_cfg = base_config(40, 0, 13);
+  pbft_cfg.protocol = Protocol::kPbft;
+  Cluster pbft_cluster(pbft_cfg);
+  pbft_cluster.start();
+  ASSERT_TRUE(pbft_cluster.run_to_completion());
+
+  // At n = 40 ProBFT already uses well under 70% of PBFT's messages; the
+  // gap widens with n (the Figure 1b bench covers the paper's n >= 100
+  // range where it reaches ~18-25%).
+  EXPECT_LT(static_cast<double>(probft_cluster.network().stats().sends),
+            0.7 * static_cast<double>(pbft_cluster.network().stats().sends));
+}
+
+TEST(ProbftProtocol, RunStopsAtDeadlineWithoutProgress) {
+  // Three of four replicas silent: no quorum possible; the run must
+  // terminate at the deadline rather than loop forever.
+  auto cfg = base_config(4, 1, 1);
+  cfg.behaviors = {Behavior::kHonest, Behavior::kSilent, Behavior::kSilent,
+                   Behavior::kSilent};
+  Cluster cluster(cfg);
+  cluster.start();
+  EXPECT_FALSE(cluster.run_to_completion(/*deadline=*/2'000'000));
+  EXPECT_FALSE(cluster.all_correct_decided());
+}
+
+TEST(ProbftProtocol, ValidityDecidedValueWasProposed) {
+  Cluster cluster(base_config(8, 0, 17));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_to_completion());
+  for (const auto& d : cluster.decisions()) {
+    const std::string prefix(d.value.begin(), d.value.begin() + 6);
+    EXPECT_EQ(prefix, "value-");
+  }
+}
+
+TEST(ProbftProtocol, DecideOncePerReplica) {
+  Cluster cluster(base_config(12, 0, 19));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_to_completion());
+  std::set<ReplicaId> seen;
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_TRUE(seen.insert(d.replica).second)
+        << "replica " << d.replica << " decided twice";
+  }
+}
+
+TEST(ProbftProtocol, ReplicaStateInspection) {
+  Cluster cluster(base_config(6, 0, 23));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_to_completion());
+  for (ReplicaId id = 1; id <= 6; ++id) {
+    const auto* replica = cluster.probft(id);
+    ASSERT_NE(replica, nullptr);
+    EXPECT_TRUE(replica->decided());
+    EXPECT_GE(replica->prepared_view(), 1U);
+    EXPECT_FALSE(replica->view_blocked());
+  }
+}
+
+}  // namespace
+}  // namespace probft::sim

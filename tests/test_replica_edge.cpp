@@ -1,0 +1,194 @@
+// ProBFT replica edge cases: buffering across views, vote-once semantics,
+// and resilience to stale/mis-addressed traffic.
+#include <gtest/gtest.h>
+
+#include "protocol_test_util.hpp"
+
+namespace probft::core {
+namespace {
+
+using testutil::TestBed;
+
+class ReplicaEdgeTest : public ::testing::Test {
+ protected:
+  // s == n == 9, q == 9, det quorum 6 (f = 2).
+  ReplicaEdgeTest() : bed_(9, 2, 1.7, 3.0) {
+    replica_ = bed_.make_replica(3);
+    replica_->start();
+  }
+
+  void force_view(View v) {
+    for (ReplicaId s = 1; s <= 9; ++s) {
+      if (s == 3) continue;
+      WishMsg wish;
+      wish.view = v;
+      wish.sender = s;
+      wish.sender_sig =
+          bed_.suite().sign(bed_.secret(s), wish.signing_bytes());
+      replica_->on_message(s, tag_byte(MsgTag::kWish), wish.to_bytes());
+    }
+  }
+
+  TestBed bed_;
+  std::unique_ptr<Replica> replica_;
+};
+
+TEST_F(ReplicaEdgeTest, FutureViewProposalBufferedUntilEntry) {
+  // A valid view-2 proposal (with justification) arrives while we are
+  // still in view 1; it must be consumed upon entering view 2.
+  std::vector<NewLeaderMsg> m_set;
+  for (ReplicaId s = 4; s <= 9; ++s) {
+    m_set.push_back(bed_.make_new_leader(2, s));
+  }
+  const auto propose = bed_.make_propose(2, to_bytes("future"), 2, m_set);
+  replica_->on_message(2, tag_byte(MsgTag::kPropose), propose.to_bytes());
+  EXPECT_FALSE(replica_->voted());  // still view 1
+  force_view(2);
+  EXPECT_EQ(replica_->current_view(), 2U);
+  EXPECT_TRUE(replica_->voted());  // buffered proposal applied
+}
+
+TEST_F(ReplicaEdgeTest, FuturePreparesBufferedUntilVote) {
+  const Bytes value = to_bytes("v");
+  // All prepares land before the proposal.
+  for (ReplicaId s = 1; s <= 9; ++s) {
+    replica_->on_message(
+        s, tag_byte(MsgTag::kPrepare),
+        bed_.make_phase(MsgTag::kPrepare, 1, value, s, 1).to_bytes());
+  }
+  EXPECT_EQ(replica_->prepared_view(), 0U);
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, value, 1).to_bytes());
+  EXPECT_TRUE(replica_->voted());
+  EXPECT_EQ(replica_->prepared_view(), 1U);  // buffered prepares counted
+}
+
+TEST_F(ReplicaEdgeTest, VotesOnlyOncePerView) {
+  bed_.outbox.clear();
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, to_bytes("v"), 1).to_bytes());
+  const auto first_sends = bed_.outbox.size();
+  // Re-delivering the same proposal must not multicast prepares again.
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, to_bytes("v"), 1).to_bytes());
+  EXPECT_EQ(bed_.outbox.size(), first_sends);
+}
+
+TEST_F(ReplicaEdgeTest, CommitsAloneNeverDecide) {
+  const Bytes value = to_bytes("v");
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, value, 1).to_bytes());
+  for (ReplicaId s = 1; s <= 9; ++s) {
+    replica_->on_message(
+        s, tag_byte(MsgTag::kCommit),
+        bed_.make_phase(MsgTag::kCommit, 1, value, s, 1).to_bytes());
+  }
+  // Commit quorum present, but the replica never prepared (no prepares):
+  // Algorithm 1 line 21 requires curView = preparedView.
+  EXPECT_FALSE(replica_->decided());
+}
+
+TEST_F(ReplicaEdgeTest, DecidesOnlyOnce) {
+  const Bytes value = to_bytes("v");
+  bed_.decisions.clear();
+  bed_.drive_to_decision(*replica_, 1, value, 1);
+  // Self-prepare missing: complete it manually.
+  replica_->on_message(
+      3, tag_byte(MsgTag::kPrepare),
+      bed_.make_phase(MsgTag::kPrepare, 1, value, 3, 1).to_bytes());
+  replica_->on_message(
+      3, tag_byte(MsgTag::kCommit),
+      bed_.make_phase(MsgTag::kCommit, 1, value, 3, 1).to_bytes());
+  ASSERT_TRUE(replica_->decided());
+  const auto decisions_after_first = bed_.decisions.size();
+  EXPECT_EQ(decisions_after_first, 1U);
+  // Extra commits change nothing.
+  replica_->on_message(
+      5, tag_byte(MsgTag::kCommit),
+      bed_.make_phase(MsgTag::kCommit, 1, value, 5, 1).to_bytes());
+  EXPECT_EQ(bed_.decisions.size(), 1U);
+}
+
+TEST_F(ReplicaEdgeTest, NewLeaderForWrongRecipientDropped) {
+  // Replica 3 is not the leader of view 2 (replica 2 is); NewLeader
+  // messages addressed to it must be ignored even after entering view 2.
+  force_view(2);
+  bed_.outbox.clear();
+  for (ReplicaId s = 4; s <= 9; ++s) {
+    replica_->on_message(s, tag_byte(MsgTag::kNewLeader),
+                         bed_.make_new_leader(2, s).to_bytes());
+  }
+  for (const auto& sent : bed_.outbox) {
+    EXPECT_NE(sent.tag, tag_byte(MsgTag::kPropose));
+  }
+}
+
+TEST_F(ReplicaEdgeTest, WishWithForgedSignatureIgnored) {
+  for (ReplicaId s = 1; s <= 9; ++s) {
+    if (s == 3) continue;
+    WishMsg wish;
+    wish.view = 5;
+    wish.sender = s;
+    wish.sender_sig = Bytes(32, 0x42);  // junk
+    replica_->on_message(s, tag_byte(MsgTag::kWish), wish.to_bytes());
+  }
+  EXPECT_EQ(replica_->current_view(), 1U);
+}
+
+TEST_F(ReplicaEdgeTest, WishSenderMismatchIgnored) {
+  // Wish signed by replica 5 but delivered as "from 6": dropped (prevents
+  // replay-based wish inflation).
+  WishMsg wish;
+  wish.view = 5;
+  wish.sender = 5;
+  wish.sender_sig = bed_.suite().sign(bed_.secret(5), wish.signing_bytes());
+  for (int i = 0; i < 8; ++i) {
+    replica_->on_message(6, tag_byte(MsgTag::kWish), wish.to_bytes());
+  }
+  EXPECT_EQ(replica_->current_view(), 1U);
+}
+
+TEST_F(ReplicaEdgeTest, OldViewPreparesPrunedAfterViewChange) {
+  const Bytes value = to_bytes("v");
+  // Partial prepares in view 1 (no proposal: buffered).
+  for (ReplicaId s = 1; s <= 4; ++s) {
+    replica_->on_message(
+        s, tag_byte(MsgTag::kPrepare),
+        bed_.make_phase(MsgTag::kPrepare, 1, value, s, 1).to_bytes());
+  }
+  force_view(2);
+  // Late view-1 proposal + remaining prepares: all stale, no vote.
+  replica_->on_message(1, tag_byte(MsgTag::kPropose),
+                       bed_.make_propose(1, value, 1).to_bytes());
+  for (ReplicaId s = 5; s <= 9; ++s) {
+    replica_->on_message(
+        s, tag_byte(MsgTag::kPrepare),
+        bed_.make_phase(MsgTag::kPrepare, 1, value, s, 1).to_bytes());
+  }
+  EXPECT_FALSE(replica_->voted());
+  EXPECT_EQ(replica_->prepared_view(), 0U);
+}
+
+TEST_F(ReplicaEdgeTest, SendersOutsideUniverseRejected) {
+  // Craft a syntactically valid prepare claiming sender id 99.
+  auto m = bed_.make_phase(MsgTag::kPrepare, 1, to_bytes("v"), 5, 1);
+  m.sender = 99;
+  replica_->on_message(99, tag_byte(MsgTag::kPrepare), m.to_bytes());
+  EXPECT_EQ(replica_->current_view(), 1U);  // no crash, no effect
+}
+
+TEST_F(ReplicaEdgeTest, RejectsBadReplicaConfig) {
+  ReplicaConfig rc;  // id = 0, no suite
+  sync::SyncConfig sc;
+  EXPECT_THROW(Replica(rc, sc, {}), std::invalid_argument);
+}
+
+TEST_F(ReplicaEdgeTest, ConfigDerivedSizes) {
+  const auto& cfg = replica_->config();
+  EXPECT_EQ(cfg.q(), 9U);            // ceil(3 * 3)
+  EXPECT_EQ(cfg.sample_size(), 9U);  // capped at n
+  EXPECT_EQ(cfg.det_quorum(), 6U);   // ceil((9+2+1)/2)
+}
+
+}  // namespace
+}  // namespace probft::core

@@ -1,0 +1,120 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace probft {
+namespace {
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMixDiffersAcrossSeeds) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroIsDeterministic) {
+  Xoshiro256StarStar a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroFromBytesDeterministic) {
+  const std::uint8_t seed[32] = {1, 2, 3, 4, 5};
+  auto a = Xoshiro256StarStar::from_bytes(seed, 32);
+  auto b = Xoshiro256StarStar::from_bytes(seed, 32);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroFromBytesSensitiveToInput) {
+  const std::uint8_t seed_a[32] = {1};
+  const std::uint8_t seed_b[32] = {2};
+  auto a = Xoshiro256StarStar::from_bytes(seed_a, 32);
+  auto b = Xoshiro256StarStar::from_bytes(seed_b, 32);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256StarStar rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17ULL);
+  }
+}
+
+TEST(Rng, BoundedRejectsZero) {
+  Xoshiro256StarStar rng(1);
+  EXPECT_THROW(rng.bounded(0), std::invalid_argument);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Xoshiro256StarStar rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.bounded(kBuckets)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, Uniform01Range) {
+  Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Xoshiro256StarStar rng(11);
+  const auto sample = sample_without_replacement(rng, 100, 30);
+  EXPECT_EQ(sample.size(), 30U);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30U);
+  for (auto v : sample) EXPECT_LT(v, 100U);
+}
+
+TEST(Rng, SampleFullPopulation) {
+  Xoshiro256StarStar rng(13);
+  auto sample = sample_without_replacement(rng, 10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Xoshiro256StarStar rng(1);
+  EXPECT_THROW(sample_without_replacement(rng, 5, 6), std::invalid_argument);
+}
+
+TEST(Rng, SampleInclusionIsUniform) {
+  // Each of n items should appear in a k-of-n sample with probability k/n.
+  constexpr std::uint32_t n = 20, k = 5;
+  constexpr int kTrials = 20000;
+  std::array<int, n> counts{};
+  Xoshiro256StarStar rng(77);
+  for (int t = 0; t < kTrials; ++t) {
+    for (auto v : sample_without_replacement(rng, n, k)) counts[v]++;
+  }
+  const double expected = static_cast<double>(kTrials) * k / n;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.9);
+    EXPECT_LT(c, expected * 1.1);
+  }
+}
+
+TEST(Rng, Mix64Deterministic) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+}
+
+}  // namespace
+}  // namespace probft

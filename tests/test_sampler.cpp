@@ -1,0 +1,136 @@
+#include "crypto/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.hpp"
+
+namespace probft::crypto {
+namespace {
+
+class SamplerTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<CryptoSuite> suite() const {
+    if (std::string(GetParam()) == "ed25519") return make_ed25519_suite();
+    return make_sim_suite();
+  }
+};
+
+TEST_P(SamplerTest, SampleHasRequestedShape) {
+  const auto s = suite();
+  const auto kp = s->keygen(5);
+  const auto alpha = sample_alpha(3, "prepare");
+  const auto result = vrf_sample(*s, kp.secret_key, alpha, 100, 20);
+  EXPECT_EQ(result.sample.size(), 20U);
+  std::set<ReplicaId> unique(result.sample.begin(), result.sample.end());
+  EXPECT_EQ(unique.size(), 20U);
+  for (auto id : result.sample) {
+    EXPECT_GE(id, 1U);
+    EXPECT_LE(id, 100U);
+  }
+  EXPECT_TRUE(std::is_sorted(result.sample.begin(), result.sample.end()));
+}
+
+TEST_P(SamplerTest, SampleVerifies) {
+  const auto s = suite();
+  const auto kp = s->keygen(5);
+  const auto alpha = sample_alpha(3, "prepare");
+  const auto result = vrf_sample(*s, kp.secret_key, alpha, 50, 10);
+  EXPECT_TRUE(vrf_sample_verify(*s, kp.public_key, alpha, 50, 10,
+                                result.sample, result.proof));
+}
+
+TEST_P(SamplerTest, VerifyRejectsAlteredSample) {
+  const auto s = suite();
+  const auto kp = s->keygen(5);
+  const auto alpha = sample_alpha(3, "prepare");
+  auto result = vrf_sample(*s, kp.secret_key, alpha, 50, 10);
+  // Swap one member for another id not in the sample.
+  std::set<ReplicaId> members(result.sample.begin(), result.sample.end());
+  for (ReplicaId candidate = 1; candidate <= 50; ++candidate) {
+    if (!members.contains(candidate)) {
+      result.sample[0] = candidate;
+      break;
+    }
+  }
+  std::sort(result.sample.begin(), result.sample.end());
+  EXPECT_FALSE(vrf_sample_verify(*s, kp.public_key, alpha, 50, 10,
+                                 result.sample, result.proof));
+}
+
+TEST_P(SamplerTest, VerifyRejectsWrongPhaseAlpha) {
+  const auto s = suite();
+  const auto kp = s->keygen(5);
+  const auto result =
+      vrf_sample(*s, kp.secret_key, sample_alpha(3, "prepare"), 50, 10);
+  EXPECT_FALSE(vrf_sample_verify(*s, kp.public_key, sample_alpha(3, "commit"),
+                                 50, 10, result.sample, result.proof));
+}
+
+TEST_P(SamplerTest, VerifyRejectsForeignProof) {
+  const auto s = suite();
+  const auto kp1 = s->keygen(1);
+  const auto kp2 = s->keygen(2);
+  const auto alpha = sample_alpha(1, "commit");
+  const auto result = vrf_sample(*s, kp1.secret_key, alpha, 50, 10);
+  // A Byzantine replica cannot claim another replica's sample as its own.
+  EXPECT_FALSE(vrf_sample_verify(*s, kp2.public_key, alpha, 50, 10,
+                                 result.sample, result.proof));
+}
+
+TEST_P(SamplerTest, PhasesProduceDifferentSamples) {
+  const auto s = suite();
+  const auto kp = s->keygen(5);
+  const auto prep =
+      vrf_sample(*s, kp.secret_key, sample_alpha(9, "prepare"), 200, 30);
+  const auto comm =
+      vrf_sample(*s, kp.secret_key, sample_alpha(9, "commit"), 200, 30);
+  EXPECT_NE(prep.sample, comm.sample);
+}
+
+TEST_P(SamplerTest, ViewsProduceDifferentSamples) {
+  const auto s = suite();
+  const auto kp = s->keygen(5);
+  const auto v1 =
+      vrf_sample(*s, kp.secret_key, sample_alpha(1, "prepare"), 200, 30);
+  const auto v2 =
+      vrf_sample(*s, kp.secret_key, sample_alpha(2, "prepare"), 200, 30);
+  EXPECT_NE(v1.sample, v2.sample);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSuites, SamplerTest,
+                         ::testing::Values("ed25519", "sim"),
+                         [](const auto& info) { return info.param; });
+
+TEST(SampleAlpha, EncodesViewAndPhase) {
+  EXPECT_NE(sample_alpha(1, "prepare"), sample_alpha(2, "prepare"));
+  EXPECT_NE(sample_alpha(1, "prepare"), sample_alpha(1, "commit"));
+}
+
+TEST(ExpandSample, DeterministicAndUniform) {
+  const Bytes randomness(32, 0x42);
+  const auto a = expand_sample(randomness, 100, 15);
+  const auto b = expand_sample(randomness, 100, 15);
+  EXPECT_EQ(a, b);
+
+  // Inclusion frequency across many distinct randomness values ~ k/n.
+  constexpr std::uint32_t n = 30, k = 6;
+  constexpr int kTrials = 6000;
+  std::vector<int> counts(n + 1, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    Bytes r(32, 0);
+    r[0] = static_cast<std::uint8_t>(t);
+    r[1] = static_cast<std::uint8_t>(t >> 8);
+    r[2] = static_cast<std::uint8_t>(t >> 16);
+    for (auto id : expand_sample(r, n, k)) counts[id]++;
+  }
+  const double expected = static_cast<double>(kTrials) * k / n;
+  for (std::uint32_t id = 1; id <= n; ++id) {
+    EXPECT_GT(counts[id], expected * 0.85) << "id " << id;
+    EXPECT_LT(counts[id], expected * 1.15) << "id " << id;
+  }
+}
+
+}  // namespace
+}  // namespace probft::crypto

@@ -1,0 +1,126 @@
+#include "net/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace probft::net {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0U);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30U);
+}
+
+TEST(Simulator, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] { order.push_back(1); });
+  sim.schedule_at(5, [&] { order.push_back(2); });
+  sim.schedule_at(5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  TimePoint inner_fire = 0;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { inner_fire = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_fire, 150U);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  TimePoint fired_at = 0;
+  sim.schedule_at(10, [&] { fired_at = sim.now(); });  // in the past
+  sim.run();
+  EXPECT_EQ(fired_at, 100U);  // clamped, time never goes backwards
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(10, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, CancelUnknownIdIsNoop) {
+  Simulator sim;
+  sim.cancel(9999);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, PendingCountExcludesCancelled) {
+  Simulator sim;
+  const auto a = sim.schedule_at(1, [] {});
+  sim.schedule_at(2, [] {});
+  EXPECT_EQ(sim.pending(), 2U);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1U);
+}
+
+TEST(Simulator, RunMaxEventsStops) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(static_cast<TimePoint>(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run(4), 4U);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.pending(), 6U);
+}
+
+TEST(Simulator, RunUntilStopsBeforeDeadline) {
+  Simulator sim;
+  std::vector<TimePoint> fired;
+  sim.schedule_at(10, [&] { fired.push_back(10); });
+  sim.schedule_at(20, [&] { fired.push_back(20); });
+  sim.schedule_at(30, [&] { fired.push_back(30); });
+  sim.run_until(25);
+  EXPECT_EQ(fired, (std::vector<TimePoint>{10, 20}));
+  EXPECT_EQ(sim.now(), 25U);
+  sim.run();
+  EXPECT_EQ(fired.size(), 3U);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule_after(10, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 40U);
+}
+
+TEST(Simulator, EventsFiredCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(1, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 7U);
+}
+
+}  // namespace
+}  // namespace probft::net

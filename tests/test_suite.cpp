@@ -1,0 +1,112 @@
+#include "crypto/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace probft::crypto {
+namespace {
+
+// Both suites must satisfy the same contract; run every test against each.
+class SuiteTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<CryptoSuite> suite() const {
+    if (std::string(GetParam()) == "ed25519") return make_ed25519_suite();
+    return make_sim_suite();
+  }
+};
+
+TEST_P(SuiteTest, KeygenIsDeterministic) {
+  const auto s = suite();
+  const auto a = s->keygen(7);
+  const auto b = s->keygen(7);
+  EXPECT_EQ(a.public_key, b.public_key);
+  EXPECT_EQ(a.secret_key, b.secret_key);
+}
+
+TEST_P(SuiteTest, KeygenDistinctSeedsDistinctKeys) {
+  const auto s = suite();
+  EXPECT_NE(s->keygen(1).public_key, s->keygen(2).public_key);
+}
+
+TEST_P(SuiteTest, SignVerifyRoundtrip) {
+  const auto s = suite();
+  const auto kp = s->keygen(3);
+  const Bytes msg = to_bytes("propose view=1 value=tx-batch");
+  const auto sig = s->sign(kp.secret_key, msg);
+  EXPECT_TRUE(s->verify(kp.public_key, msg, sig));
+}
+
+TEST_P(SuiteTest, VerifyRejectsTamperedMessage) {
+  const auto s = suite();
+  const auto kp = s->keygen(3);
+  Bytes msg = to_bytes("payload");
+  const auto sig = s->sign(kp.secret_key, msg);
+  msg[0] ^= 1;
+  EXPECT_FALSE(s->verify(kp.public_key, msg, sig));
+}
+
+TEST_P(SuiteTest, VerifyRejectsWrongSigner) {
+  const auto s = suite();
+  const auto kp1 = s->keygen(1);
+  const auto kp2 = s->keygen(2);
+  const Bytes msg = to_bytes("payload");
+  const auto sig = s->sign(kp1.secret_key, msg);
+  EXPECT_FALSE(s->verify(kp2.public_key, msg, sig));
+}
+
+TEST_P(SuiteTest, VrfProveVerifyRoundtrip) {
+  const auto s = suite();
+  const auto kp = s->keygen(9);
+  const Bytes alpha = to_bytes("4|commit");
+  const auto result = s->vrf_prove(kp.secret_key, alpha);
+  const auto verified = s->vrf_verify(kp.public_key, alpha, result.proof);
+  ASSERT_TRUE(verified.has_value());
+  EXPECT_EQ(*verified, result.output);
+  EXPECT_GE(result.output.size(), 32U);
+}
+
+TEST_P(SuiteTest, VrfIsDeterministic) {
+  const auto s = suite();
+  const auto kp = s->keygen(9);
+  const Bytes alpha = to_bytes("alpha");
+  EXPECT_EQ(s->vrf_prove(kp.secret_key, alpha).output,
+            s->vrf_prove(kp.secret_key, alpha).output);
+}
+
+TEST_P(SuiteTest, VrfRejectsWrongAlpha) {
+  const auto s = suite();
+  const auto kp = s->keygen(9);
+  const auto result = s->vrf_prove(kp.secret_key, to_bytes("a1"));
+  EXPECT_FALSE(
+      s->vrf_verify(kp.public_key, to_bytes("a2"), result.proof).has_value());
+}
+
+TEST_P(SuiteTest, VrfRejectsWrongKey) {
+  const auto s = suite();
+  const auto kp1 = s->keygen(1);
+  const auto kp2 = s->keygen(2);
+  const Bytes alpha = to_bytes("alpha");
+  const auto result = s->vrf_prove(kp1.secret_key, alpha);
+  EXPECT_FALSE(
+      s->vrf_verify(kp2.public_key, alpha, result.proof).has_value());
+}
+
+TEST_P(SuiteTest, VrfOutputsDifferAcrossKeys) {
+  const auto s = suite();
+  const Bytes alpha = to_bytes("alpha");
+  EXPECT_NE(s->vrf_prove(s->keygen(1).secret_key, alpha).output,
+            s->vrf_prove(s->keygen(2).secret_key, alpha).output);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSuites, SuiteTest,
+                         ::testing::Values("ed25519", "sim"),
+                         [](const auto& info) { return info.param; });
+
+TEST(SuiteNames, AreDistinct) {
+  EXPECT_EQ(make_ed25519_suite()->name(), "ed25519");
+  EXPECT_EQ(make_sim_suite()->name(), "sim");
+}
+
+}  // namespace
+}  // namespace probft::crypto
