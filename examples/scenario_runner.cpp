@@ -1,82 +1,163 @@
-// Scenario runner: a small CLI for exploring ProBFT configurations.
+// Scenario runner: a small CLI over the declarative scenario harness
+// (src/sim/scenario.hpp).
 //
 //   $ ./examples/scenario_runner --protocol probft --n 64 --f 10
-//         --o 1.7 --l 2.0 --seed 3 --scenario silent-leader
+//         --o 1.7 --l 2.0 --seeds 1,2,3 --fault silent-leader
 //
-// Scenarios:
-//   happy          all replicas honest (default)
-//   silent-leader  the view-1 leader crashes
-//   silent-f       f replicas (highest ids) crash
-//   equivocate     Fig. 4c optimal-split attack (leader + f-1 colluders)
-//   flood          one replica floods forged-sample phase messages
+// Faults:    happy | silent-leader | silent-f | equivocate | flood |
+//            partition
+// Latency:   synchronous | partial-synchrony | lossy-duplicating
 //
-// Prints a one-line machine-readable result plus human-readable detail,
-// handy for scripting parameter sweeps beyond the bundled benches.
+// `--matrix` ignores --protocol/--fault and sweeps every applicable
+// (protocol, fault) pair instead — the same cross-product the conformance
+// test asserts on, handy for eyeballing new configurations.
+//
+// Prints one machine-readable RESULT line per (scenario, seed), so
+// parameter sweeps beyond the bundled benches stay scriptable.
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <limits>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
-#include "sim/cluster.hpp"
+#include "sim/scenario.hpp"
 
 namespace {
 
 using namespace probft;
 
 struct Options {
-  sim::Protocol protocol = sim::Protocol::kProbft;
-  std::uint32_t n = 32;
-  std::uint32_t f = 0;
-  double o = 1.7;
-  double l = 2.0;
-  std::uint64_t seed = 1;
-  std::string scenario = "happy";
-  TimePoint deadline = 120'000'000;
+  sim::ScenarioSpec spec = sim::conformance_base_spec();
+  bool matrix = false;
 };
 
 void usage() {
   std::fprintf(stderr,
                "usage: scenario_runner [--protocol probft|pbft|hotstuff]\n"
                "                       [--n N] [--f F] [--o O] [--l L]\n"
-               "                       [--seed S] [--deadline-ms MS]\n"
-               "                       [--scenario happy|silent-leader|"
-               "silent-f|equivocate|flood]\n");
+               "                       [--seeds S1,S2,...] [--deadline-ms MS]\n"
+               "                       [--fault happy|silent-leader|silent-f|"
+               "equivocate|flood|partition]\n"
+               "                       [--latency synchronous|"
+               "partial-synchrony|lossy-duplicating]\n"
+               "                       [--matrix]\n");
 }
 
+/// Strict full-string numeric parses: trailing garbage ("16abc") and
+/// negative values must fail, not silently run the wrong experiment.
+std::uint64_t parse_u64(const std::string& text) {
+  // Leading whitespace would let stoull skip to a sign and wrap negatives.
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    throw std::invalid_argument(text);
+  }
+  std::size_t consumed = 0;
+  const std::uint64_t value = std::stoull(text, &consumed);
+  if (consumed != text.size()) throw std::invalid_argument(text);
+  return value;
+}
+
+/// The o/l factors must be positive, finite and sane — NaN or a negative
+/// factor would silently run a nonsense experiment.
+double parse_factor(const std::string& text) {
+  std::size_t consumed = 0;
+  const double value = std::stod(text, &consumed);
+  if (consumed != text.size() || !std::isfinite(value) || value <= 0.0 ||
+      value > 100.0) {
+    throw std::invalid_argument(text);
+  }
+  return value;
+}
+
+std::vector<std::uint64_t> parse_seeds(const std::string& csv) {
+  std::vector<std::uint64_t> seeds;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string item = csv.substr(pos, comma - pos);  // npos clamps
+    seeds.push_back(parse_u64(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return seeds;
+}
+
+bool parse_args(int argc, char** argv, Options& opt);
+
+/// Numeric flag values come from the command line; malformed ones must
+/// produce the usage text, not std::terminate.
 bool parse(int argc, char** argv, Options& opt) {
-  for (int i = 1; i < argc; i += 2) {
-    if (i + 1 >= argc) return false;
+  try {
+    return parse_args(argc, argv, opt);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
-    const std::string value = argv[i + 1];
+    if (key == "--matrix") {
+      opt.matrix = true;
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    const std::string value = argv[++i];
     if (key == "--protocol") {
-      if (value == "probft") {
-        opt.protocol = sim::Protocol::kProbft;
-      } else if (value == "pbft") {
-        opt.protocol = sim::Protocol::kPbft;
-      } else if (value == "hotstuff") {
-        opt.protocol = sim::Protocol::kHotStuff;
+      if (!sim::protocol_from_string(value, opt.spec.protocol)) return false;
+    } else if (key == "--fault" || key == "--scenario") {
+      if (!sim::fault_from_string(value, opt.spec.fault)) return false;
+    } else if (key == "--latency") {
+      if (value == "synchronous") {
+        opt.spec.latency = sim::LatencyModel::kSynchronous;
+      } else if (value == "partial-synchrony") {
+        opt.spec.latency = sim::LatencyModel::kPartialSynchrony;
+      } else if (value == "lossy-duplicating") {
+        opt.spec.latency = sim::LatencyModel::kLossyDuplicating;
       } else {
         return false;
       }
     } else if (key == "--n") {
-      opt.n = static_cast<std::uint32_t>(std::stoul(value));
+      const std::uint64_t n = parse_u64(value);
+      if (n < 1 || n > 1'000'000) return false;
+      opt.spec.n = static_cast<std::uint32_t>(n);
     } else if (key == "--f") {
-      opt.f = static_cast<std::uint32_t>(std::stoul(value));
+      const std::uint64_t f = parse_u64(value);
+      if (f > 1'000'000) return false;
+      opt.spec.f = static_cast<std::uint32_t>(f);
     } else if (key == "--o") {
-      opt.o = std::stod(value);
+      opt.spec.o = parse_factor(value);
     } else if (key == "--l") {
-      opt.l = std::stod(value);
-    } else if (key == "--seed") {
-      opt.seed = std::stoull(value);
+      opt.spec.l = parse_factor(value);
+    } else if (key == "--seed" || key == "--seeds") {
+      opt.spec.seeds = parse_seeds(value);
+      if (opt.spec.seeds.empty()) return false;
     } else if (key == "--deadline-ms") {
-      opt.deadline = std::stoull(value) * 1000;
-    } else if (key == "--scenario") {
-      opt.scenario = value;
+      const std::uint64_t ms = parse_u64(value);
+      if (ms > std::numeric_limits<std::uint64_t>::max() / 1000) return false;
+      opt.spec.deadline = ms * 1000;
     } else {
       return false;
     }
   }
   return true;
+}
+
+void print_result(const sim::ScenarioSpec& spec,
+                  const sim::ScenarioOutcome& outcome) {
+  std::printf(
+      "RESULT scenario=%s o=%.2f l=%.2f seed=%llu decided=%zu/%zu "
+      "terminated=%d agreement=%d messages=%llu bytes=%llu "
+      "last_decision_us=%llu max_view=%llu\n",
+      sim::scenario_name(spec).c_str(), spec.o, spec.l,
+      static_cast<unsigned long long>(outcome.seed), outcome.decided,
+      outcome.correct, outcome.terminated ? 1 : 0, outcome.agreement ? 1 : 0,
+      static_cast<unsigned long long>(outcome.messages),
+      static_cast<unsigned long long>(outcome.bytes),
+      static_cast<unsigned long long>(outcome.last_decision_at),
+      static_cast<unsigned long long>(outcome.max_view));
 }
 
 }  // namespace
@@ -88,67 +169,35 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  sim::ClusterConfig cfg;
-  cfg.protocol = opt.protocol;
-  cfg.n = opt.n;
-  cfg.f = opt.f;
-  cfg.o = opt.o;
-  cfg.l = opt.l;
-  cfg.seed = opt.seed;
-  cfg.behaviors.assign(opt.n, sim::Behavior::kHonest);
-
-  if (opt.scenario == "happy") {
-    // nothing to do
-  } else if (opt.scenario == "silent-leader") {
-    cfg.behaviors[0] = sim::Behavior::kSilent;
-  } else if (opt.scenario == "silent-f") {
-    for (std::uint32_t i = 0; i < opt.f && i < opt.n; ++i) {
-      cfg.behaviors[opt.n - 1 - i] = sim::Behavior::kSilent;
-    }
-  } else if (opt.scenario == "equivocate") {
-    cfg.split = sim::SplitStrategy::kOptimal;
-    cfg.behaviors[0] = sim::Behavior::kEquivocateLeader;
-    for (std::uint32_t i = 1; i < opt.f && i < opt.n; ++i) {
-      cfg.behaviors[i] = sim::Behavior::kColludeFollower;
-    }
-  } else if (opt.scenario == "flood") {
-    cfg.behaviors[opt.n - 1] = sim::Behavior::kFlood;
+  std::vector<sim::ScenarioSpec> specs;
+  if (opt.matrix) {
+    specs = sim::expand_matrix(sim::all_protocols(), sim::all_faults(),
+                               opt.spec.seeds, opt.spec);
   } else {
-    usage();
-    return 2;
+    if (!sim::fault_applicable(opt.spec)) {
+      std::fprintf(stderr, "fault %s not applicable to %s (need f >= 1?)\n",
+                   sim::to_string(opt.spec.fault),
+                   sim::to_string(opt.spec.protocol));
+      return 2;
+    }
+    opt.spec.expect_termination =
+        sim::fault_expects_termination(opt.spec.fault);
+    specs.push_back(opt.spec);
   }
 
-  sim::Cluster cluster(cfg);
-  cluster.start();
-  const bool done = cluster.run_to_completion(opt.deadline);
-
-  const auto& stats = cluster.network().stats();
-  TimePoint last_decision = 0;
-  View max_view = 0;
-  for (const auto& d : cluster.decisions()) {
-    last_decision = std::max(last_decision, d.at);
-    max_view = std::max(max_view, d.view);
+  bool safe = true;
+  bool live = true;
+  for (const auto& result : sim::run_matrix(specs)) {
+    for (const auto& outcome : result.outcomes) {
+      print_result(result.spec, outcome);
+      safe = safe && outcome.agreement;
+      if (result.spec.expect_termination) {
+        live = live && outcome.terminated;
+      }
+    }
   }
 
-  // Machine-readable summary line.
-  std::printf(
-      "RESULT scenario=%s protocol=%d n=%u f=%u o=%.2f l=%.2f seed=%llu "
-      "decided=%zu/%zu agreement=%d messages=%llu bytes=%llu "
-      "last_decision_us=%llu max_view=%llu\n",
-      opt.scenario.c_str(), static_cast<int>(opt.protocol), opt.n, opt.f,
-      opt.o, opt.l, static_cast<unsigned long long>(opt.seed),
-      cluster.correct_decided_count(), cluster.correct_ids().size(),
-      cluster.agreement_ok() ? 1 : 0,
-      static_cast<unsigned long long>(stats.sends),
-      static_cast<unsigned long long>(stats.bytes_sent),
-      static_cast<unsigned long long>(last_decision),
-      static_cast<unsigned long long>(max_view));
-
-  std::printf("\n%s; %zu/%zu correct replicas decided (max view %llu); "
-              "agreement %s\n",
-              done ? "completed" : "deadline reached",
-              cluster.correct_decided_count(), cluster.correct_ids().size(),
-              static_cast<unsigned long long>(max_view),
-              cluster.agreement_ok() ? "ok" : "VIOLATED");
-  return cluster.agreement_ok() ? 0 : 1;
+  if (!safe) std::fprintf(stderr, "AGREEMENT VIOLATED\n");
+  if (!live) std::fprintf(stderr, "termination expectation missed\n");
+  return safe && live ? 0 : 1;
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs every bench binary under build/bench and emits, per bench:
+#   <outdir>/<bench>.json — google-benchmark JSON (perf trajectory)
+#   <outdir>/<bench>.txt  — the figure/table reproduction text
+#
+# usage: scripts/run_benches.sh [outdir] [build-dir]
+set -euo pipefail
+
+outdir="${1:-bench-results}"
+builddir="${2:-build}"
+
+if ! compgen -G "${builddir}/bench/bench_*" >/dev/null; then
+  echo "error: no bench binaries under ${builddir}/bench — build first:" >&2
+  echo "  cmake -B ${builddir} -S . && cmake --build ${builddir} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${outdir}"
+
+status=0
+for bench in "${builddir}"/bench/bench_*; do
+  [ -x "${bench}" ] || continue
+  name="$(basename "${bench}")"
+  echo "== ${name}"
+  if ! "${bench}" \
+      --benchmark_out="${outdir}/${name}.json" \
+      --benchmark_out_format=json \
+      >"${outdir}/${name}.txt" 2>&1; then
+    echo "   FAILED (see ${outdir}/${name}.txt)" >&2
+    status=1
+  fi
+done
+
+echo "wrote $(ls "${outdir}"/*.json 2>/dev/null | wc -l) JSON files to ${outdir}/"
+exit "${status}"

@@ -1,0 +1,283 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace probft::sim {
+
+bool ScenarioResult::all_agreement() const {
+  return std::all_of(outcomes.begin(), outcomes.end(),
+                     [](const ScenarioOutcome& o) { return o.agreement; });
+}
+
+bool ScenarioResult::all_terminated() const {
+  return std::all_of(outcomes.begin(), outcomes.end(),
+                     [](const ScenarioOutcome& o) { return o.terminated; });
+}
+
+const char* to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kProbft: return "probft";
+    case Protocol::kPbft: return "pbft";
+    case Protocol::kHotStuff: return "hotstuff";
+  }
+  return "?";
+}
+
+const char* to_string(Fault fault) {
+  switch (fault) {
+    case Fault::kNone: return "happy";
+    case Fault::kSilentLeader: return "silent-leader";
+    case Fault::kSilentFollowers: return "silent-f";
+    case Fault::kEquivocate: return "equivocate";
+    case Fault::kFlood: return "flood";
+    case Fault::kPartitionUntilGst: return "partition";
+  }
+  return "?";
+}
+
+const char* to_string(LatencyModel model) {
+  switch (model) {
+    case LatencyModel::kSynchronous: return "synchronous";
+    case LatencyModel::kPartialSynchrony: return "partial-synchrony";
+    case LatencyModel::kLossyDuplicating: return "lossy-duplicating";
+  }
+  return "?";
+}
+
+const std::vector<Protocol>& all_protocols() {
+  static const std::vector<Protocol> kProtocols = {
+      Protocol::kProbft, Protocol::kPbft, Protocol::kHotStuff};
+  return kProtocols;
+}
+
+const std::vector<Fault>& all_faults() {
+  static const std::vector<Fault> kFaults = {
+      Fault::kNone,       Fault::kSilentLeader, Fault::kSilentFollowers,
+      Fault::kEquivocate, Fault::kFlood,        Fault::kPartitionUntilGst};
+  return kFaults;
+}
+
+bool protocol_from_string(const std::string& text, Protocol& out) {
+  for (const Protocol p : all_protocols()) {
+    if (text == to_string(p)) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool fault_from_string(const std::string& text, Fault& out) {
+  for (const Fault f : all_faults()) {
+    if (text == to_string(f)) {
+      out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string scenario_name(const ScenarioSpec& spec) {
+  std::ostringstream name;
+  name << to_string(spec.protocol) << "/n" << spec.n << "f" << spec.f << "/"
+       << to_string(spec.fault) << "/" << to_string(spec.latency);
+  return name.str();
+}
+
+ScenarioSpec conformance_base_spec() {
+  ScenarioSpec base;
+  base.n = 16;
+  base.f = 3;
+  base.o = 1.7;
+  base.l = 1.5;
+  base.latency = LatencyModel::kSynchronous;
+  base.deadline = 600'000'000;  // 600 s virtual
+  return base;
+}
+
+bool fault_applicable(const ScenarioSpec& spec) {
+  switch (spec.fault) {
+    case Fault::kNone:
+      return true;
+    case Fault::kSilentLeader:
+      return spec.f >= 1;
+    case Fault::kSilentFollowers:
+      return spec.f >= 1;
+    case Fault::kEquivocate:
+      // The equivocating leader crafts Propose-format messages that ProBFT
+      // and PBFT replicas parse; HotStuff uses a different proposal path.
+      return (spec.protocol == Protocol::kProbft ||
+              spec.protocol == Protocol::kPbft) &&
+             spec.f >= 1;
+    case Fault::kFlood:
+      // Forged-sample flooding targets the VRF sample check (§3.1).
+      return spec.protocol == Protocol::kProbft && spec.f >= 1;
+    case Fault::kPartitionUntilGst:
+      return spec.n >= 2;
+  }
+  return false;
+}
+
+bool fault_expects_termination(Fault fault) {
+  return fault != Fault::kEquivocate && fault != Fault::kFlood;
+}
+
+net::LatencyConfig make_latency_config(LatencyModel model) {
+  net::LatencyConfig latency;
+  switch (model) {
+    case LatencyModel::kSynchronous:
+      break;  // defaults: GST = 0, delays within [1ms, 10ms]
+    case LatencyModel::kPartialSynchrony:
+      latency.gst = 300'000;  // 300 ms of adversarial scheduling
+      latency.max_delay_pre = 200'000;
+      latency.hold_until_gst_prob = 0.05;
+      break;
+    case LatencyModel::kLossyDuplicating:
+      latency.gst = 300'000;
+      latency.max_delay_pre = 200'000;
+      latency.hold_until_gst_prob = 0.10;
+      latency.duplicate_prob = 0.10;
+      break;
+  }
+  return latency;
+}
+
+ClusterConfig make_cluster_config(const ScenarioSpec& spec,
+                                  std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.protocol = spec.protocol;
+  cfg.n = spec.n;
+  cfg.f = spec.f;
+  cfg.o = spec.o;
+  cfg.l = spec.l;
+  cfg.seed = seed;
+  cfg.latency = make_latency_config(spec.latency);
+  cfg.behaviors.assign(spec.n, Behavior::kHonest);
+
+  switch (spec.fault) {
+    case Fault::kNone:
+    case Fault::kPartitionUntilGst:
+      break;
+    case Fault::kSilentLeader:
+      cfg.behaviors[0] = Behavior::kSilent;  // leader(1) = replica 1
+      break;
+    case Fault::kSilentFollowers:
+      for (std::uint32_t i = 0; i < spec.f && i < spec.n; ++i) {
+        cfg.behaviors[spec.n - 1 - i] = Behavior::kSilent;
+      }
+      break;
+    case Fault::kEquivocate:
+      cfg.split = SplitStrategy::kOptimal;
+      cfg.behaviors[0] = Behavior::kEquivocateLeader;
+      for (std::uint32_t i = 1; i < spec.f && i < spec.n; ++i) {
+        cfg.behaviors[i] = Behavior::kColludeFollower;
+      }
+      break;
+    case Fault::kFlood:
+      cfg.behaviors[spec.n - 1] = Behavior::kFlood;
+      break;
+  }
+
+  if (spec.fault == Fault::kPartitionUntilGst && cfg.latency.gst == 0) {
+    cfg.latency.gst = 300'000;  // the partition needs a healing point
+  }
+  return cfg;
+}
+
+ClusterConfig make_cluster_config(const ScenarioSpec& spec,
+                                  std::uint64_t seed,
+                                  const sync::SyncConfig& sync,
+                                  const net::LatencyConfig& latency) {
+  ClusterConfig cfg = make_cluster_config(spec, seed);
+  cfg.sync = sync;
+  cfg.latency = latency;
+  return cfg;
+}
+
+namespace {
+
+std::string decision_transcript(const Cluster& cluster) {
+  std::ostringstream out;
+  for (const auto& d : cluster.decisions()) {
+    out << d.replica << " " << d.view << " " << to_hex(d.value) << " "
+        << d.at << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
+  Cluster cluster(make_cluster_config(spec, seed));
+
+  if (spec.fault == Fault::kPartitionUntilGst) {
+    // Drop every cross-half message until GST; the scheduler heals after.
+    const std::uint32_t half = spec.n / 2;
+    const TimePoint gst = cluster.config().latency.gst;
+    auto* sim = &cluster.simulator();
+    cluster.network().set_filter(
+        [half, gst, sim](ReplicaId from, ReplicaId to, std::uint8_t) {
+          if (sim->now() >= gst) return false;
+          return (from <= half) != (to <= half);
+        });
+  }
+
+  cluster.start();
+  const bool done = cluster.run_to_completion(spec.deadline, spec.max_events);
+
+  ScenarioOutcome outcome;
+  outcome.seed = seed;
+  outcome.terminated = done;
+  outcome.agreement = cluster.agreement_ok();
+  outcome.decided = cluster.correct_decided_count();
+  outcome.correct = cluster.correct_ids().size();
+  outcome.messages = cluster.network().stats().sends;
+  outcome.bytes = cluster.network().stats().bytes_sent;
+  for (const auto& d : cluster.decisions()) {
+    outcome.max_view = std::max(outcome.max_view, d.view);
+    outcome.last_decision_at = std::max(outcome.last_decision_at, d.at);
+  }
+  outcome.transcript = decision_transcript(cluster);
+  return outcome;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  ScenarioResult result;
+  result.spec = spec;
+  result.outcomes.reserve(spec.seeds.size());
+  for (const std::uint64_t seed : spec.seeds) {
+    result.outcomes.push_back(run_scenario(spec, seed));
+  }
+  return result;
+}
+
+std::vector<ScenarioSpec> expand_matrix(const std::vector<Protocol>& protocols,
+                                        const std::vector<Fault>& faults,
+                                        const std::vector<std::uint64_t>& seeds,
+                                        const ScenarioSpec& base) {
+  std::vector<ScenarioSpec> specs;
+  for (const Protocol protocol : protocols) {
+    for (const Fault fault : faults) {
+      ScenarioSpec spec = base;
+      spec.protocol = protocol;
+      spec.fault = fault;
+      spec.seeds = seeds;
+      if (!fault_applicable(spec)) continue;
+      spec.expect_termination = fault_expects_termination(fault);
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+std::vector<ScenarioResult> run_matrix(const std::vector<ScenarioSpec>& specs) {
+  std::vector<ScenarioResult> results;
+  results.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    results.push_back(run_scenario(spec));
+  }
+  return results;
+}
+
+}  // namespace probft::sim

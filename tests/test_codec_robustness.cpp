@@ -1,0 +1,203 @@
+// Adversarial decoding robustness and quorum-math edge cases.
+//
+// Byzantine senders control every byte of the payloads they ship, so each
+// protocol message decoder must reject truncated or corrupted buffers with
+// CodecError — never crash, hang, or silently accept garbage. We exercise
+// every prefix of every message kind plus systematic single-byte
+// corruption, and pin the q = ⌈l·√n⌉ quorum math at its boundary points.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/messages.hpp"
+#include "quorum/analysis.hpp"
+
+namespace probft {
+namespace {
+
+using core::NewLeaderMsg;
+using core::PhaseMsg;
+using core::ProposeMsg;
+using core::SignedProposal;
+using core::WishMsg;
+
+SignedProposal sample_proposal() {
+  SignedProposal p;
+  p.view = 3;
+  p.value = to_bytes("proposal-value");
+  p.leader_sig = to_bytes("leader-signature-bytes");
+  return p;
+}
+
+PhaseMsg sample_phase() {
+  PhaseMsg m;
+  m.proposal = sample_proposal();
+  m.sample = {1, 4, 7, 9};
+  m.vrf_proof = to_bytes("vrf-proof-bytes");
+  m.sender = 4;
+  m.sender_sig = to_bytes("sender-signature");
+  return m;
+}
+
+NewLeaderMsg sample_new_leader() {
+  NewLeaderMsg m;
+  m.view = 5;
+  m.prepared_view = 3;
+  m.prepared_value = to_bytes("prepared-value");
+  m.cert = {sample_phase(), sample_phase()};
+  m.sender = 2;
+  m.sender_sig = to_bytes("nl-signature");
+  return m;
+}
+
+ProposeMsg sample_propose() {
+  ProposeMsg m;
+  m.proposal = sample_proposal();
+  m.justification = {sample_new_leader()};
+  m.sender = 1;
+  m.sender_sig = to_bytes("propose-signature");
+  return m;
+}
+
+WishMsg sample_wish() {
+  WishMsg m;
+  m.view = 9;
+  m.sender = 6;
+  m.sender_sig = to_bytes("wish-signature");
+  return m;
+}
+
+/// Every strict prefix of a valid encoding must be rejected with
+/// CodecError (and must not crash).
+template <typename Msg>
+void expect_rejects_all_truncations(const Msg& msg) {
+  const Bytes encoded = msg.to_bytes();
+  ASSERT_FALSE(encoded.empty());
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_THROW((void)Msg::from_bytes(ByteSpan(encoded.data(), len)),
+                 CodecError)
+        << "prefix length " << len << " of " << encoded.size();
+  }
+  EXPECT_NO_THROW(
+      (void)Msg::from_bytes(ByteSpan(encoded.data(), encoded.size())));
+}
+
+/// Flipping any single byte must never crash the decoder: it either throws
+/// CodecError or yields some (garbage) message the signature check will
+/// reject later.
+template <typename Msg>
+void expect_corruption_never_crashes(const Msg& msg) {
+  const Bytes encoded = msg.to_bytes();
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    Bytes corrupted = encoded;
+    corrupted[i] ^= 0xff;
+    try {
+      (void)Msg::from_bytes(ByteSpan(corrupted.data(), corrupted.size()));
+    } catch (const CodecError&) {
+      // rejection is the expected outcome for most positions
+    }
+  }
+}
+
+TEST(CodecRobustness, PhaseMsgTruncation) {
+  expect_rejects_all_truncations(sample_phase());
+}
+
+TEST(CodecRobustness, NewLeaderMsgTruncation) {
+  expect_rejects_all_truncations(sample_new_leader());
+}
+
+TEST(CodecRobustness, ProposeMsgTruncation) {
+  expect_rejects_all_truncations(sample_propose());
+}
+
+TEST(CodecRobustness, WishMsgTruncation) {
+  expect_rejects_all_truncations(sample_wish());
+}
+
+TEST(CodecRobustness, SingleByteCorruptionNeverCrashes) {
+  expect_corruption_never_crashes(sample_phase());
+  expect_corruption_never_crashes(sample_new_leader());
+  expect_corruption_never_crashes(sample_propose());
+  expect_corruption_never_crashes(sample_wish());
+}
+
+TEST(CodecRobustness, TrailingGarbageRejected) {
+  Bytes encoded = sample_wish().to_bytes();
+  encoded.push_back(0x5a);
+  EXPECT_THROW(
+      (void)WishMsg::from_bytes(ByteSpan(encoded.data(), encoded.size())),
+      CodecError);
+}
+
+TEST(CodecRobustness, RoundTripPreservesFields) {
+  const PhaseMsg original = sample_phase();
+  const Bytes encoded = original.to_bytes();
+  const PhaseMsg decoded =
+      PhaseMsg::from_bytes(ByteSpan(encoded.data(), encoded.size()));
+  EXPECT_EQ(decoded.proposal, original.proposal);
+  EXPECT_EQ(decoded.sample, original.sample);
+  EXPECT_EQ(decoded.vrf_proof, original.vrf_proof);
+  EXPECT_EQ(decoded.sender, original.sender);
+  EXPECT_EQ(decoded.sender_sig, original.sender_sig);
+}
+
+// ---- q = ⌈l·√n⌉ edge cases ----
+
+TEST(QuorumMathEdge, SingleReplica) {
+  quorum::Params p;
+  p.n = 1;
+  p.f = 0;
+  p.l = 1.0;
+  p.o = 1.7;
+  EXPECT_EQ(p.q(), 1);           // ceil(1·√1)
+  EXPECT_EQ(p.s(), 1);           // capped at n
+  EXPECT_EQ(p.det_quorum(), 1);  // ceil((1+0+1)/2)
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(QuorumMathEdge, SmallestPaperCluster) {
+  // n = 4, l = 2 → q = ceil(2·2) = 4 = n: the probabilistic quorum
+  // degenerates to "hear from everyone".
+  quorum::Params p;
+  p.n = 4;
+  p.f = 1;
+  p.l = 2.0;
+  p.o = 1.7;
+  EXPECT_EQ(p.q(), 4);
+  EXPECT_EQ(p.s(), 4);  // ceil(1.7·4) = 7, capped at n = 4
+  EXPECT_TRUE(p.valid());
+  // One more replica of quorum factor and q would exceed n.
+  p.l = 2.1;
+  EXPECT_EQ(p.q(), 5);
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(QuorumMathEdge, LargeNSublinearQuorum) {
+  quorum::Params p;
+  p.n = 1'000'000;
+  p.f = 333'332;
+  p.l = 2.0;
+  p.o = 1.7;
+  EXPECT_EQ(p.q(), 2'000);   // 2·√(10^6), far below n
+  EXPECT_EQ(p.s(), 3'400);   // 1.7·q, uncapped
+  EXPECT_EQ(p.det_quorum(), 666'667);
+  EXPECT_TRUE(p.valid());
+  // q/n → 0: the paper's core scalability claim.
+  EXPECT_LT(static_cast<double>(p.q()) / static_cast<double>(p.n), 0.01);
+}
+
+TEST(QuorumMathEdge, CeilingIsExactAtPerfectSquares) {
+  // √n integral: no ceiling slack; one replica more and q steps up.
+  quorum::Params p;
+  p.n = 10'000;
+  p.f = 0;
+  p.l = 1.5;
+  p.o = 1.7;
+  EXPECT_EQ(p.q(), 150);  // 1.5·100 exactly
+  p.n = 10'001;
+  EXPECT_EQ(p.q(), 151);  // ceil kicks in
+}
+
+}  // namespace
+}  // namespace probft

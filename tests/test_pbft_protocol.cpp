@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/cluster.hpp"
+#include "sim/scenario.hpp"
 
 namespace probft::sim {
 namespace {
@@ -19,6 +20,19 @@ ClusterConfig base_config(std::uint32_t n, std::uint32_t f,
   return cfg;
 }
 
+/// Fault shapes come from the scenario harness; only the timing knobs of
+/// base_config are layered on top.
+ClusterConfig fault_config(std::uint32_t n, std::uint32_t f, Fault fault,
+                           std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.protocol = Protocol::kPbft;
+  spec.n = n;
+  spec.f = f;
+  spec.fault = fault;
+  const ClusterConfig timing = base_config(n, f);
+  return make_cluster_config(spec, seed, timing.sync, timing.latency);
+}
+
 TEST(PbftProtocol, HappyPathDecidesInViewOne) {
   Cluster cluster(base_config(4, 1));
   cluster.start();
@@ -31,12 +45,7 @@ TEST(PbftProtocol, HappyPathDecidesInViewOne) {
 
 TEST(PbftProtocol, ToleratesFSilentReplicas) {
   // n = 3f+1 = 10, f = 3 silent: classical BFT resilience bound.
-  auto cfg = base_config(10, 3, 5);
-  cfg.behaviors.assign(10, Behavior::kHonest);
-  cfg.behaviors[7] = Behavior::kSilent;
-  cfg.behaviors[8] = Behavior::kSilent;
-  cfg.behaviors[9] = Behavior::kSilent;
-  Cluster cluster(cfg);
+  Cluster cluster(fault_config(10, 3, Fault::kSilentFollowers, 5));
   cluster.start();
   EXPECT_TRUE(cluster.run_to_completion());
   EXPECT_TRUE(cluster.agreement_ok());
@@ -44,10 +53,7 @@ TEST(PbftProtocol, ToleratesFSilentReplicas) {
 }
 
 TEST(PbftProtocol, SilentLeaderViewChange) {
-  auto cfg = base_config(7, 2, 9);
-  cfg.behaviors.assign(7, Behavior::kHonest);
-  cfg.behaviors[0] = Behavior::kSilent;
-  Cluster cluster(cfg);
+  Cluster cluster(fault_config(7, 2, Fault::kSilentLeader, 9));
   cluster.start();
   EXPECT_TRUE(cluster.run_to_completion());
   EXPECT_TRUE(cluster.agreement_ok());

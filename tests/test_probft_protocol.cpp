@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/cluster.hpp"
+#include "sim/scenario.hpp"
 
 namespace probft::sim {
 namespace {
@@ -19,6 +20,20 @@ ClusterConfig base_config(std::uint32_t n, std::uint32_t f,
   cfg.latency.min_delay = 500;
   cfg.latency.max_delay_post = 5'000;
   return cfg;
+}
+
+/// Fault shapes come from the scenario harness; only the timing knobs of
+/// base_config (and the per-test quorum factor) are layered on top.
+ClusterConfig fault_config(std::uint32_t n, std::uint32_t f, Fault fault,
+                           std::uint64_t seed, double l) {
+  ScenarioSpec spec;
+  spec.protocol = Protocol::kProbft;
+  spec.n = n;
+  spec.f = f;
+  spec.l = l;
+  spec.fault = fault;
+  const ClusterConfig timing = base_config(n, f);
+  return make_cluster_config(spec, seed, timing.sync, timing.latency);
 }
 
 TEST(ProbftProtocol, HappyPathSmallCluster) {
@@ -71,13 +86,8 @@ TEST(ProbftProtocol, DeterministicGivenSeed) {
 TEST(ProbftProtocol, SilentByzantineFollowersTolerated) {
   // n = 16, f = 3 silent followers; l = 1.5 keeps q = 6 well below the 13
   // correct senders, so quorums still form.
-  auto cfg = base_config(16, 3, 21);
-  cfg.l = 1.5;
-  cfg.behaviors.assign(16, Behavior::kHonest);
-  cfg.behaviors[13] = Behavior::kSilent;  // replicas 14..16
-  cfg.behaviors[14] = Behavior::kSilent;
-  cfg.behaviors[15] = Behavior::kSilent;
-  Cluster cluster(cfg);
+  Cluster cluster(
+      fault_config(16, 3, Fault::kSilentFollowers, 21, /*l=*/1.5));
   cluster.start();
   EXPECT_TRUE(cluster.run_to_completion());
   EXPECT_TRUE(cluster.agreement_ok());
@@ -87,11 +97,8 @@ TEST(ProbftProtocol, SilentByzantineFollowersTolerated) {
 TEST(ProbftProtocol, SilentLeaderTriggersViewChange) {
   // Replica 1 (leader of view 1) is silent: the synchronizer must move
   // everyone to view 2 whose leader (replica 2) then drives a decision.
-  auto cfg = base_config(10, 2, 33);
-  cfg.l = 1.5;  // q = 5 <= 9 correct senders
-  cfg.behaviors.assign(10, Behavior::kHonest);
-  cfg.behaviors[0] = Behavior::kSilent;
-  Cluster cluster(cfg);
+  // l = 1.5: q = 5 <= 9 correct senders.
+  Cluster cluster(fault_config(10, 2, Fault::kSilentLeader, 33, /*l=*/1.5));
   cluster.start();
   EXPECT_TRUE(cluster.run_to_completion());
   EXPECT_TRUE(cluster.agreement_ok());
