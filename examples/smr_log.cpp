@@ -30,11 +30,12 @@ int main(int argc, char** argv) {
   const auto suite = crypto::make_sim_suite();
 
   std::vector<crypto::KeyPair> keys(n + 1);
-  std::vector<Bytes> public_keys(n + 1);
+  std::vector<Bytes> key_table(n + 1);
   for (ReplicaId id = 1; id <= n; ++id) {
     keys[id] = suite->keygen(mix64(2024, id));
-    public_keys[id] = keys[id].public_key;
+    key_table[id] = keys[id].public_key;
   }
+  const crypto::PublicKeyDir public_keys(std::move(key_table));
 
   std::vector<std::unique_ptr<smr::SmrReplica>> replicas(n + 1);
   for (ReplicaId id = 1; id <= n; ++id) {

@@ -2,6 +2,11 @@
 # Runs every bench binary under build/bench and emits, per bench:
 #   <outdir>/<bench>.json — google-benchmark JSON (perf trajectory)
 #   <outdir>/<bench>.txt  — the figure/table reproduction text
+# plus a combined <outdir>/manifest.json recording per-bench status.
+#
+# Fails loudly (nonzero exit) when no bench binaries exist, when any bench
+# crashes or exits nonzero, or when a bench fails to produce its JSON —
+# a silently-skipped bench must never look like a green run.
 #
 # usage: scripts/run_benches.sh [outdir] [build-dir]
 set -euo pipefail
@@ -16,20 +21,57 @@ if ! compgen -G "${builddir}/bench/bench_*" >/dev/null; then
 fi
 
 mkdir -p "${outdir}"
+manifest="${outdir}/manifest.json"
 
 status=0
+ran=0
+failed=0
+entries=""
 for bench in "${builddir}"/bench/bench_*; do
-  [ -x "${bench}" ] || continue
+  if [ ! -x "${bench}" ]; then
+    echo "error: ${bench} exists but is not executable" >&2
+    status=1
+    continue
+  fi
   name="$(basename "${bench}")"
   echo "== ${name}"
-  if ! "${bench}" \
+  bench_status="ok"
+  exit_code=0
+  "${bench}" \
       --benchmark_out="${outdir}/${name}.json" \
       --benchmark_out_format=json \
-      >"${outdir}/${name}.txt" 2>&1; then
-    echo "   FAILED (see ${outdir}/${name}.txt)" >&2
+      >"${outdir}/${name}.txt" 2>&1 || exit_code=$?
+  if [ "${exit_code}" -ne 0 ]; then
+    bench_status="failed"
+    echo "   FAILED exit=${exit_code} (see ${outdir}/${name}.txt)" >&2
     status=1
+    failed=$((failed + 1))
+  elif [ ! -s "${outdir}/${name}.json" ]; then
+    bench_status="no-json"
+    echo "   FAILED: produced no JSON output" >&2
+    status=1
+    failed=$((failed + 1))
   fi
+  ran=$((ran + 1))
+  [ -n "${entries}" ] && entries="${entries},"
+  entries="${entries}
+    {\"name\": \"${name}\", \"status\": \"${bench_status}\", \
+\"exit_code\": ${exit_code}, \"json\": \"${name}.json\", \
+\"txt\": \"${name}.txt\"}"
 done
 
-echo "wrote $(ls "${outdir}"/*.json 2>/dev/null | wc -l) JSON files to ${outdir}/"
+cat >"${manifest}" <<EOF
+{
+  "benches_run": ${ran},
+  "benches_failed": ${failed},
+  "ok": $([ "${status}" -eq 0 ] && echo true || echo false),
+  "benches": [${entries}
+  ]
+}
+EOF
+
+echo "wrote $(ls "${outdir}"/*.json 2>/dev/null | wc -l) JSON files to ${outdir}/ (manifest: ${manifest})"
+if [ "${status}" -ne 0 ]; then
+  echo "error: ${failed} bench(es) failed" >&2
+fi
 exit "${status}"

@@ -65,7 +65,7 @@ struct ReplicaConfig {
 
   const crypto::CryptoSuite* suite = nullptr;
   Bytes secret_key;
-  std::vector<Bytes> public_keys;  // 1-based; [0] unused
+  crypto::PublicKeyDir public_keys;  // 1-based; [0] unused; shared storage
 
   [[nodiscard]] std::uint32_t q() const;           // probabilistic quorum
   [[nodiscard]] std::uint32_t sample_size() const; // s = ceil(o q), <= n

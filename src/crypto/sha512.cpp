@@ -53,6 +53,9 @@ Sha512::Sha512() {
 }
 
 Sha512& Sha512::update(ByteSpan data) {
+  // An empty span may carry a null pointer, which memcpy must never see
+  // (UBSan: "null pointer passed as argument declared to never be null").
+  if (data.empty()) return *this;
   total_bytes_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

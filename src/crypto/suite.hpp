@@ -20,6 +20,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 
@@ -28,6 +29,34 @@ namespace probft::crypto {
 struct KeyPair {
   Bytes public_key;
   Bytes secret_key;
+};
+
+/// Immutable, shared directory of per-replica public keys (1-based, index 0
+/// unused). Configs hold it by value and copies share storage, so an
+/// n-replica cluster keeps ONE key table instead of n copies — the per-run
+/// setup cost used to be O(n²) in key bytes, which dominated cluster
+/// construction at n ≥ 500.
+class PublicKeyDir {
+ public:
+  PublicKeyDir() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): adopting a key vector is
+  // the single intended conversion; call sites build the vector once and
+  // share the resulting directory.
+  PublicKeyDir(std::vector<Bytes> keys)
+      : keys_(std::make_shared<const std::vector<Bytes>>(std::move(keys))) {}
+
+  [[nodiscard]] const Bytes& operator[](std::size_t i) const {
+    // Indexing an unconfigured directory is a caller bug; throw instead of
+    // dereferencing null (configs validate size() at construction, but
+    // default-constructed ByzantineEnv-style holders never do).
+    static const std::vector<Bytes> kEmpty;
+    return keys_ ? (*keys_)[i] : kEmpty.at(i);
+  }
+  [[nodiscard]] std::size_t size() const { return keys_ ? keys_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  std::shared_ptr<const std::vector<Bytes>> keys_;
 };
 
 struct VrfResult {

@@ -119,7 +119,7 @@ struct HotStuffConfig {
 
   const crypto::CryptoSuite* suite = nullptr;
   Bytes secret_key;
-  std::vector<Bytes> public_keys;
+  crypto::PublicKeyDir public_keys;
 
   [[nodiscard]] std::uint32_t quorum() const { return (n + f + 2) / 2; }
 };

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -34,6 +35,13 @@ struct LatencyConfig {
   double hold_until_gst_prob = 0.0;  // chance a pre-GST send is held to GST+
   double duplicate_prob = 0.0;       // chance a message is delivered twice
                                      // (with an independent second delay)
+  // Per-link reordering adversary: with probability `reorder_prob` a
+  // message picks up an extra delay in [0, reorder_delay_max], so later
+  // sends on the same link routinely overtake it. The extra delay is
+  // bounded, so the system stays partially synchronous with an effective
+  // Δ' = max_delay_post + reorder_delay_max.
+  double reorder_prob = 0.0;
+  Duration reorder_delay_max = 0;
 };
 
 class Network {
@@ -85,6 +93,13 @@ class Network {
   [[nodiscard]] const LatencyConfig& config() const { return config_; }
 
  private:
+  /// Broadcast/multicast share one immutable heap buffer across the whole
+  /// fan-out instead of copying the payload per recipient — at n = 2000 a
+  /// broadcast used to clone the payload 1999 times.
+  using SharedPayload = std::shared_ptr<const Bytes>;
+  void send_shared(ReplicaId from, ReplicaId to, std::uint8_t tag,
+                   SharedPayload payload);
+
   [[nodiscard]] Duration draw_delay();
 
   Simulator& sim_;

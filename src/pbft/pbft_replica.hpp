@@ -42,7 +42,7 @@ struct PbftConfig {
 
   const crypto::CryptoSuite* suite = nullptr;
   Bytes secret_key;
-  std::vector<Bytes> public_keys;
+  crypto::PublicKeyDir public_keys;
 
   /// Deterministic quorum ⌈(n+f+1)/2⌉ used in every phase.
   [[nodiscard]] std::uint32_t quorum() const { return (n + f + 2) / 2; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/rng.hpp"
 #include "core/messages.hpp"
 
 namespace probft::sim {
@@ -21,6 +22,44 @@ std::uint32_t ByzantineEnv::sample_size() const {
   const auto raw =
       static_cast<std::uint32_t>(std::ceil(o * static_cast<double>(q())));
   return std::min(raw, n);
+}
+
+// ---------------- ChurnPlan ----------------
+
+ChurnPlan ChurnPlan::make(std::uint32_t n, std::uint32_t victims,
+                          std::uint64_t seed, TimePoint earliest,
+                          TimePoint latest) {
+  ChurnPlan plan;
+  plan.window_.assign(n + 1, {0, 0});
+  if (n == 0 || victims == 0 || latest <= earliest) return plan;
+  victims = std::min(victims, n);
+
+  Xoshiro256StarStar rng(mix64(seed, 0x636875726eULL));  // "churn"
+  const TimePoint span = latest - earliest;
+  // Crashes start in the first half of the window so every victim has room
+  // to recover by `latest`; outage lengths span [span/8, span/2].
+  const auto picks = sample_without_replacement(rng, n, victims);
+  std::vector<ReplicaId> chosen(picks.size());
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    chosen[i] = static_cast<ReplicaId>(picks[i] + 1);
+  }
+  std::sort(chosen.begin(), chosen.end());
+
+  for (const ReplicaId id : chosen) {
+    const TimePoint down = earliest + rng.bounded(span / 2 + 1);
+    const Duration length =
+        span / 8 + rng.bounded(span / 2 - span / 8 + 1);
+    const TimePoint up = std::min<TimePoint>(down + length, latest);
+    plan.outages.push_back(Outage{id, down, up});
+    plan.window_[id] = {down, up};
+  }
+  return plan;
+}
+
+bool ChurnPlan::is_down(ReplicaId id, TimePoint now) const {
+  if (id >= window_.size()) return false;
+  const auto& [down, up] = window_[id];
+  return now >= down && now < up && up > down;
 }
 
 // ---------------- AttackPlan ----------------

@@ -61,6 +61,34 @@ struct AttackPlan {
                          Bytes value_a, Bytes value_b);
 };
 
+/// Deterministic churn schedule (crash + recovery): each victim replica is
+/// network-dead during [down_from, up_at) — every message to or from it is
+/// dropped, modeling a crash that loses in-flight and incoming traffic.
+/// After up_at the replica rejoins with its pre-crash state and catches up
+/// through the view synchronizer (decided peers keep answering NewLeader /
+/// Wish traffic), so a benign churn scenario still terminates.
+struct ChurnPlan {
+  struct Outage {
+    ReplicaId replica = 0;
+    TimePoint down_from = 0;
+    TimePoint up_at = 0;
+  };
+  std::vector<Outage> outages;  // one per victim, sorted by replica id
+
+  /// Draws `victims` distinct replicas (of n) and per-victim outage windows
+  /// inside [earliest, latest], all deterministically from `seed`.
+  static ChurnPlan make(std::uint32_t n, std::uint32_t victims,
+                        std::uint64_t seed, TimePoint earliest,
+                        TimePoint latest);
+
+  /// O(1) lookup used by the network drop filter.
+  [[nodiscard]] bool is_down(ReplicaId id, TimePoint now) const;
+
+ private:
+  /// Dense per-replica [down_from, up_at) windows, index 0 unused.
+  std::vector<std::pair<TimePoint, TimePoint>> window_;
+};
+
 struct ByzantineEnv {
   ReplicaId id = 0;
   std::uint32_t n = 0;
@@ -69,7 +97,7 @@ struct ByzantineEnv {
   double l = 2.0;
   const crypto::CryptoSuite* suite = nullptr;
   Bytes secret_key;
-  std::vector<Bytes> public_keys;
+  crypto::PublicKeyDir public_keys;
   std::function<void(ReplicaId to, std::uint8_t tag, const Bytes&)> send;
   std::function<void(std::uint8_t tag, const Bytes&)> broadcast;
 

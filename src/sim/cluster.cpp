@@ -52,10 +52,13 @@ bool Cluster::is_byzantine(ReplicaId id) const {
 }
 
 void Cluster::build_nodes() {
-  std::vector<Bytes> public_keys(cfg_.n + 1);
+  // One shared key directory for the whole cluster (configs copy the
+  // handle, not the n keys).
+  std::vector<Bytes> key_table(cfg_.n + 1);
   for (ReplicaId id = 1; id <= cfg_.n; ++id) {
-    public_keys[id] = keys_[id].public_key;
+    key_table[id] = keys_[id].public_key;
   }
+  const crypto::PublicKeyDir public_keys(std::move(key_table));
 
   // Attack plan (shared by equivocating leader and colluders).
   std::vector<bool> byz(cfg_.n + 1, false);
@@ -83,6 +86,7 @@ void Cluster::build_nodes() {
     auto on_decide = [this, id](View view, const Bytes& value) {
       if (!decided_[id]) {
         decided_[id] = true;
+        if (!is_byzantine(id)) ++correct_decided_;
         decisions_.push_back(DecisionRecord{id, view, value, sim_.now()});
       }
     };
@@ -178,6 +182,11 @@ void Cluster::build_nodes() {
           nodes_[id]->on_message(from, tag, m);
         });
   }
+
+  correct_total_ = 0;
+  for (ReplicaId id = 1; id <= cfg_.n; ++id) {
+    if (!is_byzantine(id)) ++correct_total_;
+  }
 }
 
 void Cluster::start() {
@@ -205,18 +214,11 @@ std::vector<ReplicaId> Cluster::correct_ids() const {
 }
 
 std::size_t Cluster::correct_decided_count() const {
-  std::size_t count = 0;
-  for (const ReplicaId id : correct_ids()) {
-    if (decided_[id]) ++count;
-  }
-  return count;
+  return correct_decided_;
 }
 
 bool Cluster::all_correct_decided() const {
-  for (const ReplicaId id : correct_ids()) {
-    if (!decided_[id]) return false;
-  }
-  return true;
+  return correct_decided_ == correct_total_;
 }
 
 std::set<Bytes> Cluster::decided_values() const {

@@ -126,7 +126,11 @@ class Cluster {
   std::vector<std::unique_ptr<core::INode>> nodes_;  // 1-based
   std::shared_ptr<const AttackPlan> plan_;
   std::vector<DecisionRecord> decisions_;
-  std::vector<bool> decided_;  // per correct replica, 1-based
+  std::vector<bool> decided_;  // per replica, 1-based
+  // Decided-counter pair so the run loop's completion check is O(1) per
+  // event instead of an O(n) scan — at n = 2000 the scan dominated runs.
+  std::size_t correct_total_ = 0;
+  std::size_t correct_decided_ = 0;
 };
 
 }  // namespace probft::sim

@@ -32,6 +32,9 @@ const char* to_string(Fault fault) {
     case Fault::kEquivocate: return "equivocate";
     case Fault::kFlood: return "flood";
     case Fault::kPartitionUntilGst: return "partition";
+    case Fault::kChurnRecovery: return "churn";
+    case Fault::kAsymmetricPartition: return "asym-partition";
+    case Fault::kReorderAdversary: return "reorder";
   }
   return "?";
 }
@@ -53,8 +56,11 @@ const std::vector<Protocol>& all_protocols() {
 
 const std::vector<Fault>& all_faults() {
   static const std::vector<Fault> kFaults = {
-      Fault::kNone,       Fault::kSilentLeader, Fault::kSilentFollowers,
-      Fault::kEquivocate, Fault::kFlood,        Fault::kPartitionUntilGst};
+      Fault::kNone,          Fault::kSilentLeader,
+      Fault::kSilentFollowers, Fault::kEquivocate,
+      Fault::kFlood,         Fault::kPartitionUntilGst,
+      Fault::kChurnRecovery, Fault::kAsymmetricPartition,
+      Fault::kReorderAdversary};
   return kFaults;
 }
 
@@ -115,11 +121,21 @@ bool fault_applicable(const ScenarioSpec& spec) {
       return spec.protocol == Protocol::kProbft && spec.f >= 1;
     case Fault::kPartitionUntilGst:
       return spec.n >= 2;
+    case Fault::kChurnRecovery:
+      // The fault budget doubles as the churn victim count.
+      return spec.f >= 1 && spec.n >= 2;
+    case Fault::kAsymmetricPartition:
+      return spec.n >= 2;
+    case Fault::kReorderAdversary:
+      return true;
   }
   return false;
 }
 
 bool fault_expects_termination(Fault fault) {
+  // Churn victims recover, the asymmetric partition heals at GST and the
+  // reordering adversary only stretches delays within a bound — all three
+  // are benign for liveness, like the crash/partition faults.
   return fault != Fault::kEquivocate && fault != Fault::kFlood;
 }
 
@@ -158,6 +174,12 @@ ClusterConfig make_cluster_config(const ScenarioSpec& spec,
   switch (spec.fault) {
     case Fault::kNone:
     case Fault::kPartitionUntilGst:
+    case Fault::kChurnRecovery:        // honest victims; dropped at the net
+    case Fault::kAsymmetricPartition:  // realized as a network filter
+      break;
+    case Fault::kReorderAdversary:
+      cfg.latency.reorder_prob = 0.3;
+      cfg.latency.reorder_delay_max = 50'000;  // Δ' = Δ + 50 ms
       break;
     case Fault::kSilentLeader:
       cfg.behaviors[0] = Behavior::kSilent;  // leader(1) = replica 1
@@ -179,7 +201,9 @@ ClusterConfig make_cluster_config(const ScenarioSpec& spec,
       break;
   }
 
-  if (spec.fault == Fault::kPartitionUntilGst && cfg.latency.gst == 0) {
+  if ((spec.fault == Fault::kPartitionUntilGst ||
+       spec.fault == Fault::kAsymmetricPartition) &&
+      cfg.latency.gst == 0) {
     cfg.latency.gst = 300'000;  // the partition needs a healing point
   }
   return cfg;
@@ -221,6 +245,34 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
           if (sim->now() >= gst) return false;
           return (from <= half) != (to <= half);
         });
+  } else if (spec.fault == Fault::kAsymmetricPartition) {
+    // One-directional outage: until GST, half B never hears half A (A→B
+    // dropped) while B→A flows normally. Heals at GST.
+    const std::uint32_t half = spec.n / 2;
+    const TimePoint gst = cluster.config().latency.gst;
+    auto* sim = &cluster.simulator();
+    cluster.network().set_filter(
+        [half, gst, sim](ReplicaId from, ReplicaId to, std::uint8_t) {
+          if (sim->now() >= gst) return false;
+          return from <= half && to > half;
+        });
+  } else if (spec.fault == Fault::kChurnRecovery) {
+    // f honest replicas go network-dead for a while and rejoin; messages
+    // to or from a down replica are lost (crash + recovery model).
+    // Outages may start at t = 0 so churn overlaps the first-view decision
+    // phase (happy-path decisions land within ~20 virtual ms), and every
+    // victim recovers before the deadline — otherwise a short --deadline-ms
+    // would turn the benign fault into a spurious liveness failure.
+    const TimePoint recover_by =
+        std::min<TimePoint>(400'000, spec.deadline / 2);
+    const auto plan = std::make_shared<const ChurnPlan>(
+        ChurnPlan::make(spec.n, spec.f, seed, /*earliest=*/0, recover_by));
+    auto* sim = &cluster.simulator();
+    cluster.network().set_filter(
+        [plan, sim](ReplicaId from, ReplicaId to, std::uint8_t) {
+          const TimePoint now = sim->now();
+          return plan->is_down(from, now) || plan->is_down(to, now);
+        });
   }
 
   cluster.start();
@@ -234,6 +286,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
   outcome.correct = cluster.correct_ids().size();
   outcome.messages = cluster.network().stats().sends;
   outcome.bytes = cluster.network().stats().bytes_sent;
+  outcome.events = cluster.simulator().events_fired();
   for (const auto& d : cluster.decisions()) {
     outcome.max_view = std::max(outcome.max_view, d.view);
     outcome.last_decision_at = std::max(outcome.last_decision_at, d.at);

@@ -25,12 +25,15 @@ namespace probft::sim {
 /// Fault injected into a scenario. Faults are descriptions, not per-replica
 /// behavior vectors; the harness derives the vector from (fault, n, f).
 enum class Fault {
-  kNone,              // all replicas honest
-  kSilentLeader,      // the view-1 leader crashes
-  kSilentFollowers,   // the f highest-id replicas crash
-  kEquivocate,        // Fig. 4c optimal-split: leader + f-1 colluders
-  kFlood,             // one replica floods forged-sample messages
-  kPartitionUntilGst, // network splits in half until GST, then heals
+  kNone,               // all replicas honest
+  kSilentLeader,       // the view-1 leader crashes
+  kSilentFollowers,    // the f highest-id replicas crash
+  kEquivocate,         // Fig. 4c optimal-split: leader + f-1 colluders
+  kFlood,              // one replica floods forged-sample messages
+  kPartitionUntilGst,  // network splits in half until GST, then heals
+  kChurnRecovery,      // f replicas crash (network-dead) and rejoin
+  kAsymmetricPartition,  // until GST half A hears half B but not vice versa
+  kReorderAdversary,   // adversarial per-link message reordering
 };
 
 /// Latency presets over net::LatencyConfig.
@@ -67,6 +70,7 @@ struct ScenarioOutcome {
   View max_view = 0;
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t events = 0;  // simulator events executed by the run
   TimePoint last_decision_at = 0;
   /// Canonical decision transcript: one "replica view valuehex at" line per
   /// decision in decision order. Equal transcripts ⇔ bit-identical runs,

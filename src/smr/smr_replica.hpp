@@ -44,7 +44,7 @@ struct SmrConfig {
 
   const crypto::CryptoSuite* suite = nullptr;
   Bytes secret_key;
-  std::vector<Bytes> public_keys;
+  crypto::PublicKeyDir public_keys;
 
   /// Consensus pacing (per-slot synchronizer settings).
   sync::SyncConfig sync;

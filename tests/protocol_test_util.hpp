@@ -39,11 +39,12 @@ class TestBed {
           std::uint64_t seed = 1)
       : n_(n), f_(f), o_(o), l_(l), suite_(crypto::make_sim_suite()) {
     keys_.resize(n + 1);
-    public_keys_.resize(n + 1);
+    std::vector<Bytes> key_table(n + 1);
     for (ReplicaId id = 1; id <= n; ++id) {
       keys_[id] = suite_->keygen(mix64(seed, id));
-      public_keys_[id] = keys_[id].public_key;
+      key_table[id] = keys_[id].public_key;
     }
+    public_keys_ = crypto::PublicKeyDir(std::move(key_table));
   }
 
   [[nodiscard]] std::uint32_t n() const { return n_; }
@@ -248,7 +249,7 @@ class TestBed {
   double o_, l_;
   std::unique_ptr<crypto::CryptoSuite> suite_;
   std::vector<crypto::KeyPair> keys_;
-  std::vector<Bytes> public_keys_;
+  crypto::PublicKeyDir public_keys_;
 };
 
 }  // namespace probft::testutil

@@ -14,16 +14,17 @@ struct Bed {
   std::unique_ptr<crypto::CryptoSuite> suite = crypto::make_sim_suite();
   std::uint32_t n = 7, f = 2;  // quorum = ceil((7+2+1)/2) = 5
   std::vector<crypto::KeyPair> keys;
-  std::vector<Bytes> public_keys;
+  crypto::PublicKeyDir public_keys;
   std::vector<std::pair<std::uint8_t, Bytes>> outbox;  // (tag, payload)
 
   Bed() {
     keys.resize(n + 1);
-    public_keys.resize(n + 1);
+    std::vector<Bytes> key_table(n + 1);
     for (ReplicaId id = 1; id <= n; ++id) {
       keys[id] = suite->keygen(mix64(7, id));
-      public_keys[id] = keys[id].public_key;
+      key_table[id] = keys[id].public_key;
     }
+    public_keys = crypto::PublicKeyDir(std::move(key_table));
   }
 
   std::unique_ptr<HotStuffReplica> make(ReplicaId id) {

@@ -16,13 +16,15 @@ namespace {
 ScenarioSpec matrix_base() { return conformance_base_spec(); }
 
 TEST(ScenarioMatrix, BenignFaultsTerminateWithAgreement) {
-  const std::vector<Fault> faults = {Fault::kNone, Fault::kSilentLeader,
-                                     Fault::kSilentFollowers,
-                                     Fault::kPartitionUntilGst};
+  const std::vector<Fault> faults = {
+      Fault::kNone,          Fault::kSilentLeader,
+      Fault::kSilentFollowers, Fault::kPartitionUntilGst,
+      Fault::kChurnRecovery, Fault::kAsymmetricPartition,
+      Fault::kReorderAdversary};
   const std::vector<std::uint64_t> seeds = {1, 2};
 
   const auto specs = expand_matrix(all_protocols(), faults, seeds, matrix_base());
-  ASSERT_EQ(specs.size(), 12U);  // 3 protocols × 4 applicable faults
+  ASSERT_EQ(specs.size(), 21U);  // 3 protocols × 7 applicable faults
 
   std::size_t combinations = 0;
   for (const auto& result : run_matrix(specs)) {

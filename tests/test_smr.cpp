@@ -27,11 +27,12 @@ struct Fleet {
     net = std::make_unique<net::Network>(sim, n, seed, latency);
     suite = crypto::make_sim_suite();
     keys.resize(n + 1);
-    std::vector<Bytes> public_keys(n + 1);
+    std::vector<Bytes> key_table(n + 1);
     for (ReplicaId id = 1; id <= n; ++id) {
       keys[id] = suite->keygen(mix64(seed, id));
-      public_keys[id] = keys[id].public_key;
+      key_table[id] = keys[id].public_key;
     }
+    const crypto::PublicKeyDir public_keys(std::move(key_table));
     commits.resize(n + 1);
     replicas.resize(n + 1);
     for (ReplicaId id = 1; id <= n; ++id) {
