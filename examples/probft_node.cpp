@@ -1,0 +1,221 @@
+// One consensus replica per OS process, over real TCP sockets.
+//
+//   terminal 1: ./probft_node --id 1 --peers 127.0.0.1:9001,...,127.0.0.1:9004
+//   terminal 2: ./probft_node --id 2 --peers <same list>
+//   ...
+//
+// The peer list is 1-based and shared verbatim by every process: entry i is
+// replica i's listen address, and the cluster size n is the list's length.
+// Key material is derived deterministically from --seed (the same scheme
+// the simulator uses), so processes need no key exchange; --suite ed25519
+// switches from the fast simulation suite to real Ed25519 + ECVRF.
+//
+// The process prints one line when its replica decides:
+//   DECIDED id=<id> view=<v> value=<hex>
+// then keeps serving peers for --linger-ms (so slower replicas can finish)
+// and exits 0. It exits 1 if --deadline-ms passes without a decision.
+// scripts/run_tcp_cluster.sh launches an n=4 loopback cluster and asserts
+// all four lines agree.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/tcp_transport.hpp"
+#include "sim/node_factory.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace probft;
+
+struct Options {
+  ReplicaId id = 0;
+  std::vector<net::PeerAddress> peers;  // index 0 = replica 1
+  sim::Protocol protocol = sim::Protocol::kProbft;
+  std::uint32_t f = 0;
+  double o = 1.7;
+  double l = 2.0;
+  std::uint64_t seed = 1;
+  std::string suite = "sim";
+  Bytes value;  // empty = the default per-replica value
+  std::uint64_t deadline_ms = 30'000;
+  std::uint64_t linger_ms = 2'000;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: probft_node --id I --peers host:port,host:port,...\n"
+      "                   [--protocol probft|pbft|hotstuff] [--f F]\n"
+      "                   [--o O] [--l L] [--seed S] [--suite sim|ed25519]\n"
+      "                   [--value STRING] [--deadline-ms MS]\n"
+      "                   [--linger-ms MS]\n");
+}
+
+std::uint64_t parse_u64(const std::string& text) {
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    throw std::invalid_argument(text);
+  }
+  std::size_t consumed = 0;
+  const std::uint64_t value = std::stoull(text, &consumed);
+  if (consumed != text.size()) throw std::invalid_argument(text);
+  return value;
+}
+
+net::PeerAddress parse_host_port(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    throw std::invalid_argument("peer must be host:port: " + text);
+  }
+  const std::uint64_t port = parse_u64(text.substr(colon + 1));
+  if (port == 0 || port > 65535) {
+    throw std::invalid_argument("bad port in " + text);
+  }
+  return net::PeerAddress{text.substr(0, colon),
+                          static_cast<std::uint16_t>(port)};
+}
+
+std::vector<net::PeerAddress> parse_peers(const std::string& csv) {
+  std::vector<net::PeerAddress> peers;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    peers.push_back(parse_host_port(csv.substr(pos, comma - pos)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return peers;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (i + 1 >= argc) return false;
+    const std::string value = argv[++i];
+    if (key == "--id") {
+      opt.id = static_cast<ReplicaId>(parse_u64(value));
+    } else if (key == "--peers") {
+      opt.peers = parse_peers(value);
+    } else if (key == "--protocol") {
+      if (!sim::protocol_from_string(value, opt.protocol)) return false;
+    } else if (key == "--f") {
+      opt.f = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "--o") {
+      opt.o = std::stod(value);
+    } else if (key == "--l") {
+      opt.l = std::stod(value);
+    } else if (key == "--seed") {
+      opt.seed = parse_u64(value);
+    } else if (key == "--suite") {
+      if (value != "sim" && value != "ed25519") return false;
+      opt.suite = value;
+    } else if (key == "--value") {
+      opt.value = to_bytes(value);
+    } else if (key == "--deadline-ms") {
+      opt.deadline_ms = parse_u64(value);
+    } else if (key == "--linger-ms") {
+      opt.linger_ms = parse_u64(value);
+    } else {
+      return false;
+    }
+  }
+  return opt.id >= 1 && opt.peers.size() >= 2 &&
+         opt.id <= opt.peers.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    if (!parse_args(argc, argv, opt)) {
+      usage();
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad argument: %s\n", e.what());
+    usage();
+    return 2;
+  }
+  const auto n = static_cast<std::uint32_t>(opt.peers.size());
+
+  // Deterministic cluster-wide key material, same derivation as the
+  // simulator: replica i's keypair is keygen(mix64(seed, i)).
+  const auto suite = opt.suite == "ed25519" ? crypto::make_ed25519_suite()
+                                            : crypto::make_sim_suite();
+  std::vector<Bytes> key_table(n + 1);
+  Bytes secret_key;
+  for (ReplicaId id = 1; id <= n; ++id) {
+    auto keys = suite->keygen(mix64(opt.seed, id));
+    key_table[id] = std::move(keys.public_key);
+    if (id == opt.id) secret_key = std::move(keys.secret_key);
+  }
+
+  net::TcpTransportConfig tc;
+  tc.self = opt.id;
+  tc.n = n;
+  tc.listen_host = opt.peers[opt.id - 1].host;
+  tc.listen_port = opt.peers[opt.id - 1].port;
+  for (ReplicaId id = 1; id <= n; ++id) tc.peers[id] = opt.peers[id - 1];
+
+  std::unique_ptr<net::TcpTransport> transport;
+  try {
+    transport = std::make_unique<net::TcpTransport>(std::move(tc));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot start transport: %s\n", e.what());
+    return 1;
+  }
+
+  sim::NodeParams params;
+  params.protocol = opt.protocol;
+  params.id = opt.id;
+  params.n = n;
+  params.f = opt.f;
+  params.o = opt.o;
+  params.l = opt.l;
+  params.my_value = opt.value.empty()
+                        ? sim::default_node_value({}, opt.id)
+                        : opt.value;
+  params.suite = suite.get();
+  params.secret_key = secret_key;
+  params.public_keys = crypto::PublicKeyDir(std::move(key_table));
+  // Real clusters need the first view to survive process startup and
+  // connection establishment (dial retries run at 100 ms), so the view-1
+  // timer is generous compared to the simulator's 100 ms default.
+  params.sync.base_timeout = 1'000'000;  // 1 s
+
+  bool decided = false;
+  core::ProtocolHost host = sim::transport_host(*transport, opt.id,
+                                                transport->timer_setter());
+  host.on_decide = [&decided, &opt](View view, const Bytes& value) {
+    if (decided) return;
+    decided = true;
+    std::printf("DECIDED id=%u view=%llu value=%s\n", opt.id,
+                static_cast<unsigned long long>(view),
+                to_hex(value).c_str());
+    std::fflush(stdout);
+  };
+
+  const auto node = sim::make_honest_node(params, std::move(host));
+  transport->register_handler(
+      opt.id, [&node](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+        node->on_message(from, tag, m);
+      });
+
+  node->start();
+  transport->run_until([&decided]() { return decided; },
+                       opt.deadline_ms * 1000);
+  if (!decided) {
+    std::fprintf(stderr, "no decision within %llu ms\n",
+                 static_cast<unsigned long long>(opt.deadline_ms));
+    return 1;
+  }
+  // Keep answering peers so slower replicas can reach their own quorums.
+  transport->run_until(nullptr, opt.linger_ms * 1000);
+  return 0;
+}

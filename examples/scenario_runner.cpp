@@ -35,6 +35,7 @@
 
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
+#include "sim/tcp_runner.hpp"
 
 namespace {
 
@@ -44,6 +45,7 @@ struct Options {
   sim::ScenarioSpec spec = sim::conformance_base_spec();
   sim::SweepConfig sweep;
   bool matrix = false;
+  bool tcp = false;  // --transport tcp-loopback: real sockets, small n
   std::vector<sim::Protocol> protocols;  // empty = all (matrix mode)
   std::vector<sim::Fault> faults;        // empty = all (matrix mode)
   std::string json_path;
@@ -64,7 +66,13 @@ void usage() {
       "                       [--matrix] [--protocols P1,P2] "
       "[--faults F1,F2]\n"
       "                       [--jobs N] [--budget-seconds S] "
-      "[--json FILE]\n");
+      "[--json FILE]\n"
+      "                       [--transport sim|tcp-loopback]\n"
+      "\n"
+      "--transport tcp-loopback runs each scenario over real 127.0.0.1\n"
+      "sockets (net::TcpTransport, one thread per replica) instead of the\n"
+      "deterministic simulator: crash faults only, small n, wall-clock\n"
+      "bounded. Matrix mode skips simulator-only faults there.\n");
 }
 
 /// Strict full-string numeric parses: trailing garbage ("16abc") and
@@ -195,6 +203,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (key == "--json") {
       if (value.empty()) return false;
       opt.json_path = value;
+    } else if (key == "--transport") {
+      if (value == "sim") {
+        opt.tcp = false;
+      } else if (value == "tcp-loopback") {
+        opt.tcp = true;
+      } else {
+        return false;
+      }
     } else {
       return false;
     }
@@ -266,6 +282,52 @@ int main(int argc, char** argv) {
     opt.spec.expect_termination =
         sim::fault_expects_termination(opt.spec.fault);
     specs.push_back(opt.spec);
+  }
+
+  if (opt.tcp) {
+    // Real sockets: serial execution, one OS thread per replica inside
+    // each run. Simulator-only faults cannot be realized here — reject a
+    // single-spec request outright, skip them (visibly) in matrix mode.
+    if (opt.spec.n > 64) {
+      std::fprintf(stderr, "tcp-loopback supports n <= 64\n");
+      return 2;
+    }
+    if (!opt.json_path.empty() || opt.sweep.budget_seconds > 0 ||
+        opt.sweep.jobs != 1) {
+      std::fprintf(stderr,
+                   "--json/--budget-seconds/--jobs are sim-transport only "
+                   "(tcp-loopback runs serially, one thread per replica)\n");
+      return 2;
+    }
+    bool safe = true;
+    bool live = true;
+    std::size_t ran = 0;
+    for (const auto& spec : specs) {
+      if (!sim::tcp_fault_supported(spec.fault)) {
+        if (!opt.matrix) {
+          std::fprintf(stderr, "fault %s is simulator-only\n",
+                       sim::to_string(spec.fault));
+          return 2;
+        }
+        std::fprintf(stderr, "SKIP %s (simulator-only fault)\n",
+                     sim::scenario_name(spec).c_str());
+        continue;
+      }
+      for (const std::uint64_t seed : spec.seeds) {
+        const auto outcome = sim::run_scenario_tcp(spec, seed);
+        print_result(spec, outcome);
+        ++ran;
+        safe = safe && outcome.agreement;
+        if (spec.expect_termination) live = live && outcome.terminated;
+      }
+    }
+    if (!safe) std::fprintf(stderr, "AGREEMENT VIOLATED\n");
+    if (!live) std::fprintf(stderr, "termination expectation missed\n");
+    if (ran == 0) {
+      std::fprintf(stderr, "no tcp-loopback-capable scenarios selected\n");
+      return 2;
+    }
+    return safe && live ? 0 : 1;
   }
 
   const sim::SweepReport report = sim::run_sweep(specs, opt.sweep);

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     cfg.suite = suite.get();
     cfg.secret_key = keys[id].secret_key;
     cfg.public_keys = public_keys;
-    smr::SmrReplica::Hooks hooks;
+    core::ProtocolHost hooks;
     hooks.send = [&network, id](ReplicaId to, std::uint8_t tag,
                                 const Bytes& m) {
       network.send(id, to, tag, m);

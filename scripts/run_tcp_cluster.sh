@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Launches an n-replica consensus cluster as real OS processes on
+# 127.0.0.1 and asserts that every replica decides the same value.
+#
+#   usage: scripts/run_tcp_cluster.sh [BUILD_DIR] [PROTOCOL] [N]
+#
+#   BUILD_DIR  directory containing examples/probft_node (default: build)
+#   PROTOCOL   probft | pbft | hotstuff                  (default: probft)
+#   N          cluster size                              (default: 4)
+#
+# Exits 0 iff all N processes printed a DECIDED line with one common value
+# within the timeout. This is the CI smoke test for the TCP backend
+# (.github/workflows/ci.yml, job `tcp-smoke`).
+set -u
+
+BUILD_DIR=${1:-build}
+PROTOCOL=${2:-probft}
+N=${3:-4}
+NODE_BIN="$BUILD_DIR/examples/probft_node"
+DEADLINE_MS=${DEADLINE_MS:-30000}
+LINGER_MS=${LINGER_MS:-2000}
+
+if [[ ! -x "$NODE_BIN" ]]; then
+  echo "error: $NODE_BIN not found (build the examples first)" >&2
+  exit 2
+fi
+
+# Derive a port range from the PID so concurrent CI jobs don't collide;
+# retry the whole cluster on a fresh range if a port was taken.
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  (( ${#pids[@]} )) && kill "${pids[@]}" 2>/dev/null
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+attempt=0
+while (( attempt < 3 )); do
+  attempt=$((attempt + 1))
+  base_port=$(( 20000 + ( ( $$ + attempt * 1000 + RANDOM % 997 ) % 40000 ) ))
+  peers=""
+  for (( i = 0; i < N; i++ )); do
+    peers+="${peers:+,}127.0.0.1:$(( base_port + i ))"
+  done
+  echo "attempt $attempt: protocol=$PROTOCOL n=$N peers=$peers"
+
+  pids=()
+  for (( id = 1; id <= N; id++ )); do
+    timeout $(( DEADLINE_MS / 1000 + LINGER_MS / 1000 + 15 )) \
+      "$NODE_BIN" --id "$id" --peers "$peers" --protocol "$PROTOCOL" \
+        --deadline-ms "$DEADLINE_MS" --linger-ms "$LINGER_MS" \
+        > "$workdir/node-$id.out" 2> "$workdir/node-$id.err" &
+    pids+=($!)
+  done
+
+  failures=0
+  for (( id = 1; id <= N; id++ )); do
+    wait "${pids[$((id - 1))]}" || failures=$((failures + 1))
+  done
+
+  if (( failures > 0 )); then
+    # A bind failure (port stolen between attempts) is retryable; anything
+    # else is a real failure — tell them apart by stderr content.
+    if grep -lq "cannot start transport" "$workdir"/node-*.err 2>/dev/null; then
+      echo "port clash, retrying on a new range" >&2
+      continue
+    fi
+    echo "FAIL: $failures/$N nodes did not decide" >&2
+    cat "$workdir"/node-*.err >&2
+    exit 1
+  fi
+
+  values=$(grep -h "^DECIDED" "$workdir"/node-*.out \
+             | sed 's/.*value=//' | sort -u)
+  count=$(cat "$workdir"/node-*.out | grep -c "^DECIDED")
+  if [[ $(wc -l <<< "$values") -ne 1 || "$count" -ne "$N" ]]; then
+    echo "FAIL: agreement violated or missing decisions" >&2
+    grep -h "^DECIDED" "$workdir"/node-*.out >&2
+    exit 1
+  fi
+
+  echo "OK: $N/$N replicas decided value=$values"
+  exit 0
+done
+
+echo "FAIL: could not find a free port range" >&2
+exit 1

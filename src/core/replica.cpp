@@ -56,8 +56,8 @@ std::uint32_t ReplicaConfig::det_quorum() const { return (n + f + 2) / 2; }
 // ---------------- Construction ----------------
 
 Replica::Replica(ReplicaConfig config, sync::SyncConfig sync_config,
-                 Hooks hooks)
-    : cfg_(std::move(config)), hooks_(std::move(hooks)) {
+                 ProtocolHost host)
+    : cfg_(std::move(config)), host_(std::move(host)) {
   if (cfg_.id == 0 || cfg_.id > cfg_.n || cfg_.suite == nullptr ||
       cfg_.public_keys.size() != cfg_.n + 1) {
     throw std::invalid_argument("Replica: bad configuration");
@@ -76,10 +76,10 @@ Replica::Replica(ReplicaConfig config, sync::SyncConfig sync_config,
         wish.sender = cfg_.id;
         wish.sender_sig = cfg_.suite->sign(cfg_.secret_key,
                                            wish.signing_bytes());
-        hooks_.broadcast(tag_byte(MsgTag::kWish), wish.to_bytes());
+        host_.broadcast(tag_byte(MsgTag::kWish), wish.to_bytes());
       },
       /*enter_view=*/[this](View v) { enter_view(v); },
-      /*set_timer=*/hooks_.set_timer);
+      /*set_timer=*/host_.set_timer);
 }
 
 void Replica::start() { synchronizer_->start(); }
@@ -145,7 +145,7 @@ void Replica::enter_view(View v) {
       msg.sender = cfg_.id;
       msg.sender_sig =
           cfg_.suite->sign(cfg_.secret_key, msg.signing_bytes());
-      hooks_.broadcast(tag_byte(MsgTag::kPropose), msg.to_bytes());
+      host_.broadcast(tag_byte(MsgTag::kPropose), msg.to_bytes());
       proposed_this_view_ = true;
       pending_proposes_.emplace(v, std::move(msg));  // self-delivery
     }
@@ -167,7 +167,7 @@ void Replica::send_new_leader() {
   msg.cert = prepared_cert_;
   msg.sender = cfg_.id;
   msg.sender_sig = cfg_.suite->sign(cfg_.secret_key, msg.signing_bytes());
-  hooks_.send(leader_of(cur_view_, cfg_.n), tag_byte(MsgTag::kNewLeader),
+  host_.send(leader_of(cur_view_, cfg_.n), tag_byte(MsgTag::kNewLeader),
               msg.to_bytes());
 }
 
@@ -266,7 +266,7 @@ void Replica::try_lead() {
   msg.justification = std::move(m_set);
   msg.sender = cfg_.id;
   msg.sender_sig = cfg_.suite->sign(cfg_.secret_key, msg.signing_bytes());
-  hooks_.broadcast(tag_byte(MsgTag::kPropose), msg.to_bytes());
+  host_.broadcast(tag_byte(MsgTag::kPropose), msg.to_bytes());
   proposed_this_view_ = true;
   pending_proposes_.emplace(cur_view_, std::move(msg));  // self-delivery
   try_vote();
@@ -344,7 +344,7 @@ void Replica::decide(const Bytes& value) {
   log::debug("replica %u decided in view %llu", cfg_.id,
              static_cast<unsigned long long>(cur_view_));
   if (cfg_.stop_sync_on_decide) synchronizer_->stop();
-  if (hooks_.on_decide) hooks_.on_decide(cur_view_, value);
+  if (host_.on_decide) host_.on_decide(cur_view_, value);
 }
 
 // ---------------- Equivocation (lines 23-25) ----------------
@@ -360,9 +360,9 @@ bool Replica::check_equivocation(const SignedProposal& p, std::uint8_t tag,
   block_view_ = true;
   log::debug("replica %u blocked view %llu (leader equivocation)", cfg_.id,
              static_cast<unsigned long long>(cur_view_));
-  hooks_.broadcast(tag, raw);
+  host_.broadcast(tag, raw);
   if (proposal_) {
-    hooks_.broadcast(tag_byte(MsgTag::kPropose), proposal_->to_bytes());
+    host_.broadcast(tag_byte(MsgTag::kPropose), proposal_->to_bytes());
   }
   return true;
 }
@@ -465,7 +465,7 @@ Bytes Replica::value_digest(const Bytes& value) const {
 void Replica::multicast_phase(MsgTag tag, const std::vector<ReplicaId>& sample,
                               const Bytes& payload) {
   for (const ReplicaId to : sample) {
-    hooks_.send(to, static_cast<std::uint8_t>(tag), payload);
+    host_.send(to, static_cast<std::uint8_t>(tag), payload);
   }
 }
 

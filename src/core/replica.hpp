@@ -1,9 +1,10 @@
 // ProBFT replica (paper §3.2, Algorithm 1).
 //
 // The replica is a pure state machine: it consumes (sender, tag, bytes) and
-// emits sends/broadcasts/timers through injected hooks, so unit tests can
-// drive it directly and the simulation harness wires it to the simulated
-// network. One instance solves one single-shot consensus.
+// emits sends/broadcasts/timers through an injected core::ProtocolHost, so
+// unit tests can drive it directly while the simulation harness and the TCP
+// backend wire it to their respective networks. One instance solves one
+// single-shot consensus.
 //
 // Protocol recap (normal case):
 //   1. Leader broadcasts ⟨Propose, ⟨v,x⟩, M⟩ (M = NewLeader justification,
@@ -36,6 +37,7 @@
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "core/messages.hpp"
+#include "core/protocol_host.hpp"
 #include "crypto/sampler.hpp"
 #include "crypto/suite.hpp"
 #include "sync/synchronizer.hpp"
@@ -74,18 +76,8 @@ struct ReplicaConfig {
 
 class Replica : public INode {
  public:
-  struct Hooks {
-    /// Point-to-point send.
-    std::function<void(ReplicaId to, std::uint8_t tag, const Bytes&)> send;
-    /// Broadcast to all replicas except self.
-    std::function<void(std::uint8_t tag, const Bytes&)> broadcast;
-    /// Timer facility for the synchronizer.
-    sync::Synchronizer::TimerSetter set_timer;
-    /// Decision callback (view, value); optional.
-    std::function<void(View, const Bytes&)> on_decide;
-  };
-
-  Replica(ReplicaConfig config, sync::SyncConfig sync_config, Hooks hooks);
+  Replica(ReplicaConfig config, sync::SyncConfig sync_config,
+          ProtocolHost host);
 
   void start() override;
   void on_message(ReplicaId from, std::uint8_t tag,
@@ -143,7 +135,7 @@ class Replica : public INode {
                        const Bytes& payload);
 
   ReplicaConfig cfg_;
-  Hooks hooks_;
+  ProtocolHost host_;
   std::unique_ptr<sync::Synchronizer> synchronizer_;
 
   // Algorithm 1 per-view state.

@@ -194,8 +194,8 @@ HsQcMsg HsQcMsg::from_bytes(ByteSpan data) {
 // ---------------- HotStuffReplica ----------------
 
 HotStuffReplica::HotStuffReplica(HotStuffConfig config,
-                                 sync::SyncConfig sync_config, Hooks hooks)
-    : cfg_(std::move(config)), hooks_(std::move(hooks)) {
+                                 sync::SyncConfig sync_config, core::ProtocolHost host)
+    : cfg_(std::move(config)), host_(std::move(host)) {
   if (cfg_.id == 0 || cfg_.id > cfg_.n || cfg_.suite == nullptr ||
       cfg_.public_keys.size() != cfg_.n + 1) {
     throw std::invalid_argument("HotStuffReplica: bad configuration");
@@ -213,11 +213,11 @@ HotStuffReplica::HotStuffReplica(HotStuffConfig config,
         wish.sender = cfg_.id;
         wish.sender_sig =
             cfg_.suite->sign(cfg_.secret_key, wish.signing_bytes());
-        hooks_.broadcast(static_cast<std::uint8_t>(HsTag::kWish),
+        host_.broadcast(static_cast<std::uint8_t>(HsTag::kWish),
                          wish.to_bytes());
       },
       [this](View v) { enter_view(v); },
-      hooks_.set_timer);
+      host_.set_timer);
 }
 
 void HotStuffReplica::start() { synchronizer_->start(); }
@@ -268,7 +268,7 @@ void HotStuffReplica::enter_view(View v) {
     nv.prepare_qc = prepare_qc_;
     nv.sender = cfg_.id;
     nv.sender_sig = cfg_.suite->sign(cfg_.secret_key, nv.signing_bytes());
-    hooks_.send(leader, static_cast<std::uint8_t>(HsTag::kNewView),
+    host_.send(leader, static_cast<std::uint8_t>(HsTag::kNewView),
                 nv.to_bytes());
   }
 }
@@ -308,7 +308,7 @@ void HotStuffReplica::try_lead() {
   prop.sender_sig = cfg_.suite->sign(cfg_.secret_key, prop.signing_bytes());
   proposed_this_view_ = true;
   const Bytes raw = prop.to_bytes();
-  hooks_.broadcast(static_cast<std::uint8_t>(HsTag::kProposal), raw);
+  host_.broadcast(static_cast<std::uint8_t>(HsTag::kProposal), raw);
   handle_proposal(raw);  // leader processes its own proposal
 }
 
@@ -354,7 +354,7 @@ void HotStuffReplica::send_vote(HsPhase phase, const Bytes& value) {
   if (leader == cfg_.id) {
     handle_vote(raw);  // leader counts its own vote without a network hop
   } else {
-    hooks_.send(leader, static_cast<std::uint8_t>(HsTag::kVote), raw);
+    host_.send(leader, static_cast<std::uint8_t>(HsTag::kVote), raw);
   }
 }
 
@@ -404,7 +404,7 @@ void HotStuffReplica::broadcast_qc(QuorumCert qc) {
   msg.sender = cfg_.id;
   msg.sender_sig = cfg_.suite->sign(cfg_.secret_key, msg.signing_bytes());
   const Bytes raw = msg.to_bytes();
-  hooks_.broadcast(static_cast<std::uint8_t>(HsTag::kQc), raw);
+  host_.broadcast(static_cast<std::uint8_t>(HsTag::kQc), raw);
   handle_qc(raw);  // leader applies its own QC
 }
 
@@ -435,7 +435,7 @@ void HotStuffReplica::handle_qc(const Bytes& raw) {
       if (!decided_) {
         decided_ = Decision{cur_view_, msg.qc.value};
         if (cfg_.stop_sync_on_decide) synchronizer_->stop();
-        if (hooks_.on_decide) hooks_.on_decide(cur_view_, msg.qc.value);
+        if (host_.on_decide) host_.on_decide(cur_view_, msg.qc.value);
       }
       break;
   }

@@ -20,6 +20,7 @@
 #include "common/codec.hpp"
 #include "common/types.hpp"
 #include "core/messages.hpp"
+#include "core/protocol_host.hpp"
 #include "core/replica.hpp"
 #include "crypto/suite.hpp"
 #include "sync/synchronizer.hpp"
@@ -126,15 +127,8 @@ struct HotStuffConfig {
 
 class HotStuffReplica : public core::INode {
  public:
-  struct Hooks {
-    std::function<void(ReplicaId to, std::uint8_t tag, const Bytes&)> send;
-    std::function<void(std::uint8_t tag, const Bytes&)> broadcast;
-    sync::Synchronizer::TimerSetter set_timer;
-    std::function<void(View, const Bytes&)> on_decide;
-  };
-
   HotStuffReplica(HotStuffConfig config, sync::SyncConfig sync_config,
-                  Hooks hooks);
+                  core::ProtocolHost host);
 
   void start() override;
   void on_message(ReplicaId from, std::uint8_t tag,
@@ -168,7 +162,7 @@ class HotStuffReplica : public core::INode {
   [[nodiscard]] bool safe_node(const HsProposal& p) const;
 
   HotStuffConfig cfg_;
-  Hooks hooks_;
+  core::ProtocolHost host_;
   std::unique_ptr<sync::Synchronizer> synchronizer_;
 
   View cur_view_ = 0;

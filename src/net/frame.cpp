@@ -1,0 +1,72 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace probft::net {
+
+namespace {
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+Bytes encode_frame(ReplicaId sender, std::uint8_t tag, ByteSpan payload) {
+  Bytes out;
+  out.reserve(4 + kFrameHeaderBytes + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(kFrameHeaderBytes + payload.size()));
+  out.push_back(kFrameVersion);
+  put_u32(out, sender);
+  out.push_back(tag);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameDecoder::feed(ByteSpan data) {
+  if (corrupted_) return;
+  // Compact the consumed prefix before growing the buffer so a long-lived
+  // connection does not accumulate dead bytes.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out) {
+  if (corrupted_) return Status::kError;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return Status::kNeedMore;
+
+  const std::uint32_t length = get_u32(buf_.data() + pos_);
+  if (length < kFrameHeaderBytes ||
+      length > kFrameHeaderBytes + max_payload_) {
+    corrupted_ = true;  // truncated-on-purpose or oversize: unrecoverable
+    return Status::kError;
+  }
+  if (avail < 4 + static_cast<std::size_t>(length)) return Status::kNeedMore;
+
+  const std::uint8_t* body = buf_.data() + pos_ + 4;
+  if (body[0] != kFrameVersion) {
+    corrupted_ = true;
+    return Status::kError;
+  }
+  out.sender = get_u32(body + 1);
+  out.tag = body[5];
+  out.payload.assign(body + kFrameHeaderBytes, body + length);
+  pos_ += 4 + static_cast<std::size_t>(length);
+  return Status::kFrame;
+}
+
+}  // namespace probft::net

@@ -1,0 +1,78 @@
+// Length-prefixed wire framing for the TCP transport.
+//
+// A TCP stream carries a sequence of frames:
+//
+//   [u32 length LE] [u8 version] [u32 sender LE] [u8 tag] [payload ...]
+//
+// `length` covers everything after the length field (version + sender +
+// tag + payload), so a reader can split the stream without understanding
+// the protocol. The decoder is hardened against hostile streams: a frame
+// whose length is shorter than the fixed header or larger than the
+// configured payload cap, or whose version byte is unknown, poisons the
+// connection (kError) instead of being silently resynchronized — there is
+// no reliable resync point inside a corrupted length-prefixed stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace probft::net {
+
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+/// Bytes covered by a frame's length field before the payload starts:
+/// version (1) + sender (4) + tag (1).
+inline constexpr std::size_t kFrameHeaderBytes = 6;
+
+/// Default cap on a single frame's payload. ProBFT's largest messages are
+/// view-change justifications (O(n·√n) signatures); 16 MiB leaves room for
+/// n in the thousands while bounding what a hostile peer can make us
+/// buffer.
+inline constexpr std::size_t kDefaultMaxFramePayload = 16u << 20;
+
+/// One decoded frame.
+struct Frame {
+  ReplicaId sender = 0;
+  std::uint8_t tag = 0;
+  Bytes payload;
+};
+
+/// Serializes one frame (length prefix included).
+[[nodiscard]] Bytes encode_frame(ReplicaId sender, std::uint8_t tag,
+                                 ByteSpan payload);
+
+/// Incremental stream decoder: feed() arbitrary chunks (partial frames,
+/// many frames at once), then drain complete frames with next().
+class FrameDecoder {
+ public:
+  enum class Status {
+    kFrame,     // `out` holds the next complete frame
+    kNeedMore,  // stream is well-formed so far but incomplete
+    kError,     // stream is corrupt; the connection must be dropped
+  };
+
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw stream bytes. Cheap no-op once the stream is poisoned.
+  void feed(ByteSpan data);
+
+  /// Extracts the next complete frame, consuming its bytes.
+  [[nodiscard]] Status next(Frame& out);
+
+  [[nodiscard]] bool corrupted() const { return corrupted_; }
+  /// Bytes buffered but not yet consumed (partial frame in flight).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Bytes buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  std::size_t max_payload_;
+  bool corrupted_ = false;
+};
+
+}  // namespace probft::net

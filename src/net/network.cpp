@@ -66,6 +66,7 @@ void Network::send_shared(ReplicaId from, ReplicaId to, std::uint8_t tag,
   ++stats_.sends;
   ++stats_.sends_by_tag[tag];
   stats_.bytes_sent += payload->size();
+  stats_.bytes_by_tag[tag] += payload->size();
 
   if (filter_ && filter_(from, to, tag)) {
     ++stats_.dropped;
@@ -74,6 +75,14 @@ void Network::send_shared(ReplicaId from, ReplicaId to, std::uint8_t tag,
 
   const bool duplicate = config_.duplicate_prob > 0.0 &&
                          rng_.uniform01() < config_.duplicate_prob;
+  if (duplicate) {
+    // A duplicated delivery crosses the wire twice: its bytes count in the
+    // transmission totals (bytes_sent stays the sum over bytes_by_tag),
+    // while `sends` keeps counting logical protocol sends only.
+    ++stats_.duplicates;
+    stats_.bytes_sent += payload->size();
+    stats_.bytes_by_tag[tag] += payload->size();
+  }
   const Duration delay = (to == from) ? config_.min_delay : draw_delay();
   const Duration dup_delay = duplicate ? draw_delay() : 0;
   auto deliver = [this, from, to, tag, payload = std::move(payload)]() {

@@ -24,6 +24,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/simulator.hpp"
+#include "net/transport.hpp"
 
 namespace probft::net {
 
@@ -44,52 +45,43 @@ struct LatencyConfig {
   Duration reorder_delay_max = 0;
 };
 
-class Network {
+class Network final : public ITransport {
  public:
-  using Handler =
-      std::function<void(ReplicaId from, std::uint8_t tag, const Bytes&)>;
+  using Handler = ITransport::Handler;
   /// Returns true to drop the message (fault injection).
   using Filter =
       std::function<bool(ReplicaId from, ReplicaId to, std::uint8_t tag)>;
 
-  struct Stats {
-    std::uint64_t sends = 0;
-    std::uint64_t delivered = 0;
-    std::uint64_t dropped = 0;
-    std::uint64_t bytes_sent = 0;
-    std::map<std::uint8_t, std::uint64_t> sends_by_tag;
-
-    [[nodiscard]] std::uint64_t sends_for(std::uint8_t tag) const {
-      const auto it = sends_by_tag.find(tag);
-      return it == sends_by_tag.end() ? 0 : it->second;
-    }
-  };
+  /// Historical alias — the shared stats type now lives at the transport
+  /// boundary so every backend reports the same shape.
+  using Stats = TransportStats;
 
   Network(Simulator& sim, std::uint32_t n, std::uint64_t seed,
           LatencyConfig config);
 
   /// Registers the receive callback for replica `id` (1-based).
-  void register_handler(ReplicaId id, Handler handler);
+  void register_handler(ReplicaId id, Handler handler) override;
 
   /// Sends one point-to-point message; self-sends are allowed and get the
   /// minimum delay.
-  void send(ReplicaId from, ReplicaId to, std::uint8_t tag, Bytes payload);
+  void send(ReplicaId from, ReplicaId to, std::uint8_t tag,
+            Bytes payload) override;
 
   /// Sends to every replica except (optionally) the sender itself.
   void broadcast(ReplicaId from, std::uint8_t tag, const Bytes& payload,
-                 bool include_self = false);
+                 bool include_self = false) override;
 
   /// Sends to an explicit recipient list (the VRF sample).
   void multicast(ReplicaId from, const std::vector<ReplicaId>& recipients,
-                 std::uint8_t tag, const Bytes& payload);
+                 std::uint8_t tag, const Bytes& payload) override;
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Stats& stats() const override { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
 
   void set_filter(Filter filter) { filter_ = std::move(filter); }
   void clear_filter() { filter_ = nullptr; }
 
-  [[nodiscard]] std::uint32_t size() const { return n_; }
+  [[nodiscard]] std::uint32_t size() const override { return n_; }
   [[nodiscard]] const LatencyConfig& config() const { return config_; }
 
  private:

@@ -1,0 +1,460 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <stdexcept>
+#include <system_error>
+
+namespace probft::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+/// Resolves host:port to a sockaddr (numeric addresses and hostnames).
+bool resolve(const PeerAddress& address, sockaddr_storage& out,
+             socklen_t& out_len) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  const std::string port = std::to_string(address.port);
+  addrinfo* result = nullptr;
+  if (::getaddrinfo(address.host.c_str(), port.c_str(), &hints, &result) !=
+          0 ||
+      result == nullptr) {
+    return false;
+  }
+  std::memcpy(&out, result->ai_addr, result->ai_addrlen);
+  out_len = static_cast<socklen_t>(result->ai_addrlen);
+  ::freeaddrinfo(result);
+  return true;
+}
+
+}  // namespace
+
+TimePoint TcpTransport::now_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<TimePoint>(ts.tv_sec) * 1'000'000 +
+         static_cast<TimePoint>(ts.tv_nsec) / 1'000;
+}
+
+TcpTransport::TcpTransport(TcpTransportConfig config)
+    : cfg_(std::move(config)) {
+  if (cfg_.self == 0 || cfg_.n == 0 || cfg_.self > cfg_.n) {
+    throw std::invalid_argument("TcpTransport: bad self/n");
+  }
+  if (cfg_.reconnect_delay == 0) cfg_.reconnect_delay = 1'000;
+  outbound_.resize(cfg_.n + 1);
+  for (ReplicaId id = 1; id <= cfg_.n; ++id) {
+    if (id == cfg_.self) continue;
+    outbound_[id] = std::make_unique<OutboundConn>();
+    outbound_[id]->peer = id;
+    outbound_[id]->decoder = FrameDecoder(cfg_.max_frame_payload);
+  }
+  open_listener();
+}
+
+TcpTransport::~TcpTransport() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& conn : outbound_) {
+    if (conn && conn->fd >= 0) ::close(conn->fd);
+  }
+  for (auto& conn : inbound_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+}
+
+void TcpTransport::open_listener() {
+  sockaddr_storage addr{};
+  socklen_t addr_len = 0;
+  const PeerAddress bind_addr{cfg_.listen_host, cfg_.listen_port};
+  if (!resolve(bind_addr, addr, addr_len)) {
+    throw std::invalid_argument("TcpTransport: cannot resolve listen host");
+  }
+  listen_fd_ = ::socket(addr.ss_family, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), addr_len) < 0) {
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) throw_errno("listen");
+  set_nonblocking(listen_fd_);
+
+  sockaddr_storage bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    if (bound.ss_family == AF_INET) {
+      listen_port_ = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      listen_port_ =
+          ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+}
+
+void TcpTransport::register_handler(ReplicaId id, Handler handler) {
+  if (id != cfg_.self) {
+    throw std::out_of_range("TcpTransport hosts only its own replica");
+  }
+  handler_ = std::move(handler);
+}
+
+void TcpTransport::set_peer(ReplicaId id, PeerAddress address) {
+  if (id == 0 || id > cfg_.n) throw std::out_of_range("set_peer: bad id");
+  cfg_.peers[id] = std::move(address);
+}
+
+void TcpTransport::set_timer(Duration delay, std::function<void()> fn) {
+  timers_.push(Timer{now_us() + delay, timer_seq_++, std::move(fn)});
+}
+
+void TcpTransport::send_one(ReplicaId to, std::uint8_t tag,
+                            const Bytes& payload,
+                            std::shared_ptr<const Bytes>& frame) {
+  if (to == 0 || to > cfg_.n) throw std::out_of_range("send: bad recipient");
+  ++stats_.sends;
+  ++stats_.sends_by_tag[tag];
+  stats_.bytes_sent += payload.size();
+  stats_.bytes_by_tag[tag] += payload.size();
+
+  // A frame the receiver's decoder would reject as oversize must never hit
+  // the wire: the receiver would poison the connection, we would rewind
+  // and redial, and the identical frame would livelock the link forever.
+  if (payload.size() > cfg_.max_frame_payload) {
+    ++stats_.dropped;
+    return;
+  }
+
+  if (to == cfg_.self) {
+    // Self-sends stay asynchronous (like the simulator's minimum delay):
+    // deliver on the next loop iteration, never reentrantly.
+    auto copy = std::make_shared<Bytes>(payload);
+    set_timer(0, [this, tag, copy]() {
+      if (handler_) {
+        ++stats_.delivered;
+        handler_(cfg_.self, tag, *copy);
+      }
+    });
+    return;
+  }
+
+  OutboundConn& conn = *outbound_[to];
+  if (conn.pending_bytes >= cfg_.max_pending_bytes) {
+    ++stats_.dropped;  // backpressure: peer unreachable for too long
+    return;
+  }
+  // Encode lazily and once per fan-out: every recipient queues the same
+  // immutable buffer (the sim network shares broadcast payloads the same
+  // way — at n = 2000 per-recipient copies dominated).
+  if (!frame) {
+    frame = std::make_shared<const Bytes>(encode_frame(
+        cfg_.self, tag, ByteSpan(payload.data(), payload.size())));
+  }
+  conn.pending_bytes += frame->size();
+  conn.pending.push_back(frame);
+  if (conn.fd < 0 && !conn.connecting && !conn.retry_armed) {
+    start_dial(conn);
+  } else if (conn.fd >= 0 && !conn.connecting) {
+    flush(conn);
+  }
+}
+
+void TcpTransport::send(ReplicaId from, ReplicaId to, std::uint8_t tag,
+                        Bytes payload) {
+  if (from != cfg_.self) {
+    throw std::invalid_argument("TcpTransport: send from foreign id");
+  }
+  std::shared_ptr<const Bytes> frame;
+  send_one(to, tag, payload, frame);
+}
+
+void TcpTransport::broadcast(ReplicaId from, std::uint8_t tag,
+                             const Bytes& payload, bool include_self) {
+  if (from != cfg_.self) {
+    throw std::invalid_argument("TcpTransport: send from foreign id");
+  }
+  std::shared_ptr<const Bytes> frame;
+  for (ReplicaId to = 1; to <= cfg_.n; ++to) {
+    if (to == from && !include_self) continue;
+    send_one(to, tag, payload, frame);
+  }
+}
+
+void TcpTransport::multicast(ReplicaId from,
+                             const std::vector<ReplicaId>& recipients,
+                             std::uint8_t tag, const Bytes& payload) {
+  if (from != cfg_.self) {
+    throw std::invalid_argument("TcpTransport: send from foreign id");
+  }
+  std::shared_ptr<const Bytes> frame;
+  for (const ReplicaId to : recipients) send_one(to, tag, payload, frame);
+}
+
+void TcpTransport::start_dial(OutboundConn& conn) {
+  const auto it = cfg_.peers.find(conn.peer);
+  if (it == cfg_.peers.end() || it->second.port == 0) {
+    // Address not configured (yet): retry later, the harness may still be
+    // wiring ephemeral ports.
+    fail_dial(conn);
+    return;
+  }
+  sockaddr_storage addr{};
+  socklen_t addr_len = 0;
+  if (!resolve(it->second, addr, addr_len)) {
+    fail_dial(conn);
+    return;
+  }
+  conn.fd = ::socket(addr.ss_family, SOCK_STREAM, 0);
+  if (conn.fd < 0) {
+    fail_dial(conn);
+    return;
+  }
+  set_nonblocking(conn.fd);
+  const int one = 1;
+  ::setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int rc =
+      ::connect(conn.fd, reinterpret_cast<sockaddr*>(&addr), addr_len);
+  if (rc == 0) {
+    conn.connecting = false;
+    ++connects_;
+    flush(conn);
+  } else if (errno == EINPROGRESS) {
+    conn.connecting = true;
+  } else {
+    ::close(conn.fd);
+    conn.fd = -1;
+    fail_dial(conn);
+  }
+}
+
+void TcpTransport::finish_dial(OutboundConn& conn) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  ::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+  conn.connecting = false;
+  if (err != 0) {
+    ::close(conn.fd);
+    conn.fd = -1;
+    fail_dial(conn);
+    return;
+  }
+  ++connects_;
+  flush(conn);
+}
+
+void TcpTransport::fail_dial(OutboundConn& conn) {
+  if (conn.retry_armed) return;
+  conn.retry_armed = true;
+  const ReplicaId peer = conn.peer;
+  set_timer(cfg_.reconnect_delay, [this, peer]() {
+    OutboundConn& c = *outbound_[peer];
+    c.retry_armed = false;
+    if (c.fd < 0 && !c.connecting && !c.pending.empty()) {
+      start_dial(c);
+    }
+  });
+}
+
+void TcpTransport::flush(OutboundConn& conn) {
+  while (!conn.pending.empty()) {
+    const Bytes& frame = *conn.pending.front();
+    const std::size_t len = frame.size() - conn.front_off;
+    const ssize_t wrote = ::send(conn.fd, frame.data() + conn.front_off, len,
+                                 MSG_NOSIGNAL);
+    if (wrote > 0) {
+      conn.front_off += static_cast<std::size_t>(wrote);
+      if (conn.front_off == frame.size()) {
+        conn.pending_bytes -= frame.size();
+        conn.pending.pop_front();
+        conn.front_off = 0;
+      }
+      continue;
+    }
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // kernel buffer full; POLLOUT will resume
+    }
+    // Connection lost mid-write: rewind to the front frame's first byte
+    // and redial. The receiver discards any partial frame with the dead
+    // stream, so retransmitting the whole frame on the fresh connection
+    // delivers it exactly once (or not at all if the peer stays down —
+    // protocols tolerate loss under partial synchrony).
+    ::close(conn.fd);
+    conn.fd = -1;
+    conn.connecting = false;
+    conn.front_off = 0;
+    fail_dial(conn);
+    return;
+  }
+}
+
+void TcpTransport::dispatch(const Frame& frame) {
+  if (frame.sender == 0 || frame.sender > cfg_.n) return;  // hostile id
+  if (handler_) {
+    ++stats_.delivered;
+    handler_(frame.sender, frame.tag, frame.payload);
+  }
+}
+
+void TcpTransport::read_ready(int fd, FrameDecoder& decoder, bool& close_me) {
+  std::uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got > 0) {
+      decoder.feed(ByteSpan(buf, static_cast<std::size_t>(got)));
+      Frame frame;
+      while (true) {
+        const auto status = decoder.next(frame);
+        if (status == FrameDecoder::Status::kFrame) {
+          dispatch(frame);
+          continue;
+        }
+        if (status == FrameDecoder::Status::kError) close_me = true;
+        break;
+      }
+      if (close_me) return;
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_me = true;  // EOF or hard error
+    return;
+  }
+}
+
+void TcpTransport::fire_due_timers() {
+  const TimePoint now = now_us();
+  while (!timers_.empty() && timers_.top().at <= now) {
+    // Copy out before pop: the callback may set new timers.
+    auto fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+    timers_.pop();
+    if (fn) fn();
+  }
+}
+
+int TcpTransport::poll_timeout_ms() const {
+  if (timers_.empty()) return 50;
+  const TimePoint now = now_us();
+  if (timers_.top().at <= now) return 0;
+  const Duration wait = timers_.top().at - now;
+  return static_cast<int>(std::min<Duration>(wait / 1000 + 1, 50));
+}
+
+bool TcpTransport::run_until(const std::function<bool()>& done,
+                             Duration max_wall) {
+  const TimePoint deadline = now_us() + max_wall;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    fire_due_timers();
+    if (done && done()) return true;
+    if (now_us() >= deadline) break;
+
+    std::vector<pollfd> fds;
+    // Index bookkeeping: fds[0] is the listener, then outbound, then
+    // inbound connections in container order.
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    std::vector<OutboundConn*> polled_out;
+    for (auto& conn : outbound_) {
+      if (!conn || conn->fd < 0) continue;
+      short events = 0;
+      if (conn->connecting) {
+        events = POLLOUT;
+      } else {
+        events = POLLIN;
+        if (!conn->pending.empty()) events |= POLLOUT;
+      }
+      fds.push_back(pollfd{conn->fd, events, 0});
+      polled_out.push_back(conn.get());
+    }
+    const std::size_t inbound_base = fds.size();
+    const std::size_t inbound_polled = inbound_.size();
+    for (auto& conn : inbound_) {
+      fds.push_back(pollfd{conn.fd, POLLIN, 0});
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), poll_timeout_ms());
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+
+    // Listener first: accept everything pending.
+    if (fds[0].revents & POLLIN) {
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        inbound_.push_back(
+            InboundConn{fd, FrameDecoder(cfg_.max_frame_payload)});
+      }
+    }
+
+    for (std::size_t i = 0; i < polled_out.size(); ++i) {
+      OutboundConn& conn = *polled_out[i];
+      const short revents = fds[1 + i].revents;
+      if (revents == 0 || conn.fd < 0) continue;
+      if (conn.connecting) {
+        if (revents & (POLLOUT | POLLERR | POLLHUP)) finish_dial(conn);
+        continue;
+      }
+      bool close_me = false;
+      if (revents & POLLIN) {
+        // Read before honoring HUP: a peer may flush data and close.
+        read_ready(conn.fd, conn.decoder, close_me);
+      } else if (revents & (POLLERR | POLLHUP)) {
+        close_me = true;
+      }
+      if (close_me) {
+        ::close(conn.fd);
+        conn.fd = -1;
+        conn.front_off = 0;
+        conn.decoder = FrameDecoder(cfg_.max_frame_payload);
+        fail_dial(conn);
+        continue;
+      }
+      if (revents & POLLOUT) flush(conn);
+    }
+
+    for (std::size_t i = 0; i < inbound_polled; ++i) {
+      const short revents = fds[inbound_base + i].revents;
+      if (revents == 0) continue;
+      bool close_me = false;
+      if (revents & POLLIN) {
+        read_ready(inbound_[i].fd, inbound_[i].decoder, close_me);
+      } else if (revents & (POLLERR | POLLHUP)) {
+        close_me = true;
+      }
+      if (close_me) {
+        ::close(inbound_[i].fd);
+        inbound_[i].fd = -1;
+      }
+    }
+    inbound_.erase(std::remove_if(inbound_.begin(), inbound_.end(),
+                                  [](const InboundConn& c) {
+                                    return c.fd < 0;
+                                  }),
+                   inbound_.end());
+  }
+  return done ? done() : false;
+}
+
+}  // namespace probft::net

@@ -1,0 +1,182 @@
+// Real-socket ITransport backend: one replica per OS process.
+//
+// Design (sans-I/O on top, plain POSIX below):
+//  - Every node listens on its configured address and DIALS every peer, so
+//    each ordered pair (i → j) has one TCP connection carrying i's traffic
+//    to j; accepted connections are receive-only. This avoids connection
+//    dedup/handshake logic entirely — a frame's sender field identifies the
+//    origin, and the protocol layer authenticates senders by signature.
+//  - Sockets are nonblocking and multiplexed with poll(2) in a
+//    single-threaded event loop (run_until()); protocol callbacks run on
+//    the loop thread, so replica code needs no locking — the same
+//    single-threaded discipline the simulator enforces.
+//  - Timers use CLOCK_MONOTONIC and a min-heap; set_timer() satisfies the
+//    sync::Synchronizer::TimerSetter contract (delays in microseconds).
+//  - A failed or reset dial is retried after `reconnect_delay` for as long
+//    as the loop runs; outbound messages queue (bounded) while a peer is
+//    down, so a cluster whose processes start at different times still
+//    converges.
+//
+// The wire format is the length-prefixed framing in net/frame.hpp; a
+// malformed stream (bad version, oversize length) poisons that connection
+// and it is dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+
+namespace probft::net {
+
+struct PeerAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct TcpTransportConfig {
+  ReplicaId self = 0;
+  std::uint32_t n = 0;
+  /// Address this node listens on. Port 0 binds an ephemeral port — read
+  /// it back with listen_port() (used by the in-process loopback harness).
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;
+  /// Peer addresses, 1-based by replica id; the own entry may be empty.
+  /// May be filled after construction with set_peer() (ephemeral ports).
+  std::map<ReplicaId, PeerAddress> peers;
+  /// Redial delay after a failed or lost connection (µs, monotonic).
+  Duration reconnect_delay = 100'000;
+  /// Per-frame payload cap fed to the decoder.
+  std::size_t max_frame_payload = kDefaultMaxFramePayload;
+  /// Per-peer cap on bytes queued while the peer is unreachable; messages
+  /// beyond it are counted as dropped (backpressure, not unbounded memory).
+  std::size_t max_pending_bytes = 64u << 20;
+};
+
+class TcpTransport final : public ITransport {
+ public:
+  /// Binds and listens immediately; throws std::system_error on failure.
+  explicit TcpTransport(TcpTransportConfig config);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // ---- ITransport ----
+  /// Only this node's own id is hosted here.
+  void register_handler(ReplicaId id, Handler handler) override;
+  void send(ReplicaId from, ReplicaId to, std::uint8_t tag,
+            Bytes payload) override;
+  void broadcast(ReplicaId from, std::uint8_t tag, const Bytes& payload,
+                 bool include_self = false) override;
+  void multicast(ReplicaId from, const std::vector<ReplicaId>& recipients,
+                 std::uint8_t tag, const Bytes& payload) override;
+  [[nodiscard]] const TransportStats& stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] std::uint32_t size() const override { return cfg_.n; }
+
+  // ---- wiring ----
+  /// The actually-bound listen port (after ephemeral bind).
+  [[nodiscard]] std::uint16_t listen_port() const { return listen_port_; }
+  /// (Re)sets a peer address before the loop runs.
+  void set_peer(ReplicaId id, PeerAddress address);
+
+  /// Schedules `fn` after `delay` µs of monotonic time; satisfies the
+  /// Synchronizer::TimerSetter contract. Callable only from the loop
+  /// thread (or before the loop starts).
+  void set_timer(Duration delay, std::function<void()> fn);
+  /// Adapter handed to protocol hosts.
+  [[nodiscard]] std::function<void(Duration, std::function<void()>)>
+  timer_setter() {
+    return [this](Duration d, std::function<void()> fn) {
+      set_timer(d, std::move(fn));
+    };
+  }
+
+  // ---- event loop ----
+  /// Runs until `done()` returns true, `max_wall` µs elapsed, or stop().
+  /// Returns the final done() value.
+  bool run_until(const std::function<bool()>& done, Duration max_wall);
+  /// Asynchronously stops a run_until() in progress (thread-safe).
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Completed dials so far (first connects count too); used by tests to
+  /// observe reconnect behavior.
+  [[nodiscard]] std::uint64_t connects() const { return connects_; }
+
+ private:
+  struct OutboundConn {
+    ReplicaId peer = 0;
+    int fd = -1;
+    bool connecting = false;   // nonblocking connect in flight
+    bool retry_armed = false;  // reconnect timer pending
+    /// Unsent traffic, one encoded frame per entry. Kept at frame
+    /// granularity so a connection lost mid-frame can restart the front
+    /// frame from byte 0 on the next connection — the receiver discarded
+    /// the partial frame with the dead stream, and splicing a frame tail
+    /// into a fresh stream would poison its decoder. Frames are shared
+    /// across a broadcast's whole fan-out (encoded once, like the
+    /// simulator network's shared payload buffers).
+    std::deque<std::shared_ptr<const Bytes>> pending;
+    std::size_t front_off = 0;      // sent prefix of pending.front()
+    std::size_t pending_bytes = 0;  // sum of pending sizes
+    FrameDecoder decoder;  // peers normally never write here; tolerate
+  };
+  struct InboundConn {
+    int fd = -1;
+    FrameDecoder decoder;
+  };
+  struct Timer {
+    TimePoint at = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    bool operator>(const Timer& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  [[nodiscard]] static TimePoint now_us();
+  void open_listener();
+  void start_dial(OutboundConn& conn);
+  void finish_dial(OutboundConn& conn);
+  void fail_dial(OutboundConn& conn);
+  void flush(OutboundConn& conn);
+  /// One recipient of a (possibly fanned-out) send: stats, self-delivery,
+  /// oversize drop, lazy shared encoding, queueing. `frame` caches the
+  /// encoded bytes across a broadcast/multicast loop.
+  void send_one(ReplicaId to, std::uint8_t tag, const Bytes& payload,
+                std::shared_ptr<const Bytes>& frame);
+  void read_ready(int fd, FrameDecoder& decoder, bool& close_me);
+  void dispatch(const Frame& frame);
+  void fire_due_timers();
+  [[nodiscard]] int poll_timeout_ms() const;
+
+  TcpTransportConfig cfg_;
+  Handler handler_;
+  TransportStats stats_;
+
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  std::vector<std::unique_ptr<OutboundConn>> outbound_;  // index 0 unused
+  std::vector<InboundConn> inbound_;
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::uint64_t timer_seq_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::uint64_t connects_ = 0;
+};
+
+}  // namespace probft::net

@@ -29,8 +29,8 @@ std::optional<Bytes> choose_value(const std::vector<NewLeaderMsg>& m_set) {
 }  // namespace
 
 PbftReplica::PbftReplica(PbftConfig config, sync::SyncConfig sync_config,
-                         Hooks hooks)
-    : cfg_(std::move(config)), hooks_(std::move(hooks)) {
+                         core::ProtocolHost host)
+    : cfg_(std::move(config)), host_(std::move(host)) {
   if (cfg_.id == 0 || cfg_.id > cfg_.n || cfg_.suite == nullptr ||
       cfg_.public_keys.size() != cfg_.n + 1) {
     throw std::invalid_argument("PbftReplica: bad configuration");
@@ -48,10 +48,10 @@ PbftReplica::PbftReplica(PbftConfig config, sync::SyncConfig sync_config,
         wish.sender = cfg_.id;
         wish.sender_sig =
             cfg_.suite->sign(cfg_.secret_key, wish.signing_bytes());
-        hooks_.broadcast(core::tag_byte(MsgTag::kWish), wish.to_bytes());
+        host_.broadcast(core::tag_byte(MsgTag::kWish), wish.to_bytes());
       },
       [this](View v) { enter_view(v); },
-      hooks_.set_timer);
+      host_.set_timer);
 }
 
 void PbftReplica::start() { synchronizer_->start(); }
@@ -110,7 +110,7 @@ void PbftReplica::enter_view(View v) {
       msg.sender = cfg_.id;
       msg.sender_sig =
           cfg_.suite->sign(cfg_.secret_key, msg.signing_bytes());
-      hooks_.broadcast(core::tag_byte(MsgTag::kPropose), msg.to_bytes());
+      host_.broadcast(core::tag_byte(MsgTag::kPropose), msg.to_bytes());
       proposed_this_view_ = true;
       pending_proposes_.emplace(v, std::move(msg));
     }
@@ -131,7 +131,7 @@ void PbftReplica::send_new_leader() {
   msg.cert = prepared_cert_;
   msg.sender = cfg_.id;
   msg.sender_sig = cfg_.suite->sign(cfg_.secret_key, msg.signing_bytes());
-  hooks_.send(leader_of(cur_view_, cfg_.n), core::tag_byte(MsgTag::kNewLeader),
+  host_.send(leader_of(cur_view_, cfg_.n), core::tag_byte(MsgTag::kNewLeader),
               msg.to_bytes());
 }
 
@@ -167,7 +167,7 @@ void PbftReplica::try_vote() {
   prepare.sender_sig = cfg_.suite->sign(
       cfg_.secret_key, prepare.signing_bytes(MsgTag::kPrepare));
   const Bytes raw = prepare.to_bytes();
-  hooks_.broadcast(core::tag_byte(MsgTag::kPrepare), raw);
+  host_.broadcast(core::tag_byte(MsgTag::kPrepare), raw);
   // Count our own Prepare locally.
   prepares_[{cur_view_, value_digest(cur_val_)}].emplace(cfg_.id,
                                                          std::move(prepare));
@@ -216,7 +216,7 @@ void PbftReplica::try_lead() {
   msg.justification = std::move(m_set);
   msg.sender = cfg_.id;
   msg.sender_sig = cfg_.suite->sign(cfg_.secret_key, msg.signing_bytes());
-  hooks_.broadcast(core::tag_byte(MsgTag::kPropose), msg.to_bytes());
+  host_.broadcast(core::tag_byte(MsgTag::kPropose), msg.to_bytes());
   proposed_this_view_ = true;
   pending_proposes_.emplace(cur_view_, std::move(msg));
   try_vote();
@@ -260,7 +260,7 @@ void PbftReplica::try_prepare_quorum() {
       cfg_.secret_key, commit.signing_bytes(MsgTag::kCommit));
   committed_this_view_ = true;
   const Bytes raw = commit.to_bytes();
-  hooks_.broadcast(core::tag_byte(MsgTag::kCommit), raw);
+  host_.broadcast(core::tag_byte(MsgTag::kCommit), raw);
   commits_[key].emplace(cfg_.id, std::move(commit));
   try_commit_quorum();
 }
@@ -273,7 +273,7 @@ void PbftReplica::try_commit_quorum() {
   if (it == commits_.end() || it->second.size() < cfg_.quorum()) return;
   decided_ = Decision{cur_view_, prepared_value_};
   if (cfg_.stop_sync_on_decide) synchronizer_->stop();
-  if (hooks_.on_decide) hooks_.on_decide(cur_view_, prepared_value_);
+  if (host_.on_decide) host_.on_decide(cur_view_, prepared_value_);
 }
 
 void PbftReplica::handle_wish(ReplicaId from, const Bytes& raw) {

@@ -18,6 +18,7 @@
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "core/messages.hpp"
+#include "core/protocol_host.hpp"
 #include "core/replica.hpp"
 #include "crypto/suite.hpp"
 #include "sync/synchronizer.hpp"
@@ -50,14 +51,8 @@ struct PbftConfig {
 
 class PbftReplica : public INode {
  public:
-  struct Hooks {
-    std::function<void(ReplicaId to, std::uint8_t tag, const Bytes&)> send;
-    std::function<void(std::uint8_t tag, const Bytes&)> broadcast;
-    sync::Synchronizer::TimerSetter set_timer;
-    std::function<void(View, const Bytes&)> on_decide;
-  };
-
-  PbftReplica(PbftConfig config, sync::SyncConfig sync_config, Hooks hooks);
+  PbftReplica(PbftConfig config, sync::SyncConfig sync_config,
+              core::ProtocolHost host);
 
   void start() override;
   void on_message(ReplicaId from, std::uint8_t tag,
@@ -97,7 +92,7 @@ class PbftReplica : public INode {
   void send_new_leader();
 
   PbftConfig cfg_;
-  Hooks hooks_;
+  core::ProtocolHost host_;
   std::unique_ptr<sync::Synchronizer> synchronizer_;
 
   View cur_view_ = 0;

@@ -240,4 +240,30 @@ void FloodingNode::start() {
   }
 }
 
+// ---------------- AdaptiveLeaderAdversary ----------------
+
+AdaptiveLeaderAdversary::AdaptiveLeaderAdversary(
+    std::uint32_t n, std::uint32_t budget,
+    std::vector<std::uint8_t> leadership_tags)
+    : corrupted_(n + 1, false),
+      leadership_tags_(std::move(leadership_tags)),
+      budget_(budget) {}
+
+bool AdaptiveLeaderAdversary::should_drop(ReplicaId from, std::uint8_t tag) {
+  if (from == 0 || from >= corrupted_.size()) return false;
+  if (corrupted_[from]) return true;
+  if (corrupted_count_ >= budget_) return false;
+  for (const std::uint8_t leadership_tag : leadership_tags_) {
+    if (tag == leadership_tag) {
+      // A new leader just rotated in: corrupt it. The triggering proposal
+      // is itself suppressed (a broadcast's remaining fan-out hits the
+      // corrupted_[from] fast path above).
+      corrupted_[from] = true;
+      ++corrupted_count_;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace probft::sim

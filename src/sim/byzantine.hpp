@@ -89,6 +89,47 @@ struct ChurnPlan {
   std::vector<std::pair<TimePoint, TimePoint>> window_;
 };
 
+/// Adaptive leader-corruption adversary (paper §2.1 discusses static
+/// corruption; this models the stronger adaptive variant as a fault for
+/// the scenario matrix). Instead of fixing the corrupt set up front, the
+/// adversary watches the wire and corrupts each view's leader at the
+/// moment it assumes leadership: the first proposal-tagged message a
+/// not-yet-corrupted replica emits consumes one unit of corruption budget,
+/// and that proposal plus every later message from the replica is dropped
+/// (the corrupted node is adversary-controlled and chooses silence — the
+/// worst case for liveness). Leaders rotate round-robin, so with budget f
+/// the leaders of the first f views are struck down one by one as they
+/// rotate in; the view-(f+1) leader proposes unharmed. A corrupted replica
+/// still *receives* traffic, but no termination claim is made for it —
+/// specs wire this fault as non-benign (agreement only), like the
+/// equivocation and flooding attacks.
+class AdaptiveLeaderAdversary {
+ public:
+  /// `leadership_tags` are the wire tags only a view leader emits (the
+  /// Propose/Proposal tag of the protocol under test).
+  AdaptiveLeaderAdversary(std::uint32_t n, std::uint32_t budget,
+                          std::vector<std::uint8_t> leadership_tags);
+
+  /// Network-filter hook: true drops the message. Mutates the corrupt set
+  /// when an uncorrupted replica spends budget by emitting a leadership
+  /// tag.
+  [[nodiscard]] bool should_drop(ReplicaId from, std::uint8_t tag);
+
+  [[nodiscard]] bool is_corrupted(ReplicaId id) const {
+    return id < corrupted_.size() && corrupted_[id];
+  }
+  [[nodiscard]] std::uint32_t corrupted_count() const {
+    return corrupted_count_;
+  }
+  [[nodiscard]] std::uint32_t budget() const { return budget_; }
+
+ private:
+  std::vector<bool> corrupted_;  // 1-based, index 0 unused
+  std::vector<std::uint8_t> leadership_tags_;
+  std::uint32_t budget_;
+  std::uint32_t corrupted_count_ = 0;
+};
+
 struct ByzantineEnv {
   ReplicaId id = 0;
   std::uint32_t n = 0;

@@ -10,12 +10,7 @@ Bytes default_value_for(const ClusterConfig& cfg, ReplicaId id) {
   if (id <= cfg.my_values.size() && !cfg.my_values[id - 1].empty()) {
     return cfg.my_values[id - 1];
   }
-  Bytes value = cfg.value_prefix.empty() ? to_bytes("value-")
-                                         : cfg.value_prefix;
-  value.push_back(static_cast<std::uint8_t>('0' + (id % 10)));
-  value.push_back(static_cast<std::uint8_t>(id >> 8));
-  value.push_back(static_cast<std::uint8_t>(id & 0xff));
-  return value;
+  return default_node_value(cfg.value_prefix, id);
 }
 
 }  // namespace
@@ -73,13 +68,12 @@ void Cluster::build_nodes() {
   nodes_.clear();
   nodes_.resize(cfg_.n + 1);
 
+  // Nodes see the network only through the ITransport interface — the same
+  // boundary the TCP backend implements — plus the simulator's clock.
+  net::ITransport& transport = *network_;
+  net::ITransport* transport_ptr = network_.get();
+
   for (ReplicaId id = 1; id <= cfg_.n; ++id) {
-    auto send = [this, id](ReplicaId to, std::uint8_t tag, const Bytes& m) {
-      network_->send(id, to, tag, m);
-    };
-    auto broadcast = [this, id](std::uint8_t tag, const Bytes& m) {
-      network_->broadcast(id, tag, m);
-    };
     auto set_timer = [this](Duration d, std::function<void()> fn) {
       sim_.schedule_after(d, std::move(fn));
     };
@@ -93,57 +87,22 @@ void Cluster::build_nodes() {
 
     const Behavior behavior = behavior_of(id);
     if (behavior == Behavior::kHonest) {
-      switch (cfg_.protocol) {
-        case Protocol::kProbft: {
-          core::ReplicaConfig rc;
-          rc.id = id;
-          rc.n = cfg_.n;
-          rc.f = cfg_.f;
-          rc.o = cfg_.o;
-          rc.l = cfg_.l;
-          rc.my_value = default_value_for(cfg_, id);
-          rc.stop_sync_on_decide = cfg_.stop_sync_on_decide;
-          rc.suite = suite_;
-          rc.secret_key = keys_[id].secret_key;
-          rc.public_keys = public_keys;
-          core::Replica::Hooks hooks{send, broadcast, set_timer, on_decide};
-          nodes_[id] = std::make_unique<core::Replica>(std::move(rc),
-                                                       cfg_.sync, hooks);
-          break;
-        }
-        case Protocol::kPbft: {
-          pbft::PbftConfig rc;
-          rc.id = id;
-          rc.n = cfg_.n;
-          rc.f = cfg_.f;
-          rc.my_value = default_value_for(cfg_, id);
-          rc.stop_sync_on_decide = cfg_.stop_sync_on_decide;
-          rc.suite = suite_;
-          rc.secret_key = keys_[id].secret_key;
-          rc.public_keys = public_keys;
-          pbft::PbftReplica::Hooks hooks{send, broadcast, set_timer,
-                                         on_decide};
-          nodes_[id] = std::make_unique<pbft::PbftReplica>(std::move(rc),
-                                                           cfg_.sync, hooks);
-          break;
-        }
-        case Protocol::kHotStuff: {
-          hotstuff::HotStuffConfig rc;
-          rc.id = id;
-          rc.n = cfg_.n;
-          rc.f = cfg_.f;
-          rc.my_value = default_value_for(cfg_, id);
-          rc.stop_sync_on_decide = cfg_.stop_sync_on_decide;
-          rc.suite = suite_;
-          rc.secret_key = keys_[id].secret_key;
-          rc.public_keys = public_keys;
-          hotstuff::HotStuffReplica::Hooks hooks{send, broadcast, set_timer,
-                                                 on_decide};
-          nodes_[id] = std::make_unique<hotstuff::HotStuffReplica>(
-              std::move(rc), cfg_.sync, hooks);
-          break;
-        }
-      }
+      NodeParams params;
+      params.protocol = cfg_.protocol;
+      params.id = id;
+      params.n = cfg_.n;
+      params.f = cfg_.f;
+      params.o = cfg_.o;
+      params.l = cfg_.l;
+      params.my_value = default_value_for(cfg_, id);
+      params.stop_sync_on_decide = cfg_.stop_sync_on_decide;
+      params.suite = suite_;
+      params.secret_key = keys_[id].secret_key;
+      params.public_keys = public_keys;
+      params.sync = cfg_.sync;
+      core::ProtocolHost host = transport_host(transport, id, set_timer);
+      host.on_decide = on_decide;
+      nodes_[id] = make_honest_node(params, std::move(host));
     } else {
       ByzantineEnv env;
       env.id = id;
@@ -154,8 +113,13 @@ void Cluster::build_nodes() {
       env.suite = suite_;
       env.secret_key = keys_[id].secret_key;
       env.public_keys = public_keys;
-      env.send = send;
-      env.broadcast = broadcast;
+      env.send = [transport_ptr, id](ReplicaId to, std::uint8_t tag,
+                                     const Bytes& m) {
+        transport_ptr->send(id, to, tag, m);
+      };
+      env.broadcast = [transport_ptr, id](std::uint8_t tag, const Bytes& m) {
+        transport_ptr->broadcast(id, tag, m);
+      };
       switch (behavior) {
         case Behavior::kSilent:
           nodes_[id] = std::make_unique<SilentNode>(std::move(env));

@@ -18,13 +18,13 @@
 #include "hotstuff/hotstuff_replica.hpp"
 #include "net/network.hpp"
 #include "net/simulator.hpp"
+#include "net/transport.hpp"
 #include "pbft/pbft_replica.hpp"
 #include "sim/byzantine.hpp"
+#include "sim/node_factory.hpp"
 #include "sync/synchronizer.hpp"
 
 namespace probft::sim {
-
-enum class Protocol { kProbft, kPbft, kHotStuff };
 
 enum class Behavior {
   kHonest,
@@ -89,6 +89,10 @@ class Cluster {
   // ---- accessors ----
   [[nodiscard]] net::Simulator& simulator() { return sim_; }
   [[nodiscard]] net::Network& network() { return *network_; }
+  /// The replica-facing view of the network; nodes are built against this
+  /// interface only (the concrete Network accessor above exists for
+  /// sim-specific features: fault filters, latency config, stats reset).
+  [[nodiscard]] net::ITransport& transport() { return *network_; }
   [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
 
   [[nodiscard]] std::vector<ReplicaId> correct_ids() const;

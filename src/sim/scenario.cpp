@@ -35,6 +35,7 @@ const char* to_string(Fault fault) {
     case Fault::kChurnRecovery: return "churn";
     case Fault::kAsymmetricPartition: return "asym-partition";
     case Fault::kReorderAdversary: return "reorder";
+    case Fault::kAdaptiveLeader: return "adaptive-leader";
   }
   return "?";
 }
@@ -60,7 +61,7 @@ const std::vector<Fault>& all_faults() {
       Fault::kSilentFollowers, Fault::kEquivocate,
       Fault::kFlood,         Fault::kPartitionUntilGst,
       Fault::kChurnRecovery, Fault::kAsymmetricPartition,
-      Fault::kReorderAdversary};
+      Fault::kReorderAdversary, Fault::kAdaptiveLeader};
   return kFaults;
 }
 
@@ -128,6 +129,9 @@ bool fault_applicable(const ScenarioSpec& spec) {
       return spec.n >= 2;
     case Fault::kReorderAdversary:
       return true;
+    case Fault::kAdaptiveLeader:
+      // The corruption budget is the fault budget f.
+      return spec.f >= 1;
   }
   return false;
 }
@@ -135,8 +139,12 @@ bool fault_applicable(const ScenarioSpec& spec) {
 bool fault_expects_termination(Fault fault) {
   // Churn victims recover, the asymmetric partition heals at GST and the
   // reordering adversary only stretches delays within a bound — all three
-  // are benign for liveness, like the crash/partition faults.
-  return fault != Fault::kEquivocate && fault != Fault::kFlood;
+  // are benign for liveness, like the crash/partition faults. Active
+  // Byzantine attacks — equivocation, flooding and adaptive leader
+  // corruption — can stall progress (and an adaptively corrupted replica
+  // never decides), so only agreement is asserted for them.
+  return fault != Fault::kEquivocate && fault != Fault::kFlood &&
+         fault != Fault::kAdaptiveLeader;
 }
 
 net::LatencyConfig make_latency_config(LatencyModel model) {
@@ -176,6 +184,7 @@ ClusterConfig make_cluster_config(const ScenarioSpec& spec,
     case Fault::kPartitionUntilGst:
     case Fault::kChurnRecovery:        // honest victims; dropped at the net
     case Fault::kAsymmetricPartition:  // realized as a network filter
+    case Fault::kAdaptiveLeader:       // realized as a stateful filter
       break;
     case Fault::kReorderAdversary:
       cfg.latency.reorder_prob = 0.3;
@@ -220,6 +229,19 @@ ClusterConfig make_cluster_config(const ScenarioSpec& spec,
 }
 
 namespace {
+
+/// The wire tag only a view leader emits, per protocol — what the adaptive
+/// adversary watches for.
+std::vector<std::uint8_t> leadership_tags(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kProbft:
+    case Protocol::kPbft:
+      return {core::tag_byte(core::MsgTag::kPropose)};
+    case Protocol::kHotStuff:
+      return {static_cast<std::uint8_t>(hotstuff::HsTag::kProposal)};
+  }
+  return {};
+}
 
 std::string decision_transcript(const Cluster& cluster) {
   std::ostringstream out;
@@ -272,6 +294,15 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
         [plan, sim](ReplicaId from, ReplicaId to, std::uint8_t) {
           const TimePoint now = sim->now();
           return plan->is_down(from, now) || plan->is_down(to, now);
+        });
+  } else if (spec.fault == Fault::kAdaptiveLeader) {
+    // The adversary corrupts each new view's leader as it rotates in
+    // (budget f); corruption manifests as total silence from the victim.
+    const auto adversary = std::make_shared<AdaptiveLeaderAdversary>(
+        spec.n, spec.f, leadership_tags(spec.protocol));
+    cluster.network().set_filter(
+        [adversary](ReplicaId from, ReplicaId /*to*/, std::uint8_t tag) {
+          return adversary->should_drop(from, tag);
         });
   }
 

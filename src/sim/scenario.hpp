@@ -34,6 +34,7 @@ enum class Fault {
   kChurnRecovery,      // f replicas crash (network-dead) and rejoin
   kAsymmetricPartition,  // until GST half A hears half B but not vice versa
   kReorderAdversary,   // adversarial per-link message reordering
+  kAdaptiveLeader,     // adversary corrupts each new view's leader (budget f)
 };
 
 /// Latency presets over net::LatencyConfig.

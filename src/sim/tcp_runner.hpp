@@ -1,0 +1,39 @@
+// In-process TCP loopback cluster runner.
+//
+// Realizes a ScenarioSpec over the REAL socket backend: n TcpTransports
+// bound to ephemeral 127.0.0.1 ports, one OS thread per replica driving
+// its transport's event loop, replicas built through the same
+// sim::make_honest_node factory the simulator uses. This is the smoke path
+// for `scenario_runner --transport tcp-loopback` and the loopback
+// conformance tests — small n, wall-clock bounded, asserting the same
+// agreement/termination outcomes as the simulator path.
+//
+// Differences from the simulator path, by construction:
+//  - time is real: the spec's virtual-µs deadline is reinterpreted as a
+//    wall-clock budget (capped, so a mis-set spec cannot hang CI);
+//  - latency presets and RNG-driven faults do not apply — the kernel's
+//    loopback path is the network (tcp_fault_supported() gates specs);
+//  - outcomes are not bit-reproducible across runs (real scheduling), so
+//    no transcript-determinism claims are made, only protocol invariants.
+#pragma once
+
+#include "sim/scenario.hpp"
+
+namespace probft::sim {
+
+/// Faults realizable over real sockets: crash shapes (a silent replica is
+/// one whose process never speaks) and the fault-free baseline. RNG-driven
+/// network faults (partitions, churn, reordering, duplication) and
+/// ProBFT-format attack traffic stay simulator-only.
+[[nodiscard]] bool tcp_fault_supported(Fault fault);
+
+/// Hard wall-clock cap for one loopback run (µs).
+inline constexpr Duration kTcpMaxWallUs = 60'000'000;
+
+/// Runs one (spec, seed) experiment over TCP loopback. The seed feeds key
+/// generation and proposal values exactly like the simulator path.
+/// Requires tcp_fault_supported(spec.fault).
+[[nodiscard]] ScenarioOutcome run_scenario_tcp(const ScenarioSpec& spec,
+                                               std::uint64_t seed);
+
+}  // namespace probft::sim

@@ -16,8 +16,8 @@ const Bytes& noop_command() {
 
 }  // namespace
 
-SmrReplica::SmrReplica(SmrConfig config, Hooks hooks)
-    : cfg_(std::move(config)), hooks_(std::move(hooks)) {
+SmrReplica::SmrReplica(SmrConfig config, core::ProtocolHost host)
+    : cfg_(std::move(config)), host_(std::move(host)) {
   if (cfg_.id == 0 || cfg_.id > cfg_.n || cfg_.suite == nullptr ||
       cfg_.public_keys.size() != cfg_.n + 1 || cfg_.max_slots == 0) {
     throw std::invalid_argument("SmrReplica: bad configuration");
@@ -59,28 +59,31 @@ void SmrReplica::open_next_slot() {
   rc.secret_key = cfg_.secret_key;
   rc.public_keys = cfg_.public_keys;
 
-  core::Replica::Hooks hooks;
-  hooks.send = [this, slot](ReplicaId to, std::uint8_t tag, const Bytes& m) {
+  // The per-slot instance talks to a derived host that prefixes wire
+  // traffic with the slot number and funnels decisions into the log.
+  core::ProtocolHost slot_host;
+  slot_host.send = [this, slot](ReplicaId to, std::uint8_t tag,
+                                const Bytes& m) {
     Writer w;
     w.u64(slot);
     w.u8(tag);
     w.raw(m);
-    hooks_.send(to, kSmrTag, std::move(w).take());
+    host_.send(to, kSmrTag, std::move(w).take());
   };
-  hooks.broadcast = [this, slot](std::uint8_t tag, const Bytes& m) {
+  slot_host.broadcast = [this, slot](std::uint8_t tag, const Bytes& m) {
     Writer w;
     w.u64(slot);
     w.u8(tag);
     w.raw(m);
-    hooks_.broadcast(kSmrTag, std::move(w).take());
+    host_.broadcast(kSmrTag, std::move(w).take());
   };
-  hooks.set_timer = hooks_.set_timer;
-  hooks.on_decide = [this, slot](View /*view*/, const Bytes& value) {
+  slot_host.set_timer = host_.set_timer;
+  slot_host.on_decide = [this, slot](View /*view*/, const Bytes& value) {
     on_slot_decided(slot, value);
   };
 
-  instances_.emplace(slot, std::make_unique<core::Replica>(std::move(rc),
-                                                           cfg_.sync, hooks));
+  instances_.emplace(slot, std::make_unique<core::Replica>(
+                               std::move(rc), cfg_.sync, slot_host));
   instances_.at(slot)->start();
 
   // Replay traffic that raced ahead of this slot.
@@ -107,8 +110,8 @@ void SmrReplica::on_slot_decided(std::uint64_t slot, const Bytes& value) {
     // Committed commands leave the local client queue.
     queue_.erase(std::remove(queue_.begin(), queue_.end(), command),
                  queue_.end());
-    if (hooks_.on_commit && command != to_bytes("__noop__")) {
-      hooks_.on_commit(log_.size() - 1, command);
+    if (host_.on_commit && command != to_bytes("__noop__")) {
+      host_.on_commit(log_.size() - 1, command);
     }
   }
   if (advanced && log_.size() == next_slot_) {

@@ -24,6 +24,7 @@
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
+#include "core/protocol_host.hpp"
 #include "core/replica.hpp"
 
 namespace probft::smr {
@@ -52,15 +53,10 @@ struct SmrConfig {
 
 class SmrReplica : public core::INode {
  public:
-  struct Hooks {
-    std::function<void(ReplicaId to, std::uint8_t tag, const Bytes&)> send;
-    std::function<void(std::uint8_t tag, const Bytes&)> broadcast;
-    sync::Synchronizer::TimerSetter set_timer;
-    /// Called once per committed log entry, in slot order.
-    std::function<void(std::uint64_t slot, const Bytes& command)> on_commit;
-  };
-
-  SmrReplica(SmrConfig config, Hooks hooks);
+  /// The host's `on_commit` is called once per committed log entry, in
+  /// slot order; `on_decide` is unused at this layer (per-slot decisions
+  /// are internal).
+  SmrReplica(SmrConfig config, core::ProtocolHost host);
 
   /// Opens slot 0.
   void start() override;
@@ -86,7 +82,7 @@ class SmrReplica : public core::INode {
   [[nodiscard]] Bytes proposal_for_next_slot() const;
 
   SmrConfig cfg_;
-  Hooks hooks_;
+  core::ProtocolHost host_;
 
   std::uint64_t next_slot_ = 0;  // next slot to open
   std::map<std::uint64_t, std::unique_ptr<core::Replica>> instances_;

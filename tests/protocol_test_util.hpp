@@ -67,7 +67,7 @@ class TestBed {
     rc.suite = suite_.get();
     rc.secret_key = keys_[id].secret_key;
     rc.public_keys = public_keys_;
-    core::Replica::Hooks hooks;
+    core::ProtocolHost hooks;
     hooks.send = [this](ReplicaId to, std::uint8_t tag, const Bytes& m) {
       outbox.push_back({to, tag, m});
     };
@@ -96,7 +96,7 @@ class TestBed {
     rc.suite = suite_.get();
     rc.secret_key = keys_[id].secret_key;
     rc.public_keys = public_keys_;
-    pbft::PbftReplica::Hooks hooks;
+    core::ProtocolHost hooks;
     hooks.send = [this](ReplicaId to, std::uint8_t tag, const Bytes& m) {
       outbox.push_back({to, tag, m});
     };

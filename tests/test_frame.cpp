@@ -1,0 +1,194 @@
+// Wire-framing tests: round-trips, hostile streams (truncation, oversize
+// lengths, garbage versions) and partial-read reassembly — the properties
+// the TCP transport relies on to survive arbitrary bytes from the network.
+#include <gtest/gtest.h>
+
+#include "net/frame.hpp"
+
+namespace probft::net {
+namespace {
+
+Bytes payload_of(std::size_t size, std::uint8_t fill = 0xab) {
+  return Bytes(size, fill);
+}
+
+TEST(Frame, EncodeLayout) {
+  const Bytes payload = to_bytes("hi");
+  const Bytes wire = encode_frame(/*sender=*/7, /*tag=*/3,
+                                  ByteSpan(payload.data(), payload.size()));
+  ASSERT_EQ(wire.size(), 4 + kFrameHeaderBytes + 2);
+  // Length covers version + sender + tag + payload, little-endian.
+  EXPECT_EQ(wire[0], kFrameHeaderBytes + 2);
+  EXPECT_EQ(wire[1], 0);
+  EXPECT_EQ(wire[2], 0);
+  EXPECT_EQ(wire[3], 0);
+  EXPECT_EQ(wire[4], kFrameVersion);
+  EXPECT_EQ(wire[5], 7);  // sender LE
+  EXPECT_EQ(wire[9], 3);  // tag
+  EXPECT_EQ(wire[10], 'h');
+}
+
+TEST(Frame, RoundTripSingle) {
+  const Bytes payload = to_bytes("payload-bytes");
+  const Bytes wire = encode_frame(42, 9, ByteSpan(payload.data(),
+                                                  payload.size()));
+  FrameDecoder decoder;
+  decoder.feed(ByteSpan(wire.data(), wire.size()));
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.sender, 42U);
+  EXPECT_EQ(frame.tag, 9);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kNeedMore);
+  EXPECT_EQ(decoder.buffered(), 0U);
+}
+
+TEST(Frame, RoundTripEmptyPayload) {
+  const Bytes wire = encode_frame(1, 0, {});
+  FrameDecoder decoder;
+  decoder.feed(ByteSpan(wire.data(), wire.size()));
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.sender, 1U);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(Frame, ManyFramesOneFeed) {
+  Bytes wire;
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    const Bytes payload = payload_of(i * 17, i);
+    const Bytes one =
+        encode_frame(i + 1, i, ByteSpan(payload.data(), payload.size()));
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  FrameDecoder decoder;
+  decoder.feed(ByteSpan(wire.data(), wire.size()));
+  Frame frame;
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame) << int(i);
+    EXPECT_EQ(frame.sender, i + 1U);
+    EXPECT_EQ(frame.tag, i);
+    EXPECT_EQ(frame.payload.size(), i * 17U);
+  }
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kNeedMore);
+}
+
+TEST(Frame, PartialReadReassembly) {
+  // Feed one frame a single byte at a time: no prefix may yield a frame,
+  // the full stream must yield exactly the original.
+  const Bytes payload = payload_of(100, 0x5c);
+  const Bytes wire = encode_frame(3, 8, ByteSpan(payload.data(),
+                                                 payload.size()));
+  FrameDecoder decoder;
+  Frame frame;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    decoder.feed(ByteSpan(&wire[i], 1));
+    ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kNeedMore) << i;
+  }
+  decoder.feed(ByteSpan(&wire[wire.size() - 1], 1));
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.sender, 3U);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(Frame, ReassemblyAcrossChunkBoundaries) {
+  // Two frames split at an arbitrary mid-frame boundary.
+  const Bytes a = encode_frame(1, 1, payload_of(33, 1));
+  const Bytes b = encode_frame(2, 2, payload_of(77, 2));
+  Bytes wire = a;
+  wire.insert(wire.end(), b.begin(), b.end());
+
+  for (std::size_t split = 1; split < wire.size(); split += 7) {
+    FrameDecoder decoder;
+    decoder.feed(ByteSpan(wire.data(), split));
+    decoder.feed(ByteSpan(wire.data() + split, wire.size() - split));
+    Frame frame;
+    ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame) << split;
+    EXPECT_EQ(frame.sender, 1U);
+    ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame) << split;
+    EXPECT_EQ(frame.sender, 2U);
+    EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kNeedMore);
+  }
+}
+
+TEST(Frame, TruncatedStreamNeverYields) {
+  // A frame cut anywhere stays kNeedMore forever — truncation is loss, not
+  // corruption (the connection owner decides what to do on EOF).
+  const Bytes wire = encode_frame(5, 5, payload_of(64));
+  FrameDecoder decoder;
+  decoder.feed(ByteSpan(wire.data(), wire.size() - 1));
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kNeedMore);
+  EXPECT_FALSE(decoder.corrupted());
+  EXPECT_GT(decoder.buffered(), 0U);
+}
+
+TEST(Frame, UndersizeLengthPoisons) {
+  // length < header size can never frame a valid message.
+  Bytes wire = {5, 0, 0, 0, kFrameVersion, 1, 0, 0, 0};
+  FrameDecoder decoder;
+  decoder.feed(ByteSpan(wire.data(), wire.size()));
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
+  EXPECT_TRUE(decoder.corrupted());
+}
+
+TEST(Frame, OversizeLengthPoisons) {
+  // A hostile length field (here ~4 GiB) must poison the stream before any
+  // allocation of that size happens.
+  Bytes wire = {0xff, 0xff, 0xff, 0xff, kFrameVersion};
+  FrameDecoder decoder;
+  decoder.feed(ByteSpan(wire.data(), wire.size()));
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
+  EXPECT_TRUE(decoder.corrupted());
+  // Poisoned decoders stay poisoned: feeding more changes nothing.
+  const Bytes good = encode_frame(1, 1, {});
+  decoder.feed(ByteSpan(good.data(), good.size()));
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
+}
+
+TEST(Frame, PayloadCapIsConfigurable) {
+  const Bytes payload = payload_of(1024);
+  const Bytes wire =
+      encode_frame(1, 1, ByteSpan(payload.data(), payload.size()));
+  FrameDecoder tight(/*max_payload=*/512);
+  tight.feed(ByteSpan(wire.data(), wire.size()));
+  Frame frame;
+  EXPECT_EQ(tight.next(frame), FrameDecoder::Status::kError);
+
+  FrameDecoder roomy(/*max_payload=*/2048);
+  roomy.feed(ByteSpan(wire.data(), wire.size()));
+  EXPECT_EQ(roomy.next(frame), FrameDecoder::Status::kFrame);
+}
+
+TEST(Frame, GarbageVersionPoisons) {
+  Bytes wire = encode_frame(1, 1, payload_of(8));
+  wire[4] = kFrameVersion + 1;
+  FrameDecoder decoder;
+  decoder.feed(ByteSpan(wire.data(), wire.size()));
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
+  EXPECT_TRUE(decoder.corrupted());
+}
+
+TEST(Frame, GarbageBytesPoison) {
+  // Random noise: overwhelmingly likely to hit the length/version checks.
+  Bytes wire(64);
+  std::uint32_t x = 0xdeadbeef;
+  for (auto& b : wire) {
+    x = x * 1664525 + 1013904223;
+    b = static_cast<std::uint8_t>(x >> 24);
+  }
+  // Force a plausible length so the version check is what trips.
+  wire[0] = 32;
+  wire[1] = wire[2] = wire[3] = 0;
+  wire[4] = 0x77;  // not kFrameVersion
+  FrameDecoder decoder;
+  decoder.feed(ByteSpan(wire.data(), wire.size()));
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kError);
+}
+
+}  // namespace
+}  // namespace probft::net

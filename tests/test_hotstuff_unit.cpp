@@ -36,7 +36,7 @@ struct Bed {
     cfg.suite = suite.get();
     cfg.secret_key = keys[id].secret_key;
     cfg.public_keys = public_keys;
-    HotStuffReplica::Hooks hooks;
+    core::ProtocolHost hooks;
     hooks.send = [this](ReplicaId, std::uint8_t tag, const Bytes& m) {
       outbox.emplace_back(tag, m);
     };

@@ -140,6 +140,58 @@ TEST(Network, StatsCountSendsByTag) {
   EXPECT_EQ(h.net.stats().bytes_sent, 3U + 3U);
 }
 
+TEST(Network, StatsCountPerTagBytes) {
+  Harness h(4);
+  h.net.send(1, 2, 5, {1, 2, 3});
+  h.net.broadcast(1, 6, {9});
+  h.sim.run();
+  EXPECT_EQ(h.net.stats().bytes_for(5), 3U);
+  EXPECT_EQ(h.net.stats().bytes_for(6), 3U);
+  EXPECT_EQ(h.net.stats().bytes_for(77), 0U);
+}
+
+TEST(Network, DuplicateDeliveriesCountTheirBytes) {
+  // A duplicated message crosses the wire twice, so its bytes must land in
+  // bytes_sent and the per-tag byte counters both times — while `sends`
+  // keeps counting logical protocol sends. Pinned: bytes_sent must always
+  // equal the sum over bytes_by_tag.
+  LatencyConfig cfg;
+  cfg.duplicate_prob = 1.0;
+  Harness h(2, cfg);
+  for (int i = 0; i < 10; ++i) h.net.send(1, 2, 4, {1, 2, 3, 4, 5});
+  h.sim.run();
+  const auto& stats = h.net.stats();
+  EXPECT_EQ(stats.sends, 10U);
+  EXPECT_EQ(stats.sends_for(4), 10U);
+  EXPECT_EQ(stats.duplicates, 10U);
+  EXPECT_EQ(stats.delivered, 20U);
+  EXPECT_EQ(stats.bytes_sent, 2U * 10U * 5U);
+  EXPECT_EQ(stats.bytes_for(4), 2U * 10U * 5U);
+
+  std::uint64_t tag_total = 0;
+  for (const auto& [tag, bytes] : stats.bytes_by_tag) tag_total += bytes;
+  EXPECT_EQ(stats.bytes_sent, tag_total);
+}
+
+TEST(Network, DroppedMessagesDoNotDuplicate) {
+  // The filter fires before the duplicate draw: a dropped message must not
+  // add duplicate transmissions or their bytes.
+  LatencyConfig cfg;
+  cfg.duplicate_prob = 1.0;
+  Harness h(2, cfg);
+  h.net.set_filter(
+      [](ReplicaId, ReplicaId, std::uint8_t) { return true; });
+  h.net.send(1, 2, 4, {1, 2, 3});
+  h.sim.run();
+  EXPECT_EQ(h.net.stats().dropped, 1U);
+  EXPECT_EQ(h.net.stats().duplicates, 0U);
+  // The logical send is still accounted (it was attempted)...
+  EXPECT_EQ(h.net.stats().sends, 1U);
+  EXPECT_EQ(h.net.stats().bytes_sent, 3U);
+  // ...but nothing was delivered.
+  EXPECT_TRUE(h.deliveries.empty());
+}
+
 TEST(Network, ResetStatsClears) {
   Harness h(2);
   h.net.send(1, 2, 0, {});

@@ -190,5 +190,85 @@ TEST(NewFaults, ChurnActuallyPerturbsTheRun) {
       << "churn windows never perturbed any of 8 seeds";
 }
 
+// ---- adaptive leader corruption (ISSUE 3) ----
+
+TEST(AdaptiveLeader, CorruptsOnLeadershipTagAndSilencesForever) {
+  AdaptiveLeaderAdversary adversary(/*n=*/8, /*budget=*/2,
+                                    /*leadership_tags=*/{1});
+  // Ordinary traffic from an uncorrupted replica passes.
+  EXPECT_FALSE(adversary.should_drop(3, /*tag=*/2));
+  EXPECT_EQ(adversary.corrupted_count(), 0U);
+
+  // The first propose-tagged message corrupts its sender and is dropped.
+  EXPECT_TRUE(adversary.should_drop(1, /*tag=*/1));
+  EXPECT_TRUE(adversary.is_corrupted(1));
+  EXPECT_EQ(adversary.corrupted_count(), 1U);
+
+  // From then on EVERYTHING the victim sends is dropped (it is silenced),
+  // while other replicas' non-leadership traffic still flows.
+  EXPECT_TRUE(adversary.should_drop(1, /*tag=*/2));
+  EXPECT_TRUE(adversary.should_drop(1, /*tag=*/5));
+  EXPECT_FALSE(adversary.should_drop(4, /*tag=*/2));
+}
+
+TEST(AdaptiveLeader, BudgetBoundsTheCorruptions) {
+  AdaptiveLeaderAdversary adversary(8, /*budget=*/2, {1});
+  EXPECT_TRUE(adversary.should_drop(1, 1));   // view-1 leader: corrupted
+  EXPECT_TRUE(adversary.should_drop(2, 1));   // view-2 leader: corrupted
+  EXPECT_FALSE(adversary.should_drop(3, 1));  // budget exhausted: passes
+  EXPECT_EQ(adversary.corrupted_count(), 2U);
+  EXPECT_FALSE(adversary.is_corrupted(3));
+  // Out-of-range senders never match bookkeeping.
+  EXPECT_FALSE(adversary.should_drop(0, 1));
+  EXPECT_FALSE(adversary.should_drop(999, 1));
+}
+
+TEST(AdaptiveLeader, SpecDerivationIsNonBenign) {
+  ScenarioSpec spec = small_base();
+  spec.fault = Fault::kAdaptiveLeader;
+  EXPECT_TRUE(fault_applicable(spec));
+  spec.f = 0;
+  EXPECT_FALSE(fault_applicable(spec));  // corruption budget comes from f
+  spec.f = 1;
+
+  // Non-benign: the matrix asserts agreement only (a corrupted replica
+  // may never decide).
+  EXPECT_FALSE(fault_expects_termination(Fault::kAdaptiveLeader));
+
+  Fault parsed{};
+  EXPECT_TRUE(fault_from_string("adaptive-leader", parsed));
+  EXPECT_EQ(parsed, Fault::kAdaptiveLeader);
+
+  // Everyone starts honest; corruption happens adaptively at the network.
+  const auto cfg = make_cluster_config(spec, 1);
+  for (const auto behavior : cfg.behaviors) {
+    EXPECT_EQ(behavior, Behavior::kHonest);
+  }
+}
+
+TEST(AdaptiveLeader, AgreementHoldsAndViewsAdvancePastTheBudget) {
+  ScenarioSpec spec = small_base();  // n = 8, f = 1
+  spec.fault = Fault::kAdaptiveLeader;
+  spec.f = 2;
+  for (const Protocol protocol : all_protocols()) {
+    spec.protocol = protocol;
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      const ScenarioOutcome outcome = run_scenario(spec, seed);
+      EXPECT_TRUE(outcome.agreement)
+          << scenario_name(spec) << " seed " << seed;
+      // Leaders of the first f views were struck down as they rotated in,
+      // so whoever decided did it in a later view.
+      if (outcome.decided > 0) {
+        EXPECT_GE(outcome.max_view, spec.f + 1)
+            << scenario_name(spec) << " seed " << seed;
+      }
+      // The surviving majority still gets through (liveness holds for the
+      // uncorrupted replicas even though the spec does not assert it).
+      EXPECT_GE(outcome.decided, outcome.correct - spec.f)
+          << scenario_name(spec) << " seed " << seed;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace probft::sim

@@ -45,7 +45,7 @@ struct Fleet {
       cfg.secret_key = keys[id].secret_key;
       cfg.public_keys = public_keys;
       cfg.sync.base_timeout = 100'000;
-      SmrReplica::Hooks hooks;
+      core::ProtocolHost hooks;
       hooks.send = [this, id](ReplicaId to, std::uint8_t tag, const Bytes& m) {
         net->send(id, to, tag, m);
       };

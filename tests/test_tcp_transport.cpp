@@ -1,0 +1,208 @@
+// TCP transport tests over real loopback sockets: basic delivery, late
+// peer startup (reconnect-on-failure), and full n=4 consensus runs through
+// the same run_scenario_tcp() harness `scenario_runner --transport
+// tcp-loopback` uses. All wall-clock bounded well below the ctest timeout.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "net/tcp_transport.hpp"
+#include "sim/tcp_runner.hpp"
+
+namespace probft {
+namespace {
+
+using net::PeerAddress;
+using net::TcpTransport;
+using net::TcpTransportConfig;
+
+std::unique_ptr<TcpTransport> make_node(ReplicaId self, std::uint32_t n) {
+  TcpTransportConfig cfg;
+  cfg.self = self;
+  cfg.n = n;
+  cfg.listen_host = "127.0.0.1";
+  cfg.listen_port = 0;  // ephemeral
+  return std::make_unique<TcpTransport>(std::move(cfg));
+}
+
+void cross_wire(std::vector<std::unique_ptr<TcpTransport>>& nodes) {
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    for (std::size_t j = 1; j < nodes.size(); ++j) {
+      nodes[i]->set_peer(static_cast<ReplicaId>(j),
+                         PeerAddress{"127.0.0.1", nodes[j]->listen_port()});
+    }
+  }
+}
+
+TEST(TcpTransport, PairDelivery) {
+  std::vector<std::unique_ptr<TcpTransport>> nodes(3);
+  nodes[1] = make_node(1, 2);
+  nodes[2] = make_node(2, 2);
+  cross_wire(nodes);
+
+  std::atomic<int> received{0};
+  Bytes seen;
+  nodes[2]->register_handler(
+      2, [&](ReplicaId from, std::uint8_t tag, const Bytes& payload) {
+        EXPECT_EQ(from, 1U);
+        EXPECT_EQ(tag, 7);
+        seen = payload;
+        received.fetch_add(1);
+      });
+
+  std::thread receiver([&]() {
+    nodes[2]->run_until([&]() { return received.load() >= 1; },
+                        /*max_wall=*/10'000'000);
+  });
+  nodes[1]->send(1, 2, 7, to_bytes("over-the-wire"));
+  nodes[1]->run_until([&]() { return received.load() >= 1; }, 10'000'000);
+  receiver.join();
+
+  EXPECT_EQ(received.load(), 1);
+  EXPECT_EQ(seen, to_bytes("over-the-wire"));
+  EXPECT_EQ(nodes[1]->stats().sends, 1U);
+  EXPECT_EQ(nodes[2]->stats().delivered, 1U);
+}
+
+TEST(TcpTransport, SelfSendIsAsynchronousButDelivered) {
+  auto node = make_node(1, 2);
+  node->set_peer(1, PeerAddress{"127.0.0.1", node->listen_port()});
+  bool got = false;
+  node->register_handler(1,
+                         [&](ReplicaId from, std::uint8_t tag, const Bytes&) {
+                           EXPECT_EQ(from, 1U);
+                           EXPECT_EQ(tag, 1);
+                           got = true;
+                         });
+  node->send(1, 1, 1, to_bytes("note-to-self"));
+  EXPECT_FALSE(got);  // never delivered reentrantly
+  node->run_until([&]() { return got; }, 5'000'000);
+  EXPECT_TRUE(got);
+}
+
+TEST(TcpTransport, QueuesUntilPeerComesUpLate) {
+  // Node 1 sends while node 2 does not exist yet: the message queues, the
+  // dial fails, and a later retry delivers once node 2 binds and runs.
+  auto first = make_node(1, 2);
+  // A port that is almost certainly closed right now: bind+close one.
+  std::uint16_t port = 0;
+  {
+    auto probe = make_node(2, 2);
+    port = probe->listen_port();
+  }
+  first->set_peer(2, PeerAddress{"127.0.0.1", port});
+  first->send(1, 2, 9, to_bytes("early"));
+  // Give the first dial time to fail (reconnect timer arms).
+  first->run_until(nullptr, 150'000);
+
+  // Now bring node 2 up on that exact port.
+  TcpTransportConfig cfg;
+  cfg.self = 2;
+  cfg.n = 2;
+  cfg.listen_host = "127.0.0.1";
+  cfg.listen_port = port;
+  TcpTransport second(std::move(cfg));
+  std::atomic<bool> got{false};
+  second.register_handler(
+      2, [&](ReplicaId from, std::uint8_t, const Bytes& payload) {
+        EXPECT_EQ(from, 1U);
+        EXPECT_EQ(payload, to_bytes("early"));
+        got.store(true);
+      });
+
+  std::thread receiver([&]() {
+    second.run_until([&]() { return got.load(); }, 10'000'000);
+  });
+  first->run_until([&]() { return got.load(); }, 10'000'000);
+  receiver.join();
+  EXPECT_TRUE(got.load());
+  EXPECT_GE(first->connects(), 1U);
+}
+
+TEST(TcpTransport, OversizePayloadIsDroppedAtTheSender) {
+  // A frame the receiver's decoder would poison on must never be sent:
+  // the sender counts it dropped instead of livelocking the link with
+  // endless reconnect + identical-resend cycles.
+  TcpTransportConfig cfg;
+  cfg.self = 1;
+  cfg.n = 2;
+  cfg.listen_host = "127.0.0.1";
+  cfg.max_frame_payload = 1024;
+  TcpTransport node(std::move(cfg));
+  node.set_peer(2, PeerAddress{"127.0.0.1", 1});
+  node.send(1, 2, 1, Bytes(2048, 0xaa));
+  EXPECT_EQ(node.stats().sends, 1U);  // the logical send was attempted
+  EXPECT_EQ(node.stats().dropped, 1U);
+  node.send(1, 2, 1, Bytes(512, 0xbb));  // within the cap: queues fine
+  EXPECT_EQ(node.stats().dropped, 1U);
+}
+
+TEST(TcpTransport, TimersFireInOrder) {
+  auto node = make_node(1, 2);
+  std::vector<int> order;
+  node->set_timer(30'000, [&]() { order.push_back(3); });
+  node->set_timer(10'000, [&]() { order.push_back(1); });
+  node->set_timer(20'000, [&]() { order.push_back(2); });
+  node->run_until([&]() { return order.size() == 3; }, 5'000'000);
+  ASSERT_EQ(order.size(), 3U);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+}
+
+// ---- full consensus over real sockets ----
+
+sim::ScenarioSpec loopback_spec(sim::Protocol protocol) {
+  sim::ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.n = 4;
+  spec.f = 0;
+  spec.l = 1.2;  // q = ceil(1.2·2) = 3 of 4: satisfiable sample
+  spec.fault = sim::Fault::kNone;
+  spec.deadline = 20'000'000;  // 20 s wall cap, typical run ≪ 1 s
+  return spec;
+}
+
+TEST(TcpCluster, FourNodeProbftDecidesOverRealSockets) {
+  const auto outcome = sim::run_scenario_tcp(loopback_spec(
+      sim::Protocol::kProbft), /*seed=*/1);
+  EXPECT_TRUE(outcome.terminated)
+      << outcome.decided << "/" << outcome.correct << " decided";
+  EXPECT_TRUE(outcome.agreement);
+  EXPECT_EQ(outcome.decided, 4U);
+  EXPECT_GT(outcome.messages, 0U);
+  EXPECT_GT(outcome.bytes, 0U);
+}
+
+TEST(TcpCluster, FourNodePbftAndHotstuffDecide) {
+  for (const auto protocol :
+       {sim::Protocol::kPbft, sim::Protocol::kHotStuff}) {
+    const auto outcome =
+        sim::run_scenario_tcp(loopback_spec(protocol), /*seed=*/1);
+    EXPECT_TRUE(outcome.terminated);
+    EXPECT_TRUE(outcome.agreement);
+  }
+}
+
+TEST(TcpCluster, SilentLeaderViewChangesOverRealSockets) {
+  sim::ScenarioSpec spec = loopback_spec(sim::Protocol::kProbft);
+  spec.f = 1;
+  spec.fault = sim::Fault::kSilentLeader;
+  const auto outcome = sim::run_scenario_tcp(spec, /*seed=*/1);
+  EXPECT_TRUE(outcome.terminated);
+  EXPECT_TRUE(outcome.agreement);
+  EXPECT_EQ(outcome.decided, 3U);  // the silent leader never decides
+  EXPECT_GE(outcome.max_view, 2U);  // a real view change happened
+}
+
+TEST(TcpRunner, RejectsSimulatorOnlyFaults) {
+  sim::ScenarioSpec spec = loopback_spec(sim::Protocol::kProbft);
+  spec.fault = sim::Fault::kEquivocate;
+  EXPECT_FALSE(sim::tcp_fault_supported(spec.fault));
+  EXPECT_THROW((void)sim::run_scenario_tcp(spec, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace probft
