@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <string_view>
@@ -15,6 +16,20 @@ namespace probft {
 
 using Bytes = std::vector<std::uint8_t>;
 using ByteSpan = std::span<const std::uint8_t>;
+
+/// Size-first byte ordering: shorter buffers sort before longer ones,
+/// equal lengths compare with memcmp. Use this (not std::less<Bytes>) for
+/// ordered containers keyed on Bytes — the explicit memcmp also sidesteps
+/// GCC 12's bogus -Wstringop-overread on the synthesized
+/// vector<unsigned char> three-way compare. NOTE: core::choose_value's
+/// value tie-break is defined in terms of this ordering, so its semantics
+/// are protocol-visible; do not change them casually.
+struct BytesLess {
+  bool operator()(const Bytes& a, const Bytes& b) const noexcept {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a.size() != 0 && std::memcmp(a.data(), b.data(), a.size()) < 0;
+  }
+};
 
 /// Encodes `data` as lowercase hex.
 [[nodiscard]] std::string to_hex(ByteSpan data);

@@ -1,5 +1,10 @@
 #include "core/messages.hpp"
 
+#include <cstring>
+#include <map>
+
+#include "crypto/sha256.hpp"
+
 namespace probft::core {
 
 namespace {
@@ -81,36 +86,83 @@ PhaseMsg PhaseMsg::from_bytes(ByteSpan data) {
   return out;
 }
 
-// ---------------- NewLeaderMsg ----------------
-
-void NewLeaderMsg::encode(Writer& w) const {
-  w.u64(view);
-  w.u64(prepared_view);
-  w.bytes(prepared_value);
-  w.vec(cert, [](Writer& out, const PhaseMsg& m) { m.encode(out); });
-  w.u32(sender);
-  w.bytes(sender_sig);
+const Bytes& PhaseMsg::content_digest() const {
+  if (digest_memo_.empty()) {
+    const Bytes enc = to_bytes();
+    digest_memo_ = crypto::sha256(ByteSpan(enc.data(), enc.size()));
+  }
+  return digest_memo_;
 }
 
-NewLeaderMsg NewLeaderMsg::decode(Reader& r) {
+// ---------------- NewLeaderMsg ----------------
+
+namespace {
+
+/// The one place that knows NewLeaderMsg's field order. The certificate is
+/// written/read through the callbacks because the same layout is used with
+/// two cert representations: inline PhaseMsgs (standalone wire messages)
+/// and u32 back-references into a pool (inside a ProposeMsg).
+template <typename CertWriter>
+void encode_new_leader_body(Writer& w, const NewLeaderMsg& m,
+                            CertWriter&& write_cert) {
+  w.u64(m.view);
+  w.u64(m.prepared_view);
+  w.bytes(m.prepared_value);
+  write_cert(w, m.cert);
+  w.u32(m.sender);
+  w.bytes(m.sender_sig);
+}
+
+template <typename CertReader>
+NewLeaderMsg decode_new_leader_body(Reader& r, CertReader&& read_cert) {
   NewLeaderMsg out;
   out.view = r.u64();
   out.prepared_view = r.u64();
   out.prepared_value = r.bytes();
-  out.cert =
-      r.vec<PhaseMsg>([](Reader& in) { return PhaseMsg::decode(in); }, 4096);
+  out.cert = read_cert(r);
   out.sender = r.u32();
   out.sender_sig = r.bytes();
   return out;
 }
 
+void encode_cert_inline(Writer& w, const std::vector<PhaseMsgPtr>& cert) {
+  w.vec(cert, [](Writer& out, const PhaseMsgPtr& m) { m->encode(out); });
+}
+
+std::vector<PhaseMsgPtr> decode_cert_inline(Reader& r) {
+  return r.vec<PhaseMsgPtr>(
+      [](Reader& in) {
+        return std::make_shared<PhaseMsg>(PhaseMsg::decode(in));
+      },
+      4096);
+}
+
+}  // namespace
+
+void NewLeaderMsg::encode(Writer& w) const {
+  encode_new_leader_body(w, *this, encode_cert_inline);
+}
+
+NewLeaderMsg NewLeaderMsg::decode(Reader& r) {
+  return decode_new_leader_body(r, decode_cert_inline);
+}
+
 Bytes NewLeaderMsg::signing_bytes() const {
+  // The certificate is covered through its members' content digests, not
+  // the flat encoding: the digests are memoized on the PhaseMsg objects,
+  // so building (and hashing) the signed string is O(q·32) bytes instead
+  // of re-serializing O(q) full Prepare messages — this string is rebuilt
+  // on every verification, which made the flat form a justification-path
+  // hot spot. Collision resistance of SHA-256 keeps the signature binding.
   Writer w;
   w.str("probft/newleader");
   w.u64(view);
   w.u64(prepared_view);
   w.bytes(prepared_value);
-  w.vec(cert, [](Writer& out, const PhaseMsg& m) { m.encode(out); });
+  w.vec(cert, [](Writer& out, const PhaseMsgPtr& m) {
+    const Bytes& d = m->content_digest();
+    out.bytes(ByteSpan(d.data(), d.size()));
+  });
   w.u32(sender);
   return std::move(w).take();
 }
@@ -128,12 +180,67 @@ NewLeaderMsg NewLeaderMsg::from_bytes(ByteSpan data) {
   return out;
 }
 
+const Bytes& NewLeaderMsg::content_digest() const {
+  // signing_bytes() already binds every field (certs via their digests);
+  // appending the sender signature makes the digest cover the full message
+  // without re-serializing the certificate payload.
+  if (digest_memo_.empty()) {
+    Writer w;
+    w.str("probft/newleader-digest");
+    w.bytes(signing_bytes());
+    w.bytes(sender_sig);
+    const Bytes enc = std::move(w).take();
+    digest_memo_ = crypto::sha256(ByteSpan(enc.data(), enc.size()));
+  }
+  return digest_memo_;
+}
+
 // ---------------- ProposeMsg ----------------
+
+namespace {
+
+/// Upper bound on distinct pooled cert entries in one Propose (each correct
+/// replica contributes at most one Prepare per view, so the pool is O(n)).
+constexpr std::size_t kCertPoolLimit = 1 << 16;
+
+}  // namespace
 
 void ProposeMsg::encode(Writer& w) const {
   proposal.encode(w);
-  w.vec(justification,
-        [](Writer& out, const NewLeaderMsg& m) { m.encode(out); });
+  // Wire-level certificate dedup: a Prepare multicast to its VRF sample
+  // lands verbatim in every sample member's prepared certificate, so the
+  // NewLeader messages inside a justification overlap in O(q) PhaseMsgs
+  // each. The wire format therefore carries each distinct PhaseMsg once in
+  // a pool (first-appearance order) and encodes every cert as u32
+  // back-references into it. signing_bytes() stays defined over the flat
+  // logical content, so signatures are independent of this compression.
+  // Dedup by memoized content digest: decoded justifications share one
+  // pointer per distinct message, but a leader assembles its set from
+  // independently-decoded NewLeader messages, so equal content can live
+  // behind distinct pointers.
+  std::map<Bytes, std::uint32_t, BytesLess> index_of;  // digest -> index
+  std::vector<const PhaseMsg*> pool;
+  std::vector<std::vector<std::uint32_t>> refs(justification.size());
+  for (std::size_t i = 0; i < justification.size(); ++i) {
+    refs[i].reserve(justification[i].cert.size());
+    for (const PhaseMsgPtr& pm : justification[i].cert) {
+      auto [it, inserted] = index_of.try_emplace(
+          pm->content_digest(), static_cast<std::uint32_t>(pool.size()));
+      if (inserted) pool.push_back(pm.get());
+      refs[i].push_back(it->second);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(pool.size()));
+  for (const PhaseMsg* pm : pool) pm->encode(w);
+  w.u32(static_cast<std::uint32_t>(justification.size()));
+  for (std::size_t i = 0; i < justification.size(); ++i) {
+    encode_new_leader_body(
+        w, justification[i],
+        [&refs, i](Writer& out, const std::vector<PhaseMsgPtr>&) {
+          out.vec(refs[i],
+                  [](Writer& o, std::uint32_t idx) { o.u32(idx); });
+        });
+  }
   w.u32(sender);
   w.bytes(sender_sig);
 }
@@ -141,19 +248,48 @@ void ProposeMsg::encode(Writer& w) const {
 ProposeMsg ProposeMsg::decode(Reader& r) {
   ProposeMsg out;
   out.proposal = SignedProposal::decode(r);
+  // Every cert below shares the pool pointer, so the lazily-memoized
+  // content digest (the verification-cache key) is computed at most once
+  // per distinct PhaseMsg per Propose — and not at all for messages the
+  // replica rejects before verifying.
+  const auto pool = r.vec<PhaseMsgPtr>(
+      [](Reader& in) {
+        return std::make_shared<PhaseMsg>(PhaseMsg::decode(in));
+      },
+      kCertPoolLimit);
   out.justification = r.vec<NewLeaderMsg>(
-      [](Reader& in) { return NewLeaderMsg::decode(in); }, 4096);
+      [&pool](Reader& in) {
+        return decode_new_leader_body(in, [&pool](Reader& rr) {
+          const auto refs = rr.vec<std::uint32_t>(
+              [](Reader& r2) { return r2.u32(); }, 4096);
+          std::vector<PhaseMsgPtr> cert;
+          cert.reserve(refs.size());
+          for (const std::uint32_t idx : refs) {
+            if (idx >= pool.size()) {
+              throw CodecError("propose: cert back-reference out of range");
+            }
+            cert.push_back(pool[idx]);
+          }
+          return cert;
+        });
+      },
+      4096);
   out.sender = r.u32();
   out.sender_sig = r.bytes();
   return out;
 }
 
 Bytes ProposeMsg::signing_bytes() const {
+  // As with NewLeaderMsg: the justification is bound through per-message
+  // content digests, so signing/verifying a Propose is O(|M|·32) bytes
+  // instead of re-serializing every embedded certificate.
   Writer w;
   w.str("probft/propose");
   proposal.encode(w);
-  w.vec(justification,
-        [](Writer& out, const NewLeaderMsg& m) { m.encode(out); });
+  w.vec(justification, [](Writer& out, const NewLeaderMsg& m) {
+    const Bytes& d = m.content_digest();
+    out.bytes(ByteSpan(d.data(), d.size()));
+  });
   w.u32(sender);
   return std::move(w).take();
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -56,13 +57,33 @@ struct PhaseMsg {
   Bytes vrf_proof;                // P
   ReplicaId sender = 0;
   Bytes sender_sig;
+  /// Lazily-computed SHA-256 of the full wire encoding (signature
+  /// included); copies carry it along. The replica's verification cache
+  /// keys on it, so a multicast Prepare referenced by many overlapping
+  /// certificates is hashed once, not once per reference. Not part of the
+  /// wire format; treat as content_digest()'s private memo. CAUTION: code
+  /// that mutates any field after the digest was computed (tests crafting
+  /// adversarial messages) must clear the memo, or the stale digest will
+  /// alias the original message's cached verdict. Wire-decoded messages
+  /// are never mutated, so the protocol paths cannot go stale.
+  mutable Bytes digest_memo_;
 
   void encode(Writer& w) const;
   static PhaseMsg decode(Reader& r);
   [[nodiscard]] Bytes signing_bytes(MsgTag tag) const;
   [[nodiscard]] Bytes to_bytes() const;
   static PhaseMsg from_bytes(ByteSpan data);
+  [[nodiscard]] const Bytes& content_digest() const;
 };
+
+/// Shared immutable handle to a certificate member. Certificates inside a
+/// justification overlap heavily (one multicast Prepare lands in every
+/// sample member's certificate), so certs hold shared pointers: decoding a
+/// Propose materializes each distinct PhaseMsg once and the per-cert
+/// entries are pointer copies, not O(n·√n) deep copies. Treat the pointee
+/// as immutable — tests that want to tamper with a member must clone it
+/// (std::make_shared<PhaseMsg>(*ptr)) and swap the pointer.
+using PhaseMsgPtr = std::shared_ptr<const PhaseMsg>;
 
 /// ⟨NewLeader, v, preparedView, preparedVal, cert⟩_sender. A prepared
 /// certificate is the probabilistic quorum of Prepare messages this sender
@@ -71,18 +92,27 @@ struct NewLeaderMsg {
   View view = 0;           // the view being entered
   View prepared_view = 0;  // 0 encodes "never prepared" (⊥)
   Bytes prepared_value;    // empty when prepared_view == 0
-  std::vector<PhaseMsg> cert;
+  std::vector<PhaseMsgPtr> cert;
   ReplicaId sender = 0;
   Bytes sender_sig;
+  /// Same contract as PhaseMsg::digest_memo_.
+  mutable Bytes digest_memo_;
 
   void encode(Writer& w) const;
   static NewLeaderMsg decode(Reader& r);
   [[nodiscard]] Bytes signing_bytes() const;
   [[nodiscard]] Bytes to_bytes() const;
   static NewLeaderMsg from_bytes(ByteSpan data);
+  [[nodiscard]] const Bytes& content_digest() const;
 };
 
 /// ⟨Propose, ⟨v,x⟩_leader, M⟩_leader.
+///
+/// Wire format note: the justification's prepared certificates overlap
+/// heavily (one multicast Prepare appears in every sample member's cert),
+/// so encode()/decode() pool the distinct PhaseMsgs once and store each
+/// cert as u32 back-references into the pool. signing_bytes() is defined
+/// over the flat logical content and is unaffected by the pooling.
 struct ProposeMsg {
   SignedProposal proposal;
   std::vector<NewLeaderMsg> justification;  // M (empty in view 1)

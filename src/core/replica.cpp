@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "common/codec.hpp"
 #include "common/log.hpp"
@@ -14,16 +16,31 @@ namespace {
 
 /// Leader's proposal-choice rule (Alg. 1 lines 7-8) shared with the
 /// safeProposal re-check: the value prepared in the highest view by the
-/// most replicas. Ties on the mode break toward the lexicographically
-/// smallest value so leader and verifiers agree. Returns nullopt when no
-/// replica in M prepared anything (leader is free to use myValue()).
+/// most replicas. Ties on the mode break toward the BytesLess-smallest
+/// value (shortest, then lexicographic) so leader and verifiers agree.
+/// Returns nullopt when no replica in M prepared anything (leader is free
+/// to use myValue()).
 std::optional<Bytes> choose_value(const std::vector<NewLeaderMsg>& m_set) {
-  View vmax = 0;
-  for (const auto& m : m_set) vmax = std::max(vmax, m.prepared_view);
-  if (vmax == 0) return std::nullopt;
-  std::map<Bytes, int> counts;  // ordered: first max found is smallest value
+  // One vote per SENDER, not per message: a Byzantine leader used to be
+  // able to duplicate a single NewLeaderMsg to inflate its value's mode
+  // count. The leader collects into a per-sender map and verifiers reject
+  // duplicate senders outright, but the mode itself must also be immune to
+  // repetition; keep the highest prepared view per sender (ties keep the
+  // first occurrence) so leader and verifiers agree.
+  std::map<ReplicaId, const NewLeaderMsg*> by_sender;
   for (const auto& m : m_set) {
-    if (m.prepared_view == vmax) ++counts[m.prepared_value];
+    auto [it, inserted] = by_sender.try_emplace(m.sender, &m);
+    if (!inserted && m.prepared_view > it->second->prepared_view) {
+      it->second = &m;
+    }
+  }
+  View vmax = 0;
+  for (const auto& [id, m] : by_sender) vmax = std::max(vmax, m->prepared_view);
+  if (vmax == 0) return std::nullopt;
+  // Ordered: the first maximum found is the BytesLess-smallest value.
+  std::map<Bytes, int, BytesLess> counts;
+  for (const auto& [id, m] : by_sender) {
+    if (m->prepared_view == vmax) ++counts[m->prepared_value];
   }
   const Bytes* best = nullptr;
   int best_count = 0;
@@ -35,6 +52,40 @@ std::optional<Bytes> choose_value(const std::vector<NewLeaderMsg>& m_set) {
   }
   return *best;
 }
+
+/// Cache key for one verification verdict: kind byte ‖ message length ‖
+/// message ‖ signature, hashed. The length prefix removes any message/sig
+/// boundary ambiguity; the kind byte domain-separates leader-sig, phase and
+/// NewLeader verdicts.
+Bytes verdict_key(char kind, ByteSpan message, const Bytes& sig) {
+  crypto::Sha256 h;
+  std::uint8_t head[9];
+  head[0] = static_cast<std::uint8_t>(kind);
+  const std::uint64_t len = message.size();
+  for (int i = 0; i < 8; ++i) {
+    head[1 + i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+  h.update(ByteSpan(head, sizeof(head)));
+  h.update(message);
+  h.update(ByteSpan(sig.data(), sig.size()));
+  const auto digest = h.finalize();
+  return Bytes(digest.begin(), digest.end());
+}
+
+/// Cache key from a message's memoized content digest (covers signature
+/// and all fields): digest ‖ kind ‖ tag. No hashing on this path — the hot
+/// loops reference the same few hundred distinct messages thousands of
+/// times, so the key must cost a lookup, not an encode.
+Bytes digest_key(const Bytes& digest, char kind, std::uint8_t tag) {
+  Bytes key = digest;
+  key.push_back(static_cast<std::uint8_t>(kind));
+  key.push_back(tag);
+  return key;
+}
+
+/// Verification-cache size bound; clearing wholesale keeps the fast path
+/// deterministic (an LRU's behavior would depend on hash iteration order).
+constexpr std::size_t kVerifyCacheCap = 1 << 20;
 
 }  // namespace
 
@@ -176,6 +227,13 @@ void Replica::send_new_leader() {
 void Replica::handle_propose(const Bytes& raw) {
   ProposeMsg msg = ProposeMsg::from_bytes(raw);
   if (msg.sender == 0 || msg.sender > cfg_.n) return;
+  const View v = msg.proposal.view;
+  // Only the view's leader may propose. Checking here (not just inside
+  // safeProposal at vote time) matters because the buffer keeps the FIRST
+  // message per view: without it, any replica could send a garbage Propose
+  // for a future view that shadows the honest leader's proposal out of the
+  // buffer forever, stalling that view.
+  if (msg.sender != leader_of(v, cfg_.n)) return;
   if (!cfg_.suite->verify(cfg_.public_keys[msg.sender], msg.signing_bytes(),
                           msg.sender_sig)) {
     return;
@@ -183,7 +241,6 @@ void Replica::handle_propose(const Bytes& raw) {
   if (check_equivocation(msg.proposal, tag_byte(MsgTag::kPropose), raw)) {
     return;
   }
-  const View v = msg.proposal.view;
   if (v < cur_view_) return;
   pending_proposes_.emplace(v, std::move(msg));  // keep the first per view
   if (v == cur_view_) try_vote();
@@ -226,14 +283,24 @@ void Replica::handle_new_leader(const Bytes& raw) {
   if (msg.sender == 0 || msg.sender > cfg_.n) return;
   if (msg.view < cur_view_) return;
   if (leader_of(msg.view, cfg_.n) != cfg_.id) return;
-  if (!cfg_.suite->verify(cfg_.public_keys[msg.sender], msg.signing_bytes(),
-                          msg.sender_sig)) {
-    return;
-  }
-  if (!valid_new_leader(msg)) return;
   const View view = msg.view;
   const ReplicaId sender = msg.sender;
-  new_leader_msgs_[view].emplace(sender, std::move(msg));
+  // One slot per sender; a re-sending replica can only RAISE its reported
+  // prepared view (mirrors choose_value's dedup rule, so repetition can
+  // never skew the mode count). Check the slot BEFORE the O(q)
+  // signature/certificate verification so duplicate spam is nearly free;
+  // find() (not operator[]) keeps unverified traffic from growing the map.
+  const auto slot_it = new_leader_msgs_.find(view);
+  if (slot_it != new_leader_msgs_.end()) {
+    const auto existing = slot_it->second.find(sender);
+    if (existing != slot_it->second.end() &&
+        msg.prepared_view <= existing->second.prepared_view) {
+      return;  // duplicate or stale report: nothing new to lead with
+    }
+  }
+  if (!new_leader_sig_ok(msg)) return;
+  if (!valid_new_leader(msg)) return;
+  new_leader_msgs_[view].insert_or_assign(sender, std::move(msg));
   if (view == cur_view_) try_lead();
 }
 
@@ -248,10 +315,13 @@ void Replica::try_lead() {
     return;
   }
   // Lines 7-12: propose the value prepared in the highest view by the most
-  // replicas, else our own value.
+  // replicas, else our own value. The collected messages are MOVED into
+  // the justification (each one drags a q-sized certificate along, so the
+  // former deep copy here was O(n·√n) in signatures).
   std::vector<NewLeaderMsg> m_set;
   m_set.reserve(it->second.size());
-  for (const auto& [sender, msg] : it->second) m_set.push_back(msg);
+  for (auto& [sender, msg] : it->second) m_set.push_back(std::move(msg));
+  new_leader_msgs_.erase(it);
 
   const auto chosen = choose_value(m_set);
   SignedProposal prop;
@@ -309,7 +379,7 @@ void Replica::try_prepare_quorum() {
   prepared_cert_.reserve(cfg_.q());
   for (const auto& [sender, msg] : it->second) {
     if (prepared_cert_.size() == cfg_.q()) break;
-    prepared_cert_.push_back(msg);
+    prepared_cert_.push_back(std::make_shared<PhaseMsg>(msg));
   }
 
   const Bytes alpha = crypto::sample_alpha(cur_view_, "commit");
@@ -351,7 +421,14 @@ void Replica::decide(const Bytes& value) {
 
 bool Replica::check_equivocation(const SignedProposal& p, std::uint8_t tag,
                                  const Bytes& raw) {
-  if (block_view_ || !voted_ || p.view != cur_view_) return block_view_;
+  // Only current-view tuples participate. While a view is blocked,
+  // messages for FUTURE views must keep flowing into the buffers
+  // (returning "drop" for them used to stall the next view: its proposal
+  // and phase messages arriving early were silently discarded); past-view
+  // messages are filtered by each handler's own view checks.
+  if (p.view != cur_view_) return false;
+  if (block_view_) return true;  // blocked: drop current-view traffic
+  if (!voted_) return false;
   if (p.value == cur_val_) return false;
   if (!verify_leader_sig(p)) return false;  // not actually leader-signed
   // The leader signed two different values for this view: block the view
@@ -381,25 +458,33 @@ void Replica::handle_wish(ReplicaId from, const Bytes& raw) {
 
 // ---------------- Predicates ----------------
 
-bool Replica::verify_leader_sig(const SignedProposal& p) const {
-  const ReplicaId leader = leader_of(p.view, cfg_.n);
-  return cfg_.suite->verify(cfg_.public_keys[leader],
-                            SignedProposal::signing_bytes(p.view, p.value),
-                            p.leader_sig);
+std::optional<bool> Replica::cache_lookup(const Bytes& key) const {
+  const auto it = verify_cache_.find(key);
+  if (it == verify_cache_.end()) return std::nullopt;
+  return it->second;
 }
 
-bool Replica::verify_phase_msg(MsgTag tag, const PhaseMsg& m,
-                               ReplicaId addressee) const {
-  if (m.sender == 0 || m.sender > cfg_.n) return false;
-  if (m.proposal.view == 0) return false;
-  if (!verify_leader_sig(m.proposal)) return false;
-  if (!cfg_.suite->verify(cfg_.public_keys[m.sender], m.signing_bytes(tag),
-                          m.sender_sig)) {
-    return false;
+void Replica::cache_store(Bytes key, bool ok) const {
+  if (verify_cache_.size() >= kVerifyCacheCap) verify_cache_.clear();
+  verify_cache_.emplace(std::move(key), ok);
+}
+
+bool Replica::verify_leader_sig(const SignedProposal& p) const {
+  const ReplicaId leader = leader_of(p.view, cfg_.n);
+  const Bytes msg = SignedProposal::signing_bytes(p.view, p.value);
+  if (!cfg_.fast_verify) {
+    return cfg_.suite->verify(cfg_.public_keys[leader],
+                              ByteSpan(msg.data(), msg.size()), p.leader_sig);
   }
-  if (!std::binary_search(m.sample.begin(), m.sample.end(), addressee)) {
-    return false;
-  }
+  Bytes key = verdict_key('L', ByteSpan(msg.data(), msg.size()), p.leader_sig);
+  if (const auto hit = cache_lookup(key)) return *hit;
+  const bool ok = cfg_.suite->verify(
+      cfg_.public_keys[leader], ByteSpan(msg.data(), msg.size()), p.leader_sig);
+  cache_store(std::move(key), ok);
+  return ok;
+}
+
+bool Replica::phase_vrf_ok(MsgTag tag, const PhaseMsg& m) const {
   const char* phase = tag == MsgTag::kPrepare ? "prepare" : "commit";
   const Bytes alpha = crypto::sample_alpha(m.proposal.view, phase);
   return crypto::vrf_sample_verify(
@@ -408,12 +493,125 @@ bool Replica::verify_phase_msg(MsgTag tag, const PhaseMsg& m,
       m.sample, m.vrf_proof);
 }
 
-bool Replica::prepared_cert_valid(const std::vector<PhaseMsg>& cert,
+bool Replica::phase_full_ok(MsgTag tag, const PhaseMsg& m) const {
+  const auto compute = [&] {
+    if (!verify_leader_sig(m.proposal)) return false;
+    const Bytes msg = m.signing_bytes(tag);
+    return cfg_.suite->verify(cfg_.public_keys[m.sender],
+                              ByteSpan(msg.data(), msg.size()),
+                              m.sender_sig) &&
+           phase_vrf_ok(tag, m);
+  };
+  if (!cfg_.fast_verify) return compute();
+  Bytes key = digest_key(m.content_digest(), 'P',
+                         static_cast<std::uint8_t>(tag));
+  if (const auto hit = cache_lookup(key)) return *hit;
+  const bool ok = compute();
+  cache_store(std::move(key), ok);
+  return ok;
+}
+
+bool Replica::new_leader_sig_ok(const NewLeaderMsg& m) const {
+  if (!cfg_.fast_verify) {
+    const Bytes msg = m.signing_bytes();
+    return cfg_.suite->verify(cfg_.public_keys[m.sender],
+                              ByteSpan(msg.data(), msg.size()), m.sender_sig);
+  }
+  Bytes key = digest_key(m.content_digest(), 'N', 0);
+  if (const auto hit = cache_lookup(key)) return *hit;
+  const Bytes msg = m.signing_bytes();
+  const bool ok = cfg_.suite->verify(
+      cfg_.public_keys[m.sender], ByteSpan(msg.data(), msg.size()),
+      m.sender_sig);
+  cache_store(std::move(key), ok);
+  return ok;
+}
+
+void Replica::prefetch_new_leaders(
+    const std::vector<const NewLeaderMsg*>& msgs,
+    bool include_sender_sigs) const {
+  if (!cfg_.fast_verify) return;
+  struct Pending {
+    Bytes key;
+    ReplicaId signer = 0;
+    Bytes message;  // the signing bytes, built only for uncached items
+    const Bytes* sig = nullptr;
+    const PhaseMsg* pm = nullptr;  // non-null: a 'P' (full phase) verdict
+    MsgTag tag = MsgTag::kPrepare;
+  };
+  std::vector<Pending> pending;
+  // Keys collected this round (the cache itself only fills after the
+  // batch). Digest-keyed like the cache, so reuse its hash.
+  std::unordered_set<Bytes, DigestHash> queued;
+  const auto uncached = [&](const Bytes& key) {
+    return !verify_cache_.contains(key) && queued.insert(key).second;
+  };
+  for (const NewLeaderMsg* nl : msgs) {
+    if (nl->sender == 0 || nl->sender > cfg_.n) continue;
+    if (include_sender_sigs) {
+      Bytes key = digest_key(nl->content_digest(), 'N', 0);
+      if (uncached(key)) {
+        pending.push_back({std::move(key), nl->sender, nl->signing_bytes(),
+                           &nl->sender_sig, nullptr, MsgTag::kPrepare});
+      }
+    }
+    for (const PhaseMsgPtr& pmp : nl->cert) {
+      const PhaseMsg& pm = *pmp;
+      if (pm.sender == 0 || pm.sender > cfg_.n) continue;
+      Bytes key = digest_key(pm.content_digest(), 'P',
+                             static_cast<std::uint8_t>(MsgTag::kPrepare));
+      if (uncached(key)) {
+        pending.push_back({std::move(key), pm.sender,
+                           pm.signing_bytes(MsgTag::kPrepare),
+                           &pm.sender_sig, &pm, MsgTag::kPrepare});
+      }
+    }
+  }
+  if (pending.empty()) return;
+
+  std::vector<crypto::SigCheck> checks;
+  checks.reserve(pending.size());
+  for (const Pending& p : pending) {
+    const Bytes& pk = cfg_.public_keys[p.signer];
+    checks.push_back({ByteSpan(pk.data(), pk.size()),
+                      ByteSpan(p.message.data(), p.message.size()),
+                      ByteSpan(p.sig->data(), p.sig->size())});
+  }
+  // One combined check for every sender signature; on failure (at least
+  // one bad signature somewhere) fall back to per-item verification so
+  // every cached verdict stays exact. Leader signatures ride through the
+  // cached verify_leader_sig (a justification has very few distinct
+  // proposal tuples), and VRF proofs are per-item by nature.
+  const bool all_sigs_ok = cfg_.suite->verify_batch(checks);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    Pending& p = pending[i];
+    bool ok = all_sigs_ok ||
+              cfg_.suite->verify(checks[i].public_key, checks[i].message,
+                                 checks[i].signature);
+    if (ok && p.pm != nullptr) {
+      ok = verify_leader_sig(p.pm->proposal) && phase_vrf_ok(p.tag, *p.pm);
+    }
+    cache_store(std::move(p.key), ok);
+  }
+}
+
+bool Replica::verify_phase_msg(MsgTag tag, const PhaseMsg& m,
+                               ReplicaId addressee) const {
+  if (m.sender == 0 || m.sender > cfg_.n) return false;
+  if (m.proposal.view == 0) return false;
+  if (!std::binary_search(m.sample.begin(), m.sample.end(), addressee)) {
+    return false;
+  }
+  return phase_full_ok(tag, m);
+}
+
+bool Replica::prepared_cert_valid(const std::vector<PhaseMsgPtr>& cert,
                                   View view, const Bytes& val,
                                   ReplicaId j) const {
   if (view == 0) return false;
   std::set<ReplicaId> senders;
-  for (const auto& m : cert) {
+  for (const auto& mp : cert) {
+    const PhaseMsg& m = *mp;
     if (m.proposal.view != view || m.proposal.value != val) return false;
     if (!verify_phase_msg(MsgTag::kPrepare, m, j)) return false;
     senders.insert(m.sender);
@@ -424,6 +622,7 @@ bool Replica::prepared_cert_valid(const std::vector<PhaseMsg>& cert,
 bool Replica::valid_new_leader(const NewLeaderMsg& m) const {
   if (m.prepared_view >= m.view) return false;  // includes view != 0 => < v
   if (m.prepared_view == 0) return m.prepared_value.empty();
+  prefetch_new_leaders({&m}, /*include_sender_sigs=*/false);
   return prepared_cert_valid(m.cert, m.prepared_view, m.prepared_value,
                              m.sender);
 }
@@ -436,17 +635,27 @@ bool Replica::safe_proposal(const ProposeMsg& m) const {
   if (!cfg_.valid(m.proposal.value)) return false;
   if (v == 1) return true;
 
-  // Deterministic quorum of valid NewLeader messages from distinct senders.
+  // Fast path: resolve every not-yet-cached signature in the whole
+  // justification with one batch-verify call, so the per-message walk
+  // below (and its heavy certificate overlap) runs on cache hits.
+  if (cfg_.fast_verify) {
+    std::vector<const NewLeaderMsg*> refs;
+    refs.reserve(m.justification.size());
+    for (const auto& nl : m.justification) refs.push_back(&nl);
+    prefetch_new_leaders(refs, /*include_sender_sigs=*/true);
+  }
+
+  // Deterministic quorum of valid NewLeader messages from distinct
+  // senders. Duplicated senders are rejected outright: counting them (or
+  // letting them into choose_value) would let a Byzantine leader pad the
+  // quorum or skew the prepared-value mode by repeating one message.
   std::set<ReplicaId> senders;
   for (const auto& nl : m.justification) {
     if (nl.view != v) return false;
     if (nl.sender == 0 || nl.sender > cfg_.n) return false;
-    if (!cfg_.suite->verify(cfg_.public_keys[nl.sender], nl.signing_bytes(),
-                            nl.sender_sig)) {
-      return false;
-    }
+    if (!senders.insert(nl.sender).second) return false;
+    if (!new_leader_sig_ok(nl)) return false;
     if (!valid_new_leader(nl)) return false;
-    senders.insert(nl.sender);
   }
   if (senders.size() < cfg_.det_quorum()) return false;
 

@@ -33,6 +33,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
@@ -64,6 +65,12 @@ struct ReplicaConfig {
   std::function<bool(const Bytes&)> valid;
   /// Freeze the synchronizer after deciding (lets simulations drain).
   bool stop_sync_on_decide = false;
+  /// Verification fast path: memoize signature/VRF verdicts by content
+  /// digest and resolve justification certificates through the suite's
+  /// batch verifier. Semantically transparent (verdicts are content-
+  /// deterministic); disable to get the naive re-verify-everything path,
+  /// e.g. for fast-vs-slow determinism checks and benches.
+  bool fast_verify = true;
 
   const crypto::CryptoSuite* suite = nullptr;
   Bytes secret_key;
@@ -99,7 +106,7 @@ class Replica : public INode {
   [[nodiscard]] bool valid_new_leader(const NewLeaderMsg& m) const;
   /// prepared(cert, view, val, j): cert is a valid prepared certificate
   /// for (view, val) addressed to replica j.
-  [[nodiscard]] bool prepared_cert_valid(const std::vector<PhaseMsg>& cert,
+  [[nodiscard]] bool prepared_cert_valid(const std::vector<PhaseMsgPtr>& cert,
                                          View view, const Bytes& val,
                                          ReplicaId j) const;
 
@@ -129,6 +136,19 @@ class Replica : public INode {
   [[nodiscard]] bool verify_leader_sig(const SignedProposal& p) const;
   [[nodiscard]] bool verify_phase_msg(MsgTag tag, const PhaseMsg& m,
                                       ReplicaId addressee) const;
+  /// The addressee-independent expensive part of verify_phase_msg (leader
+  /// signature + sender signature + VRF sample proof), memoized under the
+  /// message's content digest.
+  [[nodiscard]] bool phase_full_ok(MsgTag tag, const PhaseMsg& m) const;
+  [[nodiscard]] bool phase_vrf_ok(MsgTag tag, const PhaseMsg& m) const;
+  [[nodiscard]] bool new_leader_sig_ok(const NewLeaderMsg& m) const;
+  /// Batch-resolves every signature check referenced by `msgs` that is not
+  /// already cached (one suite verify_batch call), then caches per-item
+  /// verdicts so the subsequent per-message walk is all cache hits.
+  void prefetch_new_leaders(const std::vector<const NewLeaderMsg*>& msgs,
+                            bool include_sender_sigs) const;
+  [[nodiscard]] std::optional<bool> cache_lookup(const Bytes& key) const;
+  void cache_store(Bytes key, bool ok) const;
   [[nodiscard]] Bytes value_digest(const Bytes& value) const;
   void send_new_leader();
   void multicast_phase(MsgTag tag, const std::vector<ReplicaId>& sample,
@@ -150,7 +170,7 @@ class Replica : public INode {
   // Cross-view prepared state (survives view changes).
   View prepared_view_ = 0;
   Bytes prepared_value_;
-  std::vector<PhaseMsg> prepared_cert_;
+  std::vector<PhaseMsgPtr> prepared_cert_;
 
   std::optional<Decision> decided_;
 
@@ -160,6 +180,24 @@ class Replica : public INode {
   std::map<ValueKey, std::map<ReplicaId, PhaseMsg>> commits_;
   std::map<View, std::map<ReplicaId, NewLeaderMsg>> new_leader_msgs_;
   std::map<View, ProposeMsg> pending_proposes_;
+
+  // Content-addressed verification cache (the O(n²√n) justification wall:
+  // one multicast Prepare appears in ~q overlapping certificates, so the
+  // same signature/VRF proof used to be re-verified once per referencing
+  // NewLeader message). Keys are SHA-256 digests over domain-separated
+  // content INCLUDING the signature bytes, so a Byzantine variant of an
+  // honest message can never alias an honest verdict; verdicts are
+  // content-deterministic, which makes negative caching sound too.
+  struct DigestHash {
+    std::size_t operator()(const Bytes& digest) const noexcept {
+      std::size_t h = 0;  // digests are uniform: fold the first 8 bytes
+      for (std::size_t i = 0; i < sizeof(h) && i < digest.size(); ++i) {
+        h = (h << 8) | digest[i];
+      }
+      return h;
+    }
+  };
+  mutable std::unordered_map<Bytes, bool, DigestHash> verify_cache_;
 };
 
 /// Wire helper: MsgTag as the network tag byte.

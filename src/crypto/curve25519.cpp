@@ -209,6 +209,29 @@ Point point_scalar_mul(const U256& scalar, const Point& p) {
   return acc;
 }
 
+Point point_multi_scalar_mul(const std::vector<ScalarPoint>& terms) {
+  // Straus: one shared doubling chain, one conditional add per set bit.
+  // Start below the highest set bit across all scalars so short (e.g.
+  // 128-bit blinding) scalars don't pay for 255 empty doubling rounds.
+  int top = -1;
+  for (const auto& t : terms) {
+    for (int i = 255; i > top; --i) {
+      if (u256_bit(t.scalar, i)) {
+        top = i;
+        break;
+      }
+    }
+  }
+  Point acc = point_identity();
+  for (int i = top; i >= 0; --i) {
+    acc = point_double(acc);
+    for (const auto& t : terms) {
+      if (u256_bit(t.scalar, i)) acc = point_add(acc, t.point);
+    }
+  }
+  return acc;
+}
+
 Point point_mul_cofactor(const Point& p) {
   return point_double(point_double(point_double(p)));
 }

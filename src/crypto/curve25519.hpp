@@ -63,6 +63,16 @@ Point point_double(const Point& p);
 Point point_negate(const Point& p);
 /// scalar * p via double-and-add (not constant-time; see u256.hpp note).
 Point point_scalar_mul(const U256& scalar, const Point& p);
+/// Σ scalar_i * p_i via Straus interleaving: the 256 doublings are shared
+/// across every term, so m-term sums cost ~256 doublings + Σ popcount(s_i)
+/// additions instead of m independent double-and-add ladders. This is what
+/// makes batch signature verification amortize (verification-only use; not
+/// constant-time).
+struct ScalarPoint {
+  U256 scalar;
+  Point point;
+};
+Point point_multi_scalar_mul(const std::vector<ScalarPoint>& terms);
 /// Multiplies by the cofactor 8 (three doublings).
 Point point_mul_cofactor(const Point& p);
 

@@ -1,5 +1,6 @@
 #include "crypto/ed25519.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "crypto/curve25519.hpp"
@@ -102,12 +103,99 @@ bool verify(ByteSpan public_key, ByteSpan message, ByteSpan signature) {
   const curve::U256 k =
       curve::sc_reduce_wide(ByteSpan(k_hash.data(), k_hash.size()));
 
-  // Check S*B == R + k*A.
+  // Cofactored check: [8]S*B == [8](R + k*A). RFC 8032 permits either the
+  // cofactored or cofactorless equation; the cofactored form is the one
+  // consistent with batch verification (verify_batch below), because a
+  // small-order defect T in a malicious R or A is annihilated by the
+  // cofactor in BOTH checks, whereas a cofactorless single check would
+  // reject a signature the batch equation accepts with probability
+  // 1/ord(T) — a per-replica divergence a consensus protocol cannot
+  // tolerate.
   const curve::Point lhs =
       curve::point_scalar_mul(s, curve::point_base());
   const curve::Point rhs =
       curve::point_add(*r_opt, curve::point_scalar_mul(k, *a_opt));
-  return curve::point_eq(lhs, rhs);
+  return curve::point_eq(curve::point_mul_cofactor(lhs),
+                         curve::point_mul_cofactor(rhs));
+}
+
+bool verify_batch(const std::vector<SigCheck>& checks) {
+  if (checks.empty()) return true;
+  if (checks.size() == 1) {
+    return verify(checks[0].public_key, checks[0].message,
+                  checks[0].signature);
+  }
+
+  struct Parsed {
+    curve::Point a, r;
+    curve::U256 s, k;
+  };
+  std::vector<Parsed> parsed;
+  parsed.reserve(checks.size());
+  Sha512 transcript;
+  for (const auto& c : checks) {
+    // Any malformed triple fails individually, so the batch answer is false.
+    if (c.public_key.size() != kPublicKeySize ||
+        c.signature.size() != kSignatureSize) {
+      return false;
+    }
+    const auto a_opt = curve::point_decompress(c.public_key);
+    if (!a_opt) return false;
+    const auto r_opt = curve::point_decompress(c.signature.subspan(0, 32));
+    if (!r_opt) return false;
+    const curve::U256 s = curve::u256_from_le(c.signature.subspan(32, 32));
+    if (curve::u256_cmp(s, curve::group_order()) >= 0) return false;
+
+    Sha512 h_k;
+    h_k.update(c.signature.subspan(0, 32));
+    h_k.update(c.public_key);
+    h_k.update(c.message);
+    const auto k_hash = h_k.finalize();
+    parsed.push_back({*a_opt, *r_opt, s,
+                      curve::sc_reduce_wide(
+                          ByteSpan(k_hash.data(), k_hash.size()))});
+    transcript.update(c.public_key);
+    transcript.update(c.signature);
+    transcript.update(c.message);
+  }
+  const auto seed = transcript.finalize();
+
+  // Combined equation with per-item 128-bit coefficients z_i:
+  //   [Σ z_i s_i] B == Σ [z_i] R_i + [z_i k_i] A_i   (all scalars mod L)
+  curve::U256 s_sum{};  // zero
+  std::vector<curve::ScalarPoint> terms;
+  terms.reserve(2 * parsed.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    Sha512 h_z;
+    h_z.update(ByteSpan(seed.data(), seed.size()));
+    std::uint8_t index_le[8];
+    for (int b = 0; b < 8; ++b) {
+      index_le[b] = static_cast<std::uint8_t>(i >> (8 * b));
+    }
+    h_z.update(ByteSpan(index_le, 8));
+    const auto z_hash = h_z.finalize();
+    std::uint8_t z_bytes[32] = {0};
+    for (int b = 0; b < 16; ++b) z_bytes[b] = z_hash[static_cast<std::size_t>(b)];
+    if (std::all_of(z_bytes, z_bytes + 16,
+                    [](std::uint8_t v) { return v == 0; })) {
+      z_bytes[0] = 1;  // z must be nonzero to keep item i in the relation
+    }
+    const curve::U256 z = curve::u256_from_le(ByteSpan(z_bytes, 32));
+
+    s_sum = curve::sc_muladd(z, parsed[i].s, s_sum);
+    terms.push_back({z, parsed[i].r});
+    terms.push_back({curve::sc_mul(z, parsed[i].k), parsed[i].a});
+  }
+  // Cofactored, like the single check: each individually-valid signature
+  // satisfies [8](s_i·B − R_i − k_i·A_i) = 0, so the combination holds
+  // exactly (no false rejections); a signature failing its cofactored
+  // equation survives only if the z_i-weighted sum cancels (negligible
+  // with hash-derived 128-bit coefficients).
+  const curve::Point lhs =
+      curve::point_scalar_mul(s_sum, curve::point_base());
+  const curve::Point rhs = curve::point_multi_scalar_mul(terms);
+  return curve::point_eq(curve::point_mul_cofactor(lhs),
+                         curve::point_mul_cofactor(rhs));
 }
 
 }  // namespace probft::crypto::ed25519

@@ -20,7 +20,31 @@ inline constexpr std::size_t kSignatureSize = 64;
 [[nodiscard]] Bytes sign(ByteSpan seed, ByteSpan message);
 
 /// Verifies a signature; tolerates (rejects) malformed inputs of any size.
+/// Uses the COFACTORED equation [8]sB == [8](R + kA) (RFC 8032 allows
+/// either form) so that the per-item verdict is always consistent with
+/// verify_batch — a cofactorless single check would reject small-order
+/// tweaks of a signature that the batch equation sometimes accepts.
 [[nodiscard]] bool verify(ByteSpan public_key, ByteSpan message,
                           ByteSpan signature);
+
+/// One (public key, message, signature) triple for batch verification. The
+/// spans must stay valid for the duration of the verify_batch call.
+struct SigCheck {
+  ByteSpan public_key;
+  ByteSpan message;
+  ByteSpan signature;
+};
+
+/// True iff every triple verifies, checked as ONE random-linear-combination
+/// group equation: [8][Σ z_i s_i]B == [8](Σ [z_i]R_i + [z_i k_i]A_i) with
+/// 128-bit coefficients z_i derived by hashing the whole batch (Fiat–Shamir
+/// style, so an adversary cannot choose signatures against known
+/// coefficients). The combined equation is evaluated with a shared-doubling
+/// multi-scalar multiplication, which is what amortizes the per-signature
+/// cost. Cofactored on both sides to match verify(): every individually
+/// valid signature satisfies its cofactored equation exactly, so there are
+/// no false rejections, and a false acceptance requires the adversary to
+/// hit a random 128-bit linear relation (negligible).
+[[nodiscard]] bool verify_batch(const std::vector<SigCheck>& checks);
 
 }  // namespace probft::crypto::ed25519

@@ -39,6 +39,11 @@ class Ed25519Suite final : public CryptoSuite {
     return ed25519::verify(public_key, message, signature);
   }
 
+  [[nodiscard]] bool verify_batch(
+      const std::vector<SigCheck>& checks) const override {
+    return ed25519::verify_batch(checks);
+  }
+
   [[nodiscard]] VrfResult vrf_prove(ByteSpan secret_key,
                                     ByteSpan alpha) const override {
     auto proof = ecvrf::prove(secret_key, alpha);
@@ -104,6 +109,13 @@ class SimSuite final : public CryptoSuite {
 };
 
 }  // namespace
+
+bool CryptoSuite::verify_batch(const std::vector<SigCheck>& checks) const {
+  for (const auto& c : checks) {
+    if (!verify(c.public_key, c.message, c.signature)) return false;
+  }
+  return true;
+}
 
 std::unique_ptr<CryptoSuite> make_ed25519_suite() {
   return std::make_unique<Ed25519Suite>();

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "crypto/ed25519.hpp"
 
 namespace probft::crypto {
 
@@ -64,6 +65,12 @@ struct VrfResult {
   Bytes proof;   // verification string shipped in messages
 };
 
+/// One (public key, message, signature) triple for verify_batch. The spans
+/// must outlive the call; callers typically keep the signing byte strings
+/// in a side vector while the batch runs. Shared with the ed25519 batch
+/// verifier so suites can pass batches through without conversion.
+using SigCheck = ed25519::SigCheck;
+
 class CryptoSuite {
  public:
   virtual ~CryptoSuite() = default;
@@ -77,6 +84,17 @@ class CryptoSuite {
                                    ByteSpan message) const = 0;
   [[nodiscard]] virtual bool verify(ByteSpan public_key, ByteSpan message,
                                     ByteSpan signature) const = 0;
+
+  /// True iff EVERY triple verifies. The base implementation is a plain
+  /// short-circuiting loop over verify() (what the sim suite uses); the
+  /// Ed25519 suite overrides it with amortized random-linear-combination
+  /// batching so an m-signature certificate costs far less than m
+  /// independent verifications. All-or-nothing by design: the protocol's
+  /// certificate checks need every member valid anyway, and a combined
+  /// check cannot tell WHICH member failed without falling back to the
+  /// loop.
+  [[nodiscard]] virtual bool verify_batch(
+      const std::vector<SigCheck>& checks) const;
 
   /// VRF_prove(sk, alpha): pseudorandom output plus proof.
   [[nodiscard]] virtual VrfResult vrf_prove(ByteSpan secret_key,

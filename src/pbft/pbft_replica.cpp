@@ -250,7 +250,7 @@ void PbftReplica::try_prepare_quorum() {
   prepared_cert_.clear();
   for (const auto& [sender, msg] : it->second) {
     if (prepared_cert_.size() == cfg_.quorum()) break;
-    prepared_cert_.push_back(msg);
+    prepared_cert_.push_back(std::make_shared<PhaseMsg>(msg));
   }
 
   PhaseMsg commit;
@@ -301,11 +301,12 @@ bool PbftReplica::verify_phase_msg(MsgTag tag, const PhaseMsg& m) const {
                             m.sender_sig);
 }
 
-bool PbftReplica::prepared_cert_valid(const std::vector<PhaseMsg>& cert,
+bool PbftReplica::prepared_cert_valid(const std::vector<PhaseMsgPtr>& cert,
                                       View view, const Bytes& val) const {
   if (view == 0) return false;
   std::set<ReplicaId> senders;
-  for (const auto& m : cert) {
+  for (const auto& mp : cert) {
+    const PhaseMsg& m = *mp;
     if (m.proposal.view != view || m.proposal.value != val) return false;
     if (!verify_phase_msg(MsgTag::kPrepare, m)) return false;
     senders.insert(m.sender);

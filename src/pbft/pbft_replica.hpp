@@ -29,6 +29,7 @@ using core::INode;
 using core::MsgTag;
 using core::NewLeaderMsg;
 using core::PhaseMsg;
+using core::PhaseMsgPtr;
 using core::ProposeMsg;
 using core::SignedProposal;
 using core::WishMsg;
@@ -84,7 +85,7 @@ class PbftReplica : public INode {
 
   [[nodiscard]] bool safe_proposal(const ProposeMsg& m) const;
   [[nodiscard]] bool valid_new_leader(const NewLeaderMsg& m) const;
-  [[nodiscard]] bool prepared_cert_valid(const std::vector<PhaseMsg>& cert,
+  [[nodiscard]] bool prepared_cert_valid(const std::vector<PhaseMsgPtr>& cert,
                                          View view, const Bytes& val) const;
   [[nodiscard]] bool verify_leader_sig(const SignedProposal& p) const;
   [[nodiscard]] bool verify_phase_msg(MsgTag tag, const PhaseMsg& m) const;
@@ -104,7 +105,7 @@ class PbftReplica : public INode {
 
   View prepared_view_ = 0;
   Bytes prepared_value_;
-  std::vector<PhaseMsg> prepared_cert_;
+  std::vector<PhaseMsgPtr> prepared_cert_;
 
   std::optional<Decision> decided_;
 

@@ -96,6 +96,7 @@ void Cluster::build_nodes() {
       params.l = cfg_.l;
       params.my_value = default_value_for(cfg_, id);
       params.stop_sync_on_decide = cfg_.stop_sync_on_decide;
+      params.fast_verify = cfg_.fast_verify;
       params.suite = suite_;
       params.secret_key = keys_[id].secret_key;
       params.public_keys = public_keys;

@@ -49,6 +49,10 @@ struct ClusterConfig {
   bool stop_sync_on_decide = false;
   /// Crypto suite; nullptr selects the fast SimSuite.
   const crypto::CryptoSuite* suite = nullptr;
+  /// ProBFT verification fast path (content-addressed verdict cache +
+  /// batch signature verification); disable for fast-vs-slow determinism
+  /// comparisons and the view-change benches.
+  bool fast_verify = true;
   /// Per-replica behavior, 1-based; missing entries default to kHonest.
   std::vector<Behavior> behaviors;
   /// Equivocation attack setup (used by kEquivocateLeader/kColludeFollower).

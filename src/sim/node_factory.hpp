@@ -32,6 +32,9 @@ struct NodeParams {
   double l = 2.0;  // ProBFT quorum factor
   Bytes my_value;
   bool stop_sync_on_decide = false;
+  /// ProBFT verification fast path (digest cache + batch verify); off =
+  /// naive per-reference re-verification (determinism checks, benches).
+  bool fast_verify = true;
   const crypto::CryptoSuite* suite = nullptr;
   Bytes secret_key;
   crypto::PublicKeyDir public_keys;

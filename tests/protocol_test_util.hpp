@@ -56,13 +56,15 @@ class TestBed {
   /// Builds a ProBFT replica whose sends land in `outbox` and whose timers
   /// land in `timers` (fire manually with fire_timers()).
   std::unique_ptr<core::Replica> make_replica(
-      ReplicaId id, Bytes my_value = to_bytes("own-value")) {
+      ReplicaId id, Bytes my_value = to_bytes("own-value"),
+      bool fast_verify = true) {
     core::ReplicaConfig rc;
     rc.id = id;
     rc.n = n_;
     rc.f = f_;
     rc.o = o_;
     rc.l = l_;
+    rc.fast_verify = fast_verify;
     rc.my_value = std::move(my_value);
     rc.suite = suite_.get();
     rc.secret_key = keys_[id].secret_key;
@@ -171,7 +173,8 @@ class TestBed {
 
   [[nodiscard]] NewLeaderMsg make_new_leader(
       View v, ReplicaId sender, View prepared_view = 0,
-      Bytes prepared_value = {}, std::vector<PhaseMsg> cert = {}) const {
+      Bytes prepared_value = {},
+      std::vector<core::PhaseMsgPtr> cert = {}) const {
     NewLeaderMsg m;
     m.view = v;
     m.prepared_view = prepared_view;
@@ -186,17 +189,27 @@ class TestBed {
   /// A prepared certificate for (view, value) addressed to `target`: uses
   /// prepares from senders whose VRF sample includes `target`. Requires the
   /// configuration to yield enough such senders (use s == n in tests).
-  [[nodiscard]] std::vector<PhaseMsg> make_cert(View v, const Bytes& value,
-                                                ReplicaId target,
-                                                ReplicaId leader) const {
-    std::vector<PhaseMsg> cert;
+  /// Entries are shared immutable handles; tests that tamper with one must
+  /// clone it first (see clone_cert_entry).
+  [[nodiscard]] std::vector<core::PhaseMsgPtr> make_cert(
+      View v, const Bytes& value, ReplicaId target, ReplicaId leader) const {
+    std::vector<core::PhaseMsgPtr> cert;
     for (ReplicaId sender = 1; sender <= n_ && cert.size() < q(); ++sender) {
       auto m = make_phase(MsgTag::kPrepare, v, value, sender, leader);
       if (std::binary_search(m.sample.begin(), m.sample.end(), target)) {
-        cert.push_back(std::move(m));
+        cert.push_back(std::make_shared<PhaseMsg>(std::move(m)));
       }
     }
     return cert;
+  }
+
+  /// Mutable deep copy of one certificate entry with its digest memo
+  /// cleared, for crafting tampered certificates.
+  [[nodiscard]] static std::shared_ptr<PhaseMsg> clone_cert_entry(
+      const core::PhaseMsgPtr& entry) {
+    auto copy = std::make_shared<PhaseMsg>(*entry);
+    copy->digest_memo_.clear();
+    return copy;
   }
 
   [[nodiscard]] std::uint32_t q() const {

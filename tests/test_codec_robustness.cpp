@@ -44,7 +44,8 @@ NewLeaderMsg sample_new_leader() {
   m.view = 5;
   m.prepared_view = 3;
   m.prepared_value = to_bytes("prepared-value");
-  m.cert = {sample_phase(), sample_phase()};
+  m.cert = {std::make_shared<PhaseMsg>(sample_phase()),
+            std::make_shared<PhaseMsg>(sample_phase())};
   m.sender = 2;
   m.sender_sig = to_bytes("nl-signature");
   return m;

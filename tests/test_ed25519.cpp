@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/bytes.hpp"
+#include "crypto/curve25519.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
 
 namespace probft::crypto::ed25519 {
 namespace {
@@ -112,6 +117,164 @@ TEST(Ed25519, LargeMessage) {
   const auto pk = derive_public(seed);
   const Bytes msg(4096, 0x5c);
   EXPECT_TRUE(verify(pk, msg, sign(seed, msg)));
+}
+
+// ---- batch verification ----
+
+struct BatchFixture {
+  std::vector<Bytes> pks, msgs, sigs;
+  void add(const Bytes& seed, Bytes msg) {
+    pks.push_back(derive_public(seed));
+    sigs.push_back(sign(seed, msg));
+    msgs.push_back(std::move(msg));
+  }
+  [[nodiscard]] std::vector<SigCheck> checks() const {
+    std::vector<SigCheck> out;
+    for (std::size_t i = 0; i < pks.size(); ++i) {
+      out.push_back({ByteSpan(pks[i].data(), pks[i].size()),
+                     ByteSpan(msgs[i].data(), msgs[i].size()),
+                     ByteSpan(sigs[i].data(), sigs[i].size())});
+    }
+    return out;
+  }
+};
+
+TEST(Ed25519Batch, EmptyBatchIsVacuouslyTrue) {
+  EXPECT_TRUE(verify_batch({}));
+}
+
+TEST(Ed25519Batch, AllValidSignaturesPass) {
+  BatchFixture b;
+  b.add(from_hex(kSeed1), Bytes{});
+  b.add(from_hex(kSeed2), Bytes{0x72});
+  for (int i = 0; i < 6; ++i) {
+    b.add(from_hex(kSeed1), to_bytes("message-" + std::to_string(i)));
+  }
+  EXPECT_TRUE(verify_batch(b.checks()));
+}
+
+TEST(Ed25519Batch, OneTamperedSignatureFailsTheBatch) {
+  BatchFixture b;
+  for (int i = 0; i < 8; ++i) {
+    b.add(from_hex(kSeed1), to_bytes("message-" + std::to_string(i)));
+  }
+  b.sigs[5][40] ^= 1;
+  EXPECT_FALSE(verify_batch(b.checks()));
+}
+
+TEST(Ed25519Batch, OneTamperedMessageFailsTheBatch) {
+  BatchFixture b;
+  for (int i = 0; i < 4; ++i) {
+    b.add(from_hex(kSeed2), to_bytes("message-" + std::to_string(i)));
+  }
+  b.msgs[2][0] ^= 1;
+  EXPECT_FALSE(verify_batch(b.checks()));
+}
+
+TEST(Ed25519Batch, SwappedSignaturesFailTheBatch) {
+  // Both signatures are individually valid for the OTHER item; a naive
+  // sum-only check without per-item random coefficients would cancel.
+  BatchFixture b;
+  b.add(from_hex(kSeed1), to_bytes("alpha"));
+  b.add(from_hex(kSeed1), to_bytes("beta"));
+  std::swap(b.sigs[0], b.sigs[1]);
+  EXPECT_FALSE(verify_batch(b.checks()));
+}
+
+TEST(Ed25519Batch, MalformedMemberFailsTheBatch) {
+  BatchFixture b;
+  b.add(from_hex(kSeed1), to_bytes("x"));
+  b.add(from_hex(kSeed2), to_bytes("y"));
+  b.sigs[1].resize(10);  // truncated signature
+  EXPECT_FALSE(verify_batch(b.checks()));
+}
+
+TEST(Ed25519Batch, SingleItemMatchesIndividualVerify) {
+  BatchFixture good;
+  good.add(from_hex(kSeed1), to_bytes("solo"));
+  EXPECT_TRUE(verify_batch(good.checks()));
+  good.sigs[0][3] ^= 1;
+  EXPECT_FALSE(verify_batch(good.checks()));
+}
+
+TEST(Ed25519Batch, SmallOrderDefectVerdictMatchesSingleVerify) {
+  // A Byzantine signer with an ordinary keypair can publish a signature
+  // whose only flaw is a small-order (torsion) component: pick R' = R + T
+  // up front and compute s against k = H(R' ‖ A ‖ M), so the defect in
+  // the verification equation is exactly −T. With a cofactorless single
+  // check and a randomized batch equation, the batch used to accept such
+  // a signature with probability ~1/ord(T) while verify() always
+  // rejected — per-replica divergence. Both checks are cofactored now and
+  // must agree (accept) on every batch composition.
+  namespace curve = probft::crypto::curve;
+
+  // Find a torsion point: [L]P for any curve point P lies in the 8-torsion
+  // subgroup; retry candidates until it is not the identity.
+  curve::Point torsion = curve::point_identity();
+  for (std::uint8_t c = 1; c != 0 && curve::point_is_identity(torsion); ++c) {
+    const Bytes candidate = sha256(ByteSpan(&c, 1));
+    const auto p =
+        curve::point_decompress(ByteSpan(candidate.data(), candidate.size()));
+    if (!p) continue;
+    torsion = curve::point_scalar_mul(curve::group_order(), *p);
+  }
+  ASSERT_FALSE(curve::point_is_identity(torsion));
+
+  // Re-derive the RFC 8032 secret scalar for kSeed1 (expand + clamp).
+  const Bytes seed = from_hex(kSeed1);
+  const auto h = Sha512::hash(ByteSpan(seed.data(), seed.size()));
+  std::uint8_t scalar_bytes[32];
+  for (int i = 0; i < 32; ++i) scalar_bytes[i] = h[static_cast<std::size_t>(i)];
+  scalar_bytes[0] &= 248;
+  scalar_bytes[31] &= 127;
+  scalar_bytes[31] |= 64;
+  const curve::U256 a = curve::sc_reduce(ByteSpan(scalar_bytes, 32));
+  const Bytes pub = derive_public(seed);
+  const Bytes msg = to_bytes("torsion-defect-message");
+
+  // Attacker-crafted signature: R' = R + T, s = r + H(R'‖A‖M)·a mod L.
+  const curve::U256 r = curve::sc_reduce_wide(ByteSpan(h.data(), h.size()));
+  const curve::Point r_point =
+      curve::point_scalar_mul(r, curve::point_base());
+  const Bytes r_prime =
+      curve::point_compress(curve::point_add(r_point, torsion));
+  Sha512 h_k;
+  h_k.update(ByteSpan(r_prime.data(), r_prime.size()));
+  h_k.update(ByteSpan(pub.data(), pub.size()));
+  h_k.update(ByteSpan(msg.data(), msg.size()));
+  const auto k_hash = h_k.finalize();
+  const curve::U256 k =
+      curve::sc_reduce_wide(ByteSpan(k_hash.data(), k_hash.size()));
+  const curve::U256 s = curve::sc_muladd(k, a, r);
+  Bytes sig = r_prime;
+  std::uint8_t s_bytes[32];
+  curve::u256_to_le(s, s_bytes);
+  sig.insert(sig.end(), s_bytes, s_bytes + 32);
+
+  EXPECT_TRUE(verify(pub, msg, sig));  // cofactored single check accepts
+  // Batch verdict must match across many compositions (each changes the
+  // Fiat–Shamir coefficients z_i).
+  for (int round = 0; round < 16; ++round) {
+    BatchFixture b;
+    b.pks.push_back(pub);
+    b.msgs.push_back(msg);
+    b.sigs.push_back(sig);
+    for (int extra = 0; extra <= round; ++extra) {
+      b.add(from_hex(kSeed2),
+            to_bytes("filler-" + std::to_string(round) + "-" +
+                     std::to_string(extra)));
+    }
+    EXPECT_TRUE(verify_batch(b.checks())) << "round " << round;
+  }
+  // A genuinely bad signature (large-order defect) stays rejected by both.
+  Bytes bad = sig;
+  bad[40] ^= 1;
+  EXPECT_FALSE(verify(pub, msg, bad));
+  BatchFixture bb;
+  bb.pks.push_back(pub);
+  bb.msgs.push_back(msg);
+  bb.sigs.push_back(bad);
+  EXPECT_FALSE(verify_batch(bb.checks()));
 }
 
 }  // namespace

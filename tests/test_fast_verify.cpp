@@ -1,0 +1,154 @@
+// Verification fast path (content-addressed verdict cache + batched
+// signature verification + wire-level cert dedup) must be semantically
+// invisible: every predicate verdict and every cluster decision has to be
+// bit-identical between fast_verify on and off. These tests pin that, at
+// the predicate level on crafted (including adversarial) justifications
+// and at the cluster level on full view-change runs.
+#include <gtest/gtest.h>
+
+#include "protocol_test_util.hpp"
+#include "sim/cluster.hpp"
+
+namespace probft::core {
+namespace {
+
+using testutil::TestBed;
+
+class FastVerifyTest : public ::testing::Test {
+ protected:
+  // s == n == 9 keeps certificate construction deterministic.
+  FastVerifyTest() : bed_(9, 2, 1.7, 3.0) {
+    fast_ = bed_.make_replica(5, to_bytes("own-value"), /*fast_verify=*/true);
+    slow_ = bed_.make_replica(5, to_bytes("own-value"), /*fast_verify=*/false);
+    fast_->start();
+    slow_->start();
+  }
+
+  void expect_same_verdict(const ProposeMsg& m, const char* label) {
+    EXPECT_EQ(fast_->safe_proposal(m), slow_->safe_proposal(m)) << label;
+    // Re-query to exercise the warm-cache path too.
+    EXPECT_EQ(fast_->safe_proposal(m), slow_->safe_proposal(m))
+        << label << " (warm)";
+  }
+
+  TestBed bed_;
+  std::unique_ptr<Replica> fast_;
+  std::unique_ptr<Replica> slow_;
+};
+
+TEST_F(FastVerifyTest, SafeProposalVerdictsMatchSlowPath) {
+  const Bytes locked = to_bytes("locked");
+  const Bytes evil = to_bytes("evil");
+
+  // Valid justification: one prepared report + five empty ones.
+  std::vector<NewLeaderMsg> good;
+  good.push_back(
+      bed_.make_new_leader(2, 4, 1, locked, bed_.make_cert(1, locked, 4, 1)));
+  for (ReplicaId s = 5; s <= 9; ++s) {
+    good.push_back(bed_.make_new_leader(2, s));
+  }
+  expect_same_verdict(bed_.make_propose(2, locked, 2, good), "good/locked");
+  expect_same_verdict(bed_.make_propose(2, evil, 2, good), "good/evil");
+
+  // Duplicate senders.
+  std::vector<NewLeaderMsg> dup = good;
+  dup.push_back(good[0]);
+  expect_same_verdict(bed_.make_propose(2, locked, 2, dup), "dup-sender");
+
+  // Forged certificate: report "evil" backed by a cert for another value.
+  std::vector<NewLeaderMsg> forged;
+  forged.push_back(bed_.make_new_leader(2, 4, 1, evil,
+                                        bed_.make_cert(1, locked, 4, 1)));
+  for (ReplicaId s = 5; s <= 9; ++s) {
+    forged.push_back(bed_.make_new_leader(2, s));
+  }
+  expect_same_verdict(bed_.make_propose(2, evil, 2, forged), "forged-cert");
+
+  // Corrupted signature inside one certificate member.
+  std::vector<NewLeaderMsg> corrupt = good;
+  ASSERT_FALSE(corrupt[0].cert.empty());
+  // Cert entries are shared immutable handles: clone before tampering
+  // (which also resets the clone's digest memo).
+  auto bad_member = TestBed::clone_cert_entry(corrupt[0].cert[0]);
+  bad_member->sender_sig[0] ^= 1;
+  corrupt[0].cert[0] = bad_member;
+  corrupt[0].digest_memo_.clear();  // re-sign over the mutated cert
+  corrupt[0].sender_sig =
+      bed_.suite().sign(bed_.secret(4), corrupt[0].signing_bytes());
+  expect_same_verdict(bed_.make_propose(2, locked, 2, corrupt),
+                      "corrupt-member-sig");
+
+  // Below the deterministic quorum.
+  std::vector<NewLeaderMsg> few(good.begin(), good.begin() + 5);
+  expect_same_verdict(bed_.make_propose(2, locked, 2, few), "sub-quorum");
+}
+
+TEST_F(FastVerifyTest, NegativeVerdictsAreCachedExactly) {
+  // A justification rejected once must be rejected identically on every
+  // re-delivery (the cache stores negative verdicts too).
+  const Bytes locked = to_bytes("locked");
+  std::vector<NewLeaderMsg> bad;
+  bad.push_back(bed_.make_new_leader(2, 4, 1, locked,
+                                     bed_.make_cert(1, locked, 4, 1)));
+  ASSERT_FALSE(bad[0].cert.empty());
+  auto poisoned = TestBed::clone_cert_entry(bad[0].cert[0]);
+  poisoned->vrf_proof[0] ^= 1;  // poison one VRF proof
+  bad[0].cert[0] = poisoned;
+  bad[0].digest_memo_.clear();
+  bad[0].sender_sig =
+      bed_.suite().sign(bed_.secret(4), bad[0].signing_bytes());
+  for (ReplicaId s = 5; s <= 9; ++s) {
+    bad.push_back(bed_.make_new_leader(2, s));
+  }
+  const auto m = bed_.make_propose(2, locked, 2, bad);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(fast_->safe_proposal(m));
+    EXPECT_FALSE(slow_->safe_proposal(m));
+  }
+}
+
+/// Full-cluster determinism: a forced view-change run (view 1 prepares,
+/// commits held until the first timeout) must produce bit-identical
+/// decision records with the fast path on and off, seed by seed.
+TEST(FastVerifyCluster, ViewChangeDecisionsBitIdentical) {
+  using namespace probft::sim;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    std::vector<DecisionRecord> per_mode[2];
+    for (int fast = 0; fast < 2; ++fast) {
+      ClusterConfig cfg;
+      cfg.protocol = Protocol::kProbft;
+      cfg.n = 30;
+      cfg.f = 3;
+      cfg.l = 1.5;
+      cfg.o = 1.7;
+      cfg.seed = seed;
+      cfg.fast_verify = fast == 1;
+      cfg.sync.base_timeout = 200'000;
+      Cluster cluster(cfg);
+      net::Simulator& sim = cluster.simulator();
+      const TimePoint hold = cfg.sync.base_timeout;
+      cluster.network().set_filter(
+          [&sim, hold](ReplicaId, ReplicaId, std::uint8_t tag) {
+            return tag == tag_byte(MsgTag::kCommit) && sim.now() < hold;
+          });
+      cluster.start();
+      EXPECT_TRUE(cluster.run_to_completion(/*deadline=*/600'000'000))
+          << "seed " << seed << " fast " << fast;
+      EXPECT_TRUE(cluster.agreement_ok()) << "seed " << seed;
+      per_mode[fast] = cluster.decisions();
+      for (const auto& d : per_mode[fast]) {
+        EXPECT_GE(d.view, 2U) << "seed " << seed;  // view 1 must not decide
+      }
+    }
+    ASSERT_EQ(per_mode[0].size(), per_mode[1].size()) << "seed " << seed;
+    for (std::size_t i = 0; i < per_mode[0].size(); ++i) {
+      EXPECT_EQ(per_mode[0][i].replica, per_mode[1][i].replica);
+      EXPECT_EQ(per_mode[0][i].view, per_mode[1][i].view);
+      EXPECT_EQ(per_mode[0][i].value, per_mode[1][i].value);
+      EXPECT_EQ(per_mode[0][i].at, per_mode[1][i].at);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace probft::core

@@ -72,8 +72,10 @@ TEST(Messages, NewLeaderRoundtripWithCert) {
   original.view = 9;
   original.prepared_view = 4;
   original.prepared_value = to_bytes("prepared-value");
-  original.cert = {make_phase(), make_phase()};
-  original.cert[1].sender = 8;
+  auto second = make_phase();
+  second.sender = 8;
+  original.cert = {std::make_shared<PhaseMsg>(make_phase()),
+                   std::make_shared<PhaseMsg>(std::move(second))};
   original.sender = 2;
   original.sender_sig = Bytes(64, 0x11);
 
@@ -82,7 +84,7 @@ TEST(Messages, NewLeaderRoundtripWithCert) {
   EXPECT_EQ(decoded.prepared_view, original.prepared_view);
   EXPECT_EQ(decoded.prepared_value, original.prepared_value);
   ASSERT_EQ(decoded.cert.size(), 2U);
-  EXPECT_EQ(decoded.cert[1].sender, 8U);
+  EXPECT_EQ(decoded.cert[1]->sender, 8U);
   EXPECT_EQ(decoded.sender, original.sender);
 }
 
@@ -104,7 +106,7 @@ TEST(Messages, ProposeRoundtripNested) {
   nl.view = 7;
   nl.prepared_view = 3;
   nl.prepared_value = to_bytes("old");
-  nl.cert = {make_phase()};
+  nl.cert = {std::make_shared<PhaseMsg>(make_phase())};
   nl.sender = 1;
   nl.sender_sig = Bytes(64, 0x33);
   original.justification = {nl};
@@ -117,6 +119,82 @@ TEST(Messages, ProposeRoundtripNested) {
   EXPECT_EQ(decoded.justification[0].prepared_value, to_bytes("old"));
   ASSERT_EQ(decoded.justification[0].cert.size(), 1U);
   EXPECT_EQ(decoded.sender, 7U);
+}
+
+TEST(Messages, ProposePoolsSharedCertEntriesOnTheWire) {
+  // Two NewLeader messages whose certificates share the same two Prepares
+  // (the common case: a multicast Prepare lands in every sample member's
+  // cert). The wire must carry each distinct PhaseMsg once.
+  const auto shared_a = std::make_shared<PhaseMsg>(make_phase());
+  auto b = make_phase();
+  b.sender = 9;
+  const auto shared_b = std::make_shared<PhaseMsg>(std::move(b));
+
+  const auto make_nl = [&](ReplicaId sender) {
+    NewLeaderMsg nl;
+    nl.view = 2;
+    nl.prepared_view = 1;
+    nl.prepared_value = to_bytes("v");
+    nl.cert = {shared_a, shared_b};
+    nl.sender = sender;
+    nl.sender_sig = Bytes(64, 0x21);
+    return nl;
+  };
+  ProposeMsg shared;
+  shared.proposal = make_proposal();
+  shared.justification = {make_nl(1), make_nl(2), make_nl(3)};
+  shared.sender = 7;
+  shared.sender_sig = Bytes(64, 0x42);
+
+  const Bytes wire = shared.to_bytes();
+  // Overlap-free reference: same shape but every cert entry distinct.
+  ProposeMsg distinct = shared;
+  for (std::size_t i = 0; i < distinct.justification.size(); ++i) {
+    for (auto& entry : distinct.justification[i].cert) {
+      auto clone = std::make_shared<PhaseMsg>(*entry);
+      clone->sender = static_cast<ReplicaId>(10 + i);  // force distinctness
+      clone->digest_memo_.clear();
+      entry = std::move(clone);
+    }
+  }
+  EXPECT_LT(wire.size(), distinct.to_bytes().size());
+
+  const auto decoded = ProposeMsg::from_bytes(wire);
+  ASSERT_EQ(decoded.justification.size(), 3U);
+  for (const auto& nl : decoded.justification) {
+    ASSERT_EQ(nl.cert.size(), 2U);
+    EXPECT_EQ(nl.cert[0]->sender, shared_a->sender);
+    EXPECT_EQ(nl.cert[1]->sender, 9U);
+  }
+  // Shared entries decode to shared pointers (one pool object per distinct
+  // message, referenced by every cert).
+  EXPECT_EQ(decoded.justification[0].cert[0].get(),
+            decoded.justification[2].cert[0].get());
+  // Round-tripping the decoded message reproduces identical wire bytes.
+  EXPECT_EQ(decoded.to_bytes(), wire);
+}
+
+TEST(Messages, ProposeRejectsOutOfRangeCertBackReference) {
+  // Hand-assemble a pooled Propose whose cert references index 5 while the
+  // pool holds a single entry: decode must throw, not read out of bounds.
+  Writer w;
+  make_proposal().encode(w);
+  w.u32(1);  // pool size
+  make_phase().encode(w);
+  w.u32(1);               // one justification entry
+  w.u64(2);               // view
+  w.u64(1);               // prepared_view
+  w.bytes(to_bytes("v"));  // prepared_value
+  w.u32(1);               // one cert ref
+  w.u32(5);               // out-of-range back-reference
+  w.u32(4);               // nl sender
+  w.bytes(Bytes(64, 0x01));  // nl sig
+  w.u32(7);               // propose sender
+  w.bytes(Bytes(64, 0x02));  // propose sig
+  const Bytes wire = std::move(w).take();
+  EXPECT_THROW((void)ProposeMsg::from_bytes(ByteSpan(wire.data(),
+                                                     wire.size())),
+               CodecError);
 }
 
 TEST(Messages, WishRoundtrip) {

@@ -175,10 +175,11 @@ TEST_F(PbftUnitTest, ViewChangeSelectsHighestPreparedView) {
 
   // Build PBFT prepared certs: quorum-many plain prepares.
   auto make_cert = [this](View v, const Bytes& val) {
-    std::vector<core::PhaseMsg> cert;
+    std::vector<core::PhaseMsgPtr> cert;
     for (ReplicaId s = 1; s <= 6; ++s) {
-      cert.push_back(bed_.make_plain_phase(MsgTag::kPrepare, v, val, s,
-                                           leader_of(v, 9)));
+      cert.push_back(std::make_shared<core::PhaseMsg>(
+          bed_.make_plain_phase(MsgTag::kPrepare, v, val, s,
+                                leader_of(v, 9))));
     }
     return cert;
   };

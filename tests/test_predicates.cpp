@@ -134,8 +134,10 @@ TEST_F(PredicateTest, ValidNewLeaderRejectsCertForOtherReplica) {
   ASSERT_FALSE(cert.empty());
   // Remove replica 4 from the first prepare's claimed sample: the VRF proof
   // no longer matches the claimed sample.
-  auto& sample = cert[0].sample;
+  auto tampered = TestBed::clone_cert_entry(cert[0]);
+  auto& sample = tampered->sample;
   sample.erase(std::remove(sample.begin(), sample.end(), 4), sample.end());
+  cert[0] = tampered;
   EXPECT_FALSE(replica_->valid_new_leader(
       bed_.make_new_leader(2, 4, 1, val, cert)));
 }

@@ -222,6 +222,179 @@ TEST_F(ByzantineUnitTest, PrepareFromNonSampleMemberRejected) {
   EXPECT_FALSE(replica_->decided());
 }
 
+TEST_F(ByzantineUnitTest, DuplicateJustificationSendersRejected) {
+  // A Byzantine view-2 leader duplicates one NewLeaderMsg to inflate its
+  // value's mode count: sender 4 prepared "evil" (repeated 3×) vs honest
+  // senders 5 and 6 who prepared "locked". Per-message counting used to
+  // make "evil" the mode (3 > 2) while the distinct-sender check still
+  // passed (6 distinct); the fix rejects any justification with duplicate
+  // senders outright.
+  using core::MsgTag;
+  auto replica = bed_.make_replica(5);
+  replica->start();
+  const Bytes evil = to_bytes("evil");
+  const Bytes locked = to_bytes("locked");
+
+  const auto nl_evil =
+      bed_.make_new_leader(2, 4, 1, evil, bed_.make_cert(1, evil, 4, 1));
+  std::vector<core::NewLeaderMsg> dup_set = {nl_evil, nl_evil, nl_evil};
+  dup_set.push_back(
+      bed_.make_new_leader(2, 5, 1, locked, bed_.make_cert(1, locked, 5, 1)));
+  dup_set.push_back(
+      bed_.make_new_leader(2, 6, 1, locked, bed_.make_cert(1, locked, 6, 1)));
+  for (ReplicaId s = 7; s <= 9; ++s) {
+    dup_set.push_back(bed_.make_new_leader(2, s));
+  }
+  // 8 messages, 6 distinct senders: duplicates must poison the whole
+  // justification, for the skewed value AND for any other value.
+  EXPECT_FALSE(replica->safe_proposal(bed_.make_propose(2, evil, 2, dup_set)));
+  EXPECT_FALSE(
+      replica->safe_proposal(bed_.make_propose(2, locked, 2, dup_set)));
+
+  // The same reports without duplicates: the honest mode ("locked") is the
+  // only safe proposal.
+  std::vector<core::NewLeaderMsg> clean_set = {dup_set[0], dup_set[3],
+                                               dup_set[4]};
+  for (ReplicaId s = 7; s <= 9; ++s) {
+    clean_set.push_back(bed_.make_new_leader(2, s));
+  }
+  EXPECT_TRUE(
+      replica->safe_proposal(bed_.make_propose(2, locked, 2, clean_set)));
+  EXPECT_FALSE(
+      replica->safe_proposal(bed_.make_propose(2, evil, 2, clean_set)));
+}
+
+TEST_F(ByzantineUnitTest, LeaderCountsDistinctNewLeaderSendersOnly) {
+  // Leader side of the same bug: re-sent NewLeader messages must not count
+  // toward the deterministic quorum.
+  using core::MsgTag;
+  auto leader = bed_.make_replica(2);
+  leader->start();
+  for (ReplicaId s = 1; s <= 9; ++s) {
+    if (s == 2) continue;
+    core::WishMsg wish;
+    wish.view = 2;
+    wish.sender = s;
+    wish.sender_sig = bed_.suite().sign(bed_.secret(s), wish.signing_bytes());
+    leader->on_message(s, core::tag_byte(MsgTag::kWish), wish.to_bytes());
+  }
+  ASSERT_EQ(leader->current_view(), 2U);
+  bed_.outbox.clear();
+  // Three senders, one of them spamming: 3 distinct < det quorum 6.
+  const auto spam = bed_.make_new_leader(2, 4);
+  for (int i = 0; i < 5; ++i) {
+    leader->on_message(4, core::tag_byte(MsgTag::kNewLeader),
+                       spam.to_bytes());
+  }
+  leader->on_message(5, core::tag_byte(MsgTag::kNewLeader),
+                     bed_.make_new_leader(2, 5).to_bytes());
+  leader->on_message(6, core::tag_byte(MsgTag::kNewLeader),
+                     bed_.make_new_leader(2, 6).to_bytes());
+  for (const auto& sent : bed_.outbox) {
+    EXPECT_NE(sent.tag, core::tag_byte(MsgTag::kPropose));
+  }
+  // Three more distinct senders complete the quorum: now it proposes.
+  for (ReplicaId s = 7; s <= 9; ++s) {
+    leader->on_message(s, core::tag_byte(MsgTag::kNewLeader),
+                       bed_.make_new_leader(2, s).to_bytes());
+  }
+  bool proposed = false;
+  for (const auto& sent : bed_.outbox) {
+    if (sent.tag == core::tag_byte(MsgTag::kPropose)) proposed = true;
+  }
+  EXPECT_TRUE(proposed);
+}
+
+TEST_F(ByzantineUnitTest, FutureViewProposeFromNonLeaderCannotShadow) {
+  // Replica 5 (NOT the leader of view 2) sends a garbage view-2 Propose
+  // while we are still in view 1. It used to occupy the one buffer slot
+  // for view 2, so the real leader's proposal arriving later was never
+  // buffered and the view stalled. Now non-leader proposals are dropped.
+  using core::MsgTag;
+  auto replica = bed_.make_replica(3);
+  replica->start();
+  replica->on_message(
+      5, core::tag_byte(MsgTag::kPropose),
+      bed_.make_propose(2, to_bytes("shadow"), 5).to_bytes());
+
+  std::vector<core::NewLeaderMsg> m_set;
+  for (ReplicaId s = 4; s <= 9; ++s) {
+    m_set.push_back(bed_.make_new_leader(2, s));
+  }
+  const Bytes real = to_bytes("real-proposal");
+  replica->on_message(2, core::tag_byte(MsgTag::kPropose),
+                      bed_.make_propose(2, real, 2, m_set).to_bytes());
+
+  for (ReplicaId s = 1; s <= 9; ++s) {
+    if (s == 3) continue;
+    core::WishMsg wish;
+    wish.view = 2;
+    wish.sender = s;
+    wish.sender_sig = bed_.suite().sign(bed_.secret(s), wish.signing_bytes());
+    replica->on_message(s, core::tag_byte(MsgTag::kWish), wish.to_bytes());
+  }
+  ASSERT_EQ(replica->current_view(), 2U);
+  EXPECT_TRUE(replica->voted());
+  // The Prepare it multicast must carry the real leader's value.
+  bool prepared_real = false;
+  for (const auto& sent : bed_.outbox) {
+    if (sent.tag != core::tag_byte(MsgTag::kPrepare)) continue;
+    const auto m = core::PhaseMsg::from_bytes(sent.payload);
+    if (m.proposal.view == 2) {
+      EXPECT_EQ(m.proposal.value, real);
+      prepared_real = true;
+    }
+  }
+  EXPECT_TRUE(prepared_real);
+}
+
+TEST_F(ByzantineUnitTest, BlockedViewStillBuffersFutureViewMessages) {
+  // Equivocation blocks view 1; messages for view 2 arriving while blocked
+  // (the new leader's Propose AND its Prepares) must be buffered, not
+  // dropped, so the replica can vote and prepare immediately on entering
+  // view 2. Dropping them used to stall the next view.
+  using core::MsgTag;
+  auto replica = bed_.make_replica(3);
+  replica->start();
+  replica->on_message(1, core::tag_byte(MsgTag::kPropose),
+                      bed_.make_propose(1, to_bytes("A"), 1).to_bytes());
+  replica->on_message(1, core::tag_byte(MsgTag::kPropose),
+                      bed_.make_propose(1, to_bytes("B"), 1).to_bytes());
+  ASSERT_TRUE(replica->view_blocked());
+
+  std::vector<core::NewLeaderMsg> m_set;
+  for (ReplicaId s = 4; s <= 9; ++s) {
+    m_set.push_back(bed_.make_new_leader(2, s));
+  }
+  const Bytes next = to_bytes("next-view-value");
+  replica->on_message(2, core::tag_byte(MsgTag::kPropose),
+                      bed_.make_propose(2, next, 2, m_set).to_bytes());
+  for (ReplicaId s = 1; s <= 9; ++s) {
+    replica->on_message(
+        s, core::tag_byte(MsgTag::kPrepare),
+        bed_.make_phase(MsgTag::kPrepare, 2, next, s, 2).to_bytes());
+  }
+  // Still blocked in view 1 (the view-2 traffic is only buffered).
+  EXPECT_EQ(replica->current_view(), 1U);
+  EXPECT_TRUE(replica->view_blocked());
+
+  for (ReplicaId s = 1; s <= 9; ++s) {
+    if (s == 3) continue;
+    core::WishMsg wish;
+    wish.view = 2;
+    wish.sender = s;
+    wish.sender_sig = bed_.suite().sign(bed_.secret(s), wish.signing_bytes());
+    replica->on_message(s, core::tag_byte(MsgTag::kWish), wish.to_bytes());
+  }
+  ASSERT_EQ(replica->current_view(), 2U);
+  EXPECT_FALSE(replica->view_blocked());
+  EXPECT_TRUE(replica->voted());
+  // The buffered prepares must have counted: the replica is prepared on
+  // the new value in view 2.
+  EXPECT_EQ(replica->prepared_view(), 2U);
+  EXPECT_EQ(replica->prepared_value(), next);
+}
+
 TEST_F(ByzantineUnitTest, WrongPhaseSeedRejected) {
   using core::MsgTag;
   const Bytes a = to_bytes("value-A");

@@ -99,6 +99,32 @@ TEST_P(SuiteTest, VrfOutputsDifferAcrossKeys) {
             s->vrf_prove(s->keygen(2).secret_key, alpha).output);
 }
 
+TEST_P(SuiteTest, BatchVerifyMatchesPerItemLoop) {
+  const auto s = suite();
+  std::vector<KeyPair> keys;
+  std::vector<Bytes> msgs, sigs;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    keys.push_back(s->keygen(100 + i));
+    msgs.push_back(to_bytes("batch-msg-" + std::to_string(i)));
+    sigs.push_back(s->sign(keys.back().secret_key,
+                           ByteSpan(msgs.back().data(), msgs.back().size())));
+  }
+  const auto checks = [&] {
+    std::vector<SigCheck> out;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      out.push_back(
+          {ByteSpan(keys[i].public_key.data(), keys[i].public_key.size()),
+           ByteSpan(msgs[i].data(), msgs[i].size()),
+           ByteSpan(sigs[i].data(), sigs[i].size())});
+    }
+    return out;
+  };
+  EXPECT_TRUE(s->verify_batch(checks()));
+  EXPECT_TRUE(s->verify_batch({}));
+  sigs[3][7] ^= 1;  // one bad member fails the whole batch in every suite
+  EXPECT_FALSE(s->verify_batch(checks()));
+}
+
 INSTANTIATE_TEST_SUITE_P(AllSuites, SuiteTest,
                          ::testing::Values("ed25519", "sim"),
                          [](const auto& info) { return info.param; });
