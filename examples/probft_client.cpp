@@ -1,0 +1,340 @@
+// SMR client: submits requests to a probft_node cluster's client ports
+// and measures end-to-end (submit → executed reply) latency.
+//
+//   ./probft_client --servers 127.0.0.1:9101,127.0.0.1:9102,...
+//       [--requests N] [--client-id C] [--mode closed|open]
+//       [--retry-ms R] [--timeout-ms T] [--force-retry 1]
+//
+// Requests are ClientRequest{client_id, seq, payload} frames
+// (net/client.hpp over net/frame.hpp). The client targets the first
+// server (the round-robin view-1 leader in a fresh cluster) and retries
+// unanswered requests against every server after --retry-ms — duplicate
+// submissions are safe because the SMR layer executes each (client, seq)
+// at most once and re-answers executed retries from its reply cache.
+// --force-retry deterministically sends the first request twice (the
+// cluster harness uses it to assert exactly-once execution under client
+// retries). A request counts as completed on its first reply; later
+// replies for the same seq are counted as duplicates, not completions.
+//
+// Closed-loop mode keeps one request outstanding (latency-oriented);
+// open-loop fires everything up front (throughput-oriented). Exit 0 iff
+// every request got a reply. Summary lines:
+//   CLIENT ok requests=N replies=N retries=R duplicates=D wall_ms=...
+//   LATENCY p50_us=... p90_us=... p99_us=...
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/frame.hpp"
+
+namespace {
+
+using namespace probft;
+
+struct Options {
+  std::vector<std::pair<std::string, std::uint16_t>> servers;
+  std::uint64_t requests = 16;
+  std::uint64_t client_id = 77'001;
+  bool open_loop = false;
+  std::uint64_t retry_ms = 2'000;
+  std::uint64_t timeout_ms = 30'000;
+  bool force_retry = false;
+};
+
+std::uint64_t now_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000;
+}
+
+std::uint64_t parse_u64(const std::string& text) {
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    throw std::invalid_argument(text);
+  }
+  std::size_t consumed = 0;
+  const std::uint64_t value = std::stoull(text, &consumed);
+  if (consumed != text.size()) throw std::invalid_argument(text);
+  return value;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (i + 1 >= argc) return false;
+    const std::string value = argv[++i];
+    if (key == "--servers") {
+      std::size_t pos = 0;
+      while (pos < value.size()) {
+        const std::size_t comma = value.find(',', pos);
+        const std::string entry = value.substr(pos, comma - pos);
+        const std::size_t colon = entry.rfind(':');
+        if (colon == std::string::npos || colon == 0) return false;
+        opt.servers.emplace_back(
+            entry.substr(0, colon),
+            static_cast<std::uint16_t>(parse_u64(entry.substr(colon + 1))));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (key == "--requests") {
+      opt.requests = parse_u64(value);
+    } else if (key == "--client-id") {
+      opt.client_id = parse_u64(value);
+    } else if (key == "--mode") {
+      if (value == "closed") {
+        opt.open_loop = false;
+      } else if (value == "open") {
+        opt.open_loop = true;
+      } else {
+        return false;
+      }
+    } else if (key == "--retry-ms") {
+      opt.retry_ms = parse_u64(value);
+    } else if (key == "--timeout-ms") {
+      opt.timeout_ms = parse_u64(value);
+    } else if (key == "--force-retry") {
+      opt.force_retry = value == "1" || value == "true";
+    } else {
+      return false;
+    }
+  }
+  return !opt.servers.empty() && opt.requests >= 1;
+}
+
+/// One connection per server; a dead connection stays closed (fd < 0) and
+/// its server simply never answers — retries cover the rest.
+struct ServerConn {
+  int fd = -1;
+  net::FrameDecoder decoder;
+};
+
+int dial(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* result = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &result) != 0 ||
+      result == nullptr) {
+    return -1;
+  }
+  int fd = ::socket(result->ai_family, SOCK_STREAM, 0);
+  if (fd >= 0 &&
+      ::connect(fd, result->ai_addr, result->ai_addrlen) != 0) {
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd >= 0) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    if (!parse_args(argc, argv, opt)) {
+      std::fprintf(stderr,
+                   "usage: probft_client --servers host:port,... "
+                   "[--requests N] [--client-id C] [--mode closed|open] "
+                   "[--retry-ms R] [--timeout-ms T] [--force-retry 1]\n");
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad argument: %s\n", e.what());
+    return 2;
+  }
+
+  const std::uint64_t deadline = now_us() + opt.timeout_ms * 1000;
+
+  // Dial every server (with retries — node processes may still be
+  // binding their client ports).
+  std::vector<ServerConn> servers(opt.servers.size());
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    while (servers[i].fd < 0 && now_us() < deadline) {
+      servers[i].fd = dial(opt.servers[i].first, opt.servers[i].second);
+      if (servers[i].fd < 0) ::usleep(100'000);
+    }
+  }
+  if (servers[0].fd < 0) {
+    std::fprintf(stderr, "cannot reach primary server\n");
+    return 1;
+  }
+
+  const auto payload_for = [&opt](std::uint64_t seq) {
+    return to_bytes("req-" + std::to_string(opt.client_id) + "-" +
+                    std::to_string(seq));
+  };
+  const auto send_request = [&opt, &servers](std::size_t server,
+                                             std::uint64_t seq,
+                                             const Bytes& payload) {
+    if (servers[server].fd < 0) return;
+    net::ClientRequest request;
+    request.client_id = opt.client_id;
+    request.seq = seq;
+    request.payload = payload;
+    const Bytes body = request.encode();
+    const Bytes frame = net::encode_frame(
+        0, net::kClientRequestTag, ByteSpan(body.data(), body.size()));
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t wrote = ::send(servers[server].fd, frame.data() + off,
+                                   frame.size() - off, MSG_NOSIGNAL);
+      if (wrote <= 0) {
+        ::close(servers[server].fd);
+        servers[server].fd = -1;
+        return;
+      }
+      off += static_cast<std::size_t>(wrote);
+    }
+  };
+
+  const std::uint64_t n_requests = opt.requests;
+  std::vector<bool> completed(n_requests + 1, false);
+  std::vector<std::uint64_t> sent_at(n_requests + 1, 0);
+  std::vector<std::uint64_t> latencies;
+  std::uint64_t replies = 0, retries = 0, duplicates = 0;
+  const std::uint64_t started = now_us();
+
+  const auto drain_replies = [&](int wait_ms) {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> index;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      if (servers[i].fd < 0) continue;
+      fds.push_back(pollfd{servers[i].fd, POLLIN, 0});
+      index.push_back(i);
+    }
+    if (fds.empty()) return;
+    if (::poll(fds.data(), fds.size(), wait_ms) <= 0) return;
+    std::uint8_t buf[64 * 1024];
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if ((fds[k].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      ServerConn& conn = servers[index[k]];
+      const ssize_t got = ::recv(conn.fd, buf, sizeof(buf), MSG_DONTWAIT);
+      if (got <= 0) {
+        if (got == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+          ::close(conn.fd);
+          conn.fd = -1;
+        }
+        continue;
+      }
+      conn.decoder.feed(ByteSpan(buf, static_cast<std::size_t>(got)));
+      net::Frame frame;
+      while (conn.decoder.next(frame) == net::FrameDecoder::Status::kFrame) {
+        if (frame.tag != net::kClientReplyTag) continue;
+        try {
+          const auto reply = net::ClientReply::decode(
+              ByteSpan(frame.payload.data(), frame.payload.size()));
+          if (reply.client_id != opt.client_id || reply.seq == 0 ||
+              reply.seq > n_requests) {
+            continue;
+          }
+          if (completed[reply.seq]) {
+            ++duplicates;
+            continue;
+          }
+          completed[reply.seq] = true;
+          ++replies;
+          latencies.push_back(now_us() - sent_at[reply.seq]);
+        } catch (const CodecError&) {
+          // Hostile/garbled reply: ignore.
+        }
+      }
+      if (conn.decoder.corrupted()) {
+        ::close(conn.fd);
+        conn.fd = -1;
+      }
+    }
+  };
+
+  const auto retry_incomplete = [&](std::uint64_t upto) {
+    for (std::uint64_t seq = 1; seq <= upto; ++seq) {
+      if (completed[seq]) continue;
+      ++retries;
+      for (std::size_t s = 0; s < servers.size(); ++s) {
+        send_request(s, seq, payload_for(seq));
+      }
+    }
+  };
+
+  if (opt.open_loop) {
+    for (std::uint64_t seq = 1; seq <= n_requests; ++seq) {
+      sent_at[seq] = now_us();
+      send_request(0, seq, payload_for(seq));
+    }
+    if (opt.force_retry) {
+      ++retries;
+      send_request(servers.size() > 1 ? 1 : 0, 1, payload_for(1));
+    }
+    std::uint64_t next_retry = now_us() + opt.retry_ms * 1000;
+    while (replies < n_requests && now_us() < deadline) {
+      drain_replies(/*wait_ms=*/20);
+      if (now_us() >= next_retry) {
+        retry_incomplete(n_requests);
+        next_retry = now_us() + opt.retry_ms * 1000;
+      }
+    }
+  } else {
+    for (std::uint64_t seq = 1; seq <= n_requests && now_us() < deadline;
+         ++seq) {
+      sent_at[seq] = now_us();
+      send_request(0, seq, payload_for(seq));
+      if (seq == 1 && opt.force_retry) {
+        ++retries;
+        send_request(servers.size() > 1 ? 1 : 0, 1, payload_for(1));
+      }
+      std::uint64_t next_retry = now_us() + opt.retry_ms * 1000;
+      while (!completed[seq] && now_us() < deadline) {
+        drain_replies(/*wait_ms=*/20);
+        if (now_us() >= next_retry) {
+          retry_incomplete(seq);
+          next_retry = now_us() + opt.retry_ms * 1000;
+        }
+      }
+    }
+  }
+  const double wall_ms =
+      static_cast<double>(now_us() - started) / 1000.0;
+
+  const bool ok = replies == n_requests;
+  std::printf("CLIENT %s requests=%llu replies=%llu retries=%llu "
+              "duplicates=%llu wall_ms=%.1f\n",
+              ok ? "ok" : "FAIL",
+              static_cast<unsigned long long>(n_requests),
+              static_cast<unsigned long long>(replies),
+              static_cast<unsigned long long>(retries),
+              static_cast<unsigned long long>(duplicates), wall_ms);
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto quantile = [&latencies](double q) {
+      const std::size_t idx = std::min(
+          latencies.size() - 1,
+          static_cast<std::size_t>(q * static_cast<double>(latencies.size())));
+      return static_cast<unsigned long long>(latencies[idx]);
+    };
+    std::printf("LATENCY p50_us=%llu p90_us=%llu p99_us=%llu\n",
+                quantile(0.50), quantile(0.90), quantile(0.99));
+  }
+  for (auto& conn : servers) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  return ok ? 0 : 1;
+}

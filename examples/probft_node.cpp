@@ -10,21 +10,39 @@
 // the simulator uses), so processes need no key exchange; --suite ed25519
 // switches from the fast simulation suite to real Ed25519 + ECVRF.
 //
-// The process prints one line when its replica decides:
-//   DECIDED id=<id> view=<v> value=<hex>
-// then keeps serving peers for --linger-ms (so slower replicas can finish)
-// and exits 0. It exits 1 if --deadline-ms passes without a decision.
-// scripts/run_tcp_cluster.sh launches an n=4 loopback cluster and asserts
-// all four lines agree.
+// Two modes:
+//
+//  - Single-shot (default): one consensus instance; the process prints
+//      DECIDED id=<id> view=<v> value=<hex>
+//    when its replica decides, keeps serving peers for --linger-ms (so
+//    slower replicas can finish) and exits 0; exits 1 if --deadline-ms
+//    passes without a decision.
+//
+//  - SMR (--smr): a pipelined, batched replicated log (src/smr) serving
+//    real clients. --client-port opens the client listener (the wire
+//    format is net/client.hpp over net/frame.hpp); replies are sent after
+//    in-order execution, and duplicate (client, seq) retries are answered
+//    from the last-reply cache without re-executing. The process runs
+//    until --run-ms elapses — or exits early once --expect-cmds commands
+//    executed (plus --linger-ms for stragglers) — and prints
+//      SMRLOG id=<id> slots=<s> cmds=<c> digest=<hex>
+//    so a harness can assert identical logs across the cluster.
+//
+// --stats prints per-tag TransportStats on shutdown in both modes.
+// scripts/run_tcp_cluster.sh drives both: agreement smoke (default) and
+// the client mode (`client` protocol argument).
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/client.hpp"
 #include "net/tcp_transport.hpp"
 #include "sim/node_factory.hpp"
 #include "sim/scenario.hpp"
@@ -45,6 +63,14 @@ struct Options {
   Bytes value;  // empty = the default per-replica value
   std::uint64_t deadline_ms = 30'000;
   std::uint64_t linger_ms = 2'000;
+  bool stats = false;
+  // ---- SMR mode ----
+  bool smr = false;
+  std::uint16_t client_port = 0;  // 0 = no client listener
+  std::uint64_t run_ms = 30'000;
+  std::uint64_t expect_cmds = 0;  // 0 = run the full --run-ms
+  std::uint32_t window = 8;
+  std::uint32_t batch = 64;
 };
 
 void usage() {
@@ -54,7 +80,9 @@ void usage() {
       "                   [--protocol probft|pbft|hotstuff] [--f F]\n"
       "                   [--o O] [--l L] [--seed S] [--suite sim|ed25519]\n"
       "                   [--value STRING] [--deadline-ms MS]\n"
-      "                   [--linger-ms MS]\n");
+      "                   [--linger-ms MS] [--stats BOOL]\n"
+      "                   [--smr BOOL] [--client-port P] [--run-ms MS]\n"
+      "                   [--expect-cmds N] [--window W] [--batch B]\n");
 }
 
 std::uint64_t parse_u64(const std::string& text) {
@@ -65,6 +93,12 @@ std::uint64_t parse_u64(const std::string& text) {
   const std::uint64_t value = std::stoull(text, &consumed);
   if (consumed != text.size()) throw std::invalid_argument(text);
   return value;
+}
+
+bool parse_bool(const std::string& text) {
+  if (text == "1" || text == "true" || text == "yes") return true;
+  if (text == "0" || text == "false" || text == "no") return false;
+  throw std::invalid_argument(text);
 }
 
 net::PeerAddress parse_host_port(const std::string& text) {
@@ -120,12 +154,175 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.deadline_ms = parse_u64(value);
     } else if (key == "--linger-ms") {
       opt.linger_ms = parse_u64(value);
+    } else if (key == "--stats") {
+      opt.stats = parse_bool(value);
+    } else if (key == "--smr") {
+      opt.smr = parse_bool(value);
+    } else if (key == "--client-port") {
+      opt.client_port = static_cast<std::uint16_t>(parse_u64(value));
+      opt.smr = true;  // a client port only makes sense with the log
+    } else if (key == "--run-ms") {
+      opt.run_ms = parse_u64(value);
+    } else if (key == "--expect-cmds") {
+      opt.expect_cmds = parse_u64(value);
+    } else if (key == "--window") {
+      opt.window = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "--batch") {
+      opt.batch = static_cast<std::uint32_t>(parse_u64(value));
     } else {
       return false;
     }
   }
   return opt.id >= 1 && opt.peers.size() >= 2 &&
          opt.id <= opt.peers.size();
+}
+
+void print_stats(const net::TransportStats& stats) {
+  std::printf("STATS total sends=%llu delivered=%llu dropped=%llu "
+              "duplicates=%llu bytes=%llu\n",
+              static_cast<unsigned long long>(stats.sends),
+              static_cast<unsigned long long>(stats.delivered),
+              static_cast<unsigned long long>(stats.dropped),
+              static_cast<unsigned long long>(stats.duplicates),
+              static_cast<unsigned long long>(stats.bytes_sent));
+  for (const auto& [tag, sends] : stats.sends_by_tag) {
+    std::printf("STATS tag=0x%02x sends=%llu bytes=%llu\n", tag,
+                static_cast<unsigned long long>(sends),
+                static_cast<unsigned long long>(stats.bytes_for(tag)));
+  }
+  std::fflush(stdout);
+}
+
+int run_smr_node(const Options& opt, net::TcpTransport& transport,
+                 sim::NodeParams params) {
+  params.smr.window = opt.window;
+  params.smr.batch_max_commands = opt.batch;
+
+  std::unique_ptr<smr::SmrReplica> node;
+
+  // Reply routing: (client, seq) → the connection awaiting the reply,
+  // plus a per-client last-reply cache so an already-executed retry is
+  // re-answered without re-execution.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> waiting;
+  std::map<std::uint64_t, net::ClientReply> last_reply;
+
+  params.on_execute = [&transport, &waiting,
+                       &last_reply](const smr::ExecutedCommand& cmd) {
+    net::ClientReply reply;
+    reply.client_id = cmd.client;
+    reply.seq = cmd.seq;
+    reply.slot = cmd.slot;
+    reply.result = cmd.payload;
+    const auto it = waiting.find({cmd.client, cmd.seq});
+    if (it != waiting.end()) {
+      transport.send_to_client(it->second, net::kClientReplyTag,
+                               reply.encode());
+      waiting.erase(it);
+    }
+    last_reply[cmd.client] = std::move(reply);
+  };
+
+  node = sim::make_smr_node(params, sim::transport_host(
+                                        transport, opt.id,
+                                        transport.timer_setter()));
+  transport.register_handler(
+      opt.id, [&node](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+        node->on_message(from, tag, m);
+      });
+  transport.set_client_handler([&transport, &node, &waiting, &last_reply](
+                                   std::uint64_t conn, std::uint8_t tag,
+                                   const Bytes& payload) {
+    if (tag != net::kClientRequestTag) return;
+    try {
+      const auto request =
+          net::ClientRequest::decode(ByteSpan(payload.data(), payload.size()));
+      if (request.seq <= node->last_executed_seq(request.client_id)) {
+        // Already executed: answer the retry from the cache (only the
+        // client's latest request is cached, PBFT-style).
+        const auto cached = last_reply.find(request.client_id);
+        if (cached != last_reply.end() &&
+            cached->second.seq == request.seq) {
+          transport.send_to_client(conn, net::kClientReplyTag,
+                                   cached->second.encode());
+        }
+        return;
+      }
+      // Enqueue, then route the reply. A false return is either a retry
+      // of still-pending work (keep/redirect the route to the fresh
+      // connection) or an outright rejection (oversized payload, intake
+      // backpressure) — the latter must not leave a route behind: the
+      // request will never execute, so its waiting entry would leak.
+      const bool accepted = node->submit_request(
+          request.client_id, request.seq, request.payload);
+      if (accepted || node->has_pending(request.client_id, request.seq)) {
+        waiting[{request.client_id, request.seq}] = conn;
+      }
+    } catch (const CodecError&) {
+      // Malformed client request: drop (the framing layer already
+      // poisons truly corrupt streams).
+    }
+  });
+
+  node->start();
+  const std::uint64_t expect = opt.expect_cmds;
+  const auto caught_up = [&node, expect] {
+    return expect > 0 && node->executed_commands() >= expect;
+  };
+  const std::function<bool()> done =
+      expect > 0 ? std::function<bool()>(caught_up) : nullptr;
+  const bool reached = transport.run_until(done, opt.run_ms * 1000);
+  // Keep serving peers/clients so slower replicas reach the same log.
+  transport.run_until(nullptr, opt.linger_ms * 1000);
+
+  std::printf("SMRLOG id=%u slots=%llu cmds=%llu digest=%s\n", opt.id,
+              static_cast<unsigned long long>(node->committed_slots()),
+              static_cast<unsigned long long>(node->executed_commands()),
+              smr::log_digest(node->slot_log()).c_str());
+  std::fflush(stdout);
+  if (opt.stats) print_stats(transport.stats());
+  if (expect > 0 && !reached) {
+    std::fprintf(stderr, "executed %llu/%llu commands within %llu ms\n",
+                 static_cast<unsigned long long>(node->executed_commands()),
+                 static_cast<unsigned long long>(expect),
+                 static_cast<unsigned long long>(opt.run_ms));
+    return 1;
+  }
+  return 0;
+}
+
+int run_single_shot(const Options& opt, net::TcpTransport& transport,
+                    sim::NodeParams params) {
+  bool decided = false;
+  core::ProtocolHost host = sim::transport_host(transport, opt.id,
+                                                transport.timer_setter());
+  host.on_decide = [&decided, &opt](View view, const Bytes& value) {
+    if (decided) return;
+    decided = true;
+    std::printf("DECIDED id=%u view=%llu value=%s\n", opt.id,
+                static_cast<unsigned long long>(view),
+                to_hex(value).c_str());
+    std::fflush(stdout);
+  };
+
+  const auto node = sim::make_honest_node(params, std::move(host));
+  transport.register_handler(
+      opt.id, [&node](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+        node->on_message(from, tag, m);
+      });
+
+  node->start();
+  transport.run_until([&decided]() { return decided; },
+                      opt.deadline_ms * 1000);
+  if (!decided) {
+    std::fprintf(stderr, "no decision within %llu ms\n",
+                 static_cast<unsigned long long>(opt.deadline_ms));
+    if (opt.stats) print_stats(transport.stats());
+    return 1;
+  }
+  // Keep answering peers so slower replicas can reach their own quorums.
+  transport.run_until(nullptr, opt.linger_ms * 1000);
+  if (opt.stats) print_stats(transport.stats());
+  return 0;
 }
 
 }  // namespace
@@ -162,6 +359,11 @@ int main(int argc, char** argv) {
   tc.listen_host = opt.peers[opt.id - 1].host;
   tc.listen_port = opt.peers[opt.id - 1].port;
   for (ReplicaId id = 1; id <= n; ++id) tc.peers[id] = opt.peers[id - 1];
+  if (opt.client_port != 0) {
+    tc.client_port_enabled = true;
+    tc.client_listen_host = tc.listen_host;
+    tc.client_listen_port = opt.client_port;
+  }
 
   std::unique_ptr<net::TcpTransport> transport;
   try {
@@ -189,33 +391,6 @@ int main(int argc, char** argv) {
   // timer is generous compared to the simulator's 100 ms default.
   params.sync.base_timeout = 1'000'000;  // 1 s
 
-  bool decided = false;
-  core::ProtocolHost host = sim::transport_host(*transport, opt.id,
-                                                transport->timer_setter());
-  host.on_decide = [&decided, &opt](View view, const Bytes& value) {
-    if (decided) return;
-    decided = true;
-    std::printf("DECIDED id=%u view=%llu value=%s\n", opt.id,
-                static_cast<unsigned long long>(view),
-                to_hex(value).c_str());
-    std::fflush(stdout);
-  };
-
-  const auto node = sim::make_honest_node(params, std::move(host));
-  transport->register_handler(
-      opt.id, [&node](ReplicaId from, std::uint8_t tag, const Bytes& m) {
-        node->on_message(from, tag, m);
-      });
-
-  node->start();
-  transport->run_until([&decided]() { return decided; },
-                       opt.deadline_ms * 1000);
-  if (!decided) {
-    std::fprintf(stderr, "no decision within %llu ms\n",
-                 static_cast<unsigned long long>(opt.deadline_ms));
-    return 1;
-  }
-  // Keep answering peers so slower replicas can reach their own quorums.
-  transport->run_until(nullptr, opt.linger_ms * 1000);
-  return 0;
+  return opt.smr ? run_smr_node(opt, *transport, std::move(params))
+                 : run_single_shot(opt, *transport, std::move(params));
 }

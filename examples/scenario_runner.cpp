@@ -68,6 +68,13 @@ void usage() {
       "                       [--jobs N] [--budget-seconds S] "
       "[--json FILE]\n"
       "                       [--transport sim|tcp-loopback]\n"
+      "                       [--workload single-shot|smr] "
+      "[--smr-commands N]\n"
+      "\n"
+      "--workload smr drives a pipelined SMR fleet through a client\n"
+      "workload instead of one single-shot decision; outcomes assert\n"
+      "identical logs. SMR supports the crash/churn/partition/reorder\n"
+      "faults (simulator transport only).\n"
       "\n"
       "--transport tcp-loopback runs each scenario over real 127.0.0.1\n"
       "sockets (net::TcpTransport, one thread per replica) instead of the\n"
@@ -211,6 +218,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       } else {
         return false;
       }
+    } else if (key == "--workload") {
+      if (!sim::workload_from_string(value, opt.spec.workload)) return false;
+    } else if (key == "--smr-commands") {
+      const std::uint64_t commands = parse_u64(value);
+      if (commands < 1 || commands > 100'000) return false;
+      opt.spec.smr_commands = commands;
     } else {
       return false;
     }
@@ -263,6 +276,13 @@ int main(int argc, char** argv) {
   if (!opt.matrix && (!opt.protocols.empty() || !opt.faults.empty())) {
     std::fprintf(stderr, "--protocols/--faults require --matrix\n");
     usage();
+    return 2;
+  }
+  // The TCP loopback runner realizes single-shot specs only; the SMR
+  // client path over real sockets lives in run_tcp_cluster.sh's client
+  // mode (probft_node --smr + probft_client).
+  if (opt.tcp && opt.spec.workload == sim::Workload::kSmr) {
+    std::fprintf(stderr, "--workload smr requires --transport sim\n");
     return 2;
   }
 

@@ -1,7 +1,8 @@
 // Replicated log using the SMR module (src/smr) — in contrast to kv_smr,
 // which spins up a fresh cluster per slot, this example runs a single
-// long-lived fleet of SmrReplicas over one network and pipelines slots:
-// each replica opens slot k+1 the moment its slot-k instance decides.
+// long-lived fleet of SmrReplicas over one network: a window of slots
+// runs concurrently, commands ride in batches, and slots only open when
+// there is demand (no no-op filler).
 //
 //   $ ./examples/smr_log [n] [commands]
 #include <cstdio>
@@ -43,7 +44,8 @@ int main(int argc, char** argv) {
     cfg.id = id;
     cfg.n = n;
     cfg.f = 0;
-    cfg.max_slots = commands + 2;  // a little slack for no-op slots
+    cfg.pipeline.window = 4;
+    cfg.pipeline.batch_max_commands = 2;
     cfg.suite = suite.get();
     cfg.secret_key = keys[id].secret_key;
     cfg.public_keys = public_keys;
@@ -58,10 +60,10 @@ int main(int argc, char** argv) {
     hooks.set_timer = [&sim](Duration d, std::function<void()> fn) {
       sim.schedule_after(d, std::move(fn));
     };
-    hooks.on_commit = [id](std::uint64_t slot, const Bytes& command) {
+    hooks.on_commit = [id](std::uint64_t index, const Bytes& command) {
       if (id == 1) {  // narrate once
-        std::printf("  slot %2llu committed: %s\n",
-                    static_cast<unsigned long long>(slot),
+        std::printf("  command %2llu executed: %s\n",
+                    static_cast<unsigned long long>(index),
                     std::string(command.begin(), command.end()).c_str());
       }
     };
@@ -81,11 +83,11 @@ int main(int argc, char** argv) {
   }
   for (ReplicaId id = 1; id <= n; ++id) replicas[id]->start();
 
-  // Run until every replica committed every submitted command.
+  // Run until every replica executed every submitted command.
   while (sim.now() < 120'000'000) {
     bool all_done = true;
     for (ReplicaId id = 1; id <= n; ++id) {
-      if (replicas[id]->committed_slots() < commands) {
+      if (replicas[id]->executed_commands() < commands) {
         all_done = false;
         break;
       }
@@ -97,7 +99,9 @@ int main(int argc, char** argv) {
               static_cast<double>(sim.now()) / 1000.0);
   bool identical = true;
   for (ReplicaId id = 1; id <= n; ++id) {
-    std::printf("  replica %2u: %llu slots committed\n", id,
+    std::printf("  replica %2u: %llu commands in %llu slots\n", id,
+                static_cast<unsigned long long>(
+                    replicas[id]->executed_commands()),
                 static_cast<unsigned long long>(
                     replicas[id]->committed_slots()));
     if (replicas[id]->log() != replicas[1]->log()) identical = false;

@@ -8,6 +8,11 @@
 # crashes or exits nonzero, or when a bench fails to produce its JSON —
 # a silently-skipped bench must never look like a green run.
 #
+# The manifest picks up every bench/bench_*.cpp binary automatically;
+# that includes bench_smr_throughput (SMR window × batch sweep — its
+# default run prints the table and JSON; the nightly smr-smoke job runs
+# it separately with --smoke-bound-x=5 as a regression gate).
+#
 # usage: scripts/run_benches.sh [outdir] [build-dir]
 set -euo pipefail
 

@@ -1,27 +1,44 @@
 #!/usr/bin/env bash
 # Launches an n-replica consensus cluster as real OS processes on
-# 127.0.0.1 and asserts that every replica decides the same value.
+# 127.0.0.1 and asserts cluster-wide agreement.
 #
 #   usage: scripts/run_tcp_cluster.sh [BUILD_DIR] [PROTOCOL] [N]
 #
 #   BUILD_DIR  directory containing examples/probft_node (default: build)
-#   PROTOCOL   probft | pbft | hotstuff                  (default: probft)
+#   PROTOCOL   probft | pbft | hotstuff | client         (default: probft)
 #   N          cluster size                              (default: 4)
 #
-# Exits 0 iff all N processes printed a DECIDED line with one common value
-# within the timeout. This is the CI smoke test for the TCP backend
-# (.github/workflows/ci.yml, job `tcp-smoke`).
+# The consensus protocols run the single-shot smoke: exits 0 iff all N
+# processes printed a DECIDED line with one common value within the
+# timeout.
+#
+# PROTOCOL=client runs the SMR client-path smoke instead: every node runs
+# the pipelined replicated log (--smr) with a client port, a real
+# probft_client submits $REQUESTS requests (with a forced retry of the
+# first one), and the script asserts that the client got a reply for every
+# request, that every replica executed exactly $REQUESTS commands (the
+# retry must not double-execute), and that all replicas ended with
+# identical log digests.
+#
+# This is the CI smoke test for the TCP backend (.github/workflows/ci.yml
+# job `tcp-smoke`, nightly `smr-smoke`).
 set -u
 
 BUILD_DIR=${1:-build}
 PROTOCOL=${2:-probft}
 N=${3:-4}
 NODE_BIN="$BUILD_DIR/examples/probft_node"
+CLIENT_BIN="$BUILD_DIR/examples/probft_client"
 DEADLINE_MS=${DEADLINE_MS:-30000}
 LINGER_MS=${LINGER_MS:-2000}
+REQUESTS=${REQUESTS:-16}
 
 if [[ ! -x "$NODE_BIN" ]]; then
   echo "error: $NODE_BIN not found (build the examples first)" >&2
+  exit 2
+fi
+if [[ "$PROTOCOL" == client && ! -x "$CLIENT_BIN" ]]; then
+  echo "error: $CLIENT_BIN not found (build the examples first)" >&2
   exit 2
 fi
 
@@ -35,6 +52,110 @@ cleanup() {
 }
 trap cleanup EXIT
 
+run_client_mode() {
+  local base_port=$1
+  local peers=$2
+  local client_servers=""
+  for (( i = 0; i < N; i++ )); do
+    client_servers+="${client_servers:+,}127.0.0.1:$(( base_port + 100 + i ))"
+  done
+
+  pids=()
+  for (( id = 1; id <= N; id++ )); do
+    timeout $(( DEADLINE_MS / 1000 + LINGER_MS / 1000 + 15 )) \
+      "$NODE_BIN" --id "$id" --peers "$peers" --smr 1 \
+        --client-port $(( base_port + 100 + id - 1 )) \
+        --expect-cmds "$REQUESTS" --run-ms "$DEADLINE_MS" \
+        --linger-ms "$LINGER_MS" --stats 1 \
+        > "$workdir/node-$id.out" 2> "$workdir/node-$id.err" &
+    pids+=($!)
+  done
+
+  sleep 1
+  if ! timeout $(( DEADLINE_MS / 1000 + 10 )) \
+      "$CLIENT_BIN" --servers "$client_servers" --requests "$REQUESTS" \
+        --mode closed --force-retry 1 --retry-ms 3000 \
+        --timeout-ms "$DEADLINE_MS" > "$workdir/client.out" 2>&1; then
+    echo "FAIL: client did not complete" >&2
+    cat "$workdir/client.out" >&2
+    return 1
+  fi
+
+  local failures=0
+  for (( id = 1; id <= N; id++ )); do
+    wait "${pids[$((id - 1))]}" || failures=$((failures + 1))
+  done
+  pids=()
+  if (( failures > 0 )); then
+    if grep -lq "cannot start transport" "$workdir"/node-*.err 2>/dev/null; then
+      return 2  # retryable port clash
+    fi
+    echo "FAIL: $failures/$N SMR nodes did not reach $REQUESTS commands" >&2
+    cat "$workdir"/node-*.err >&2
+    return 1
+  fi
+
+  cat "$workdir/client.out"
+  grep -h "^SMRLOG" "$workdir"/node-*.out
+  local digests cmds
+  digests=$(grep -h "^SMRLOG" "$workdir"/node-*.out \
+              | sed 's/.*digest=//' | sort -u | wc -l)
+  cmds=$(grep -h "^SMRLOG" "$workdir"/node-*.out \
+           | grep -c "cmds=$REQUESTS ")
+  if [[ "$digests" -ne 1 || "$cmds" -ne "$N" ]]; then
+    echo "FAIL: logs diverged or a retry double-executed" >&2
+    return 1
+  fi
+  if ! grep -q "^CLIENT ok requests=$REQUESTS replies=$REQUESTS" \
+      "$workdir/client.out"; then
+    echo "FAIL: client reply accounting is off" >&2
+    return 1
+  fi
+  echo "OK: $N/$N replicas executed $REQUESTS client commands with identical logs"
+  return 0
+}
+
+run_single_shot_mode() {
+  local peers=$1
+  pids=()
+  for (( id = 1; id <= N; id++ )); do
+    timeout $(( DEADLINE_MS / 1000 + LINGER_MS / 1000 + 15 )) \
+      "$NODE_BIN" --id "$id" --peers "$peers" --protocol "$PROTOCOL" \
+        --deadline-ms "$DEADLINE_MS" --linger-ms "$LINGER_MS" \
+        > "$workdir/node-$id.out" 2> "$workdir/node-$id.err" &
+    pids+=($!)
+  done
+
+  local failures=0
+  for (( id = 1; id <= N; id++ )); do
+    wait "${pids[$((id - 1))]}" || failures=$((failures + 1))
+  done
+  pids=()
+  if (( failures > 0 )); then
+    # A bind failure (port stolen between attempts) is retryable; anything
+    # else is a real failure — tell them apart by stderr content.
+    if grep -lq "cannot start transport" "$workdir"/node-*.err 2>/dev/null; then
+      return 2
+    fi
+    echo "FAIL: $failures/$N nodes did not decide" >&2
+    cat "$workdir"/node-*.err >&2
+    return 1
+  fi
+
+  local values count
+  values=$(grep -h "^DECIDED" "$workdir"/node-*.out \
+             | sed 's/.*value=//' | sort -u)
+  count=$(cat "$workdir"/node-*.out | grep -c "^DECIDED")
+  if [[ $(wc -l <<< "$values") -ne 1 || "$count" -ne "$N" ]]; then
+    echo "FAIL: agreement violated or missing decisions" >&2
+    grep -h "^DECIDED" "$workdir"/node-*.out >&2
+    return 1
+  fi
+
+  echo "OK: $N/$N replicas decided value=$values"
+  return 0
+}
+
 attempt=0
 while (( attempt < 3 )); do
   attempt=$((attempt + 1))
@@ -45,43 +166,20 @@ while (( attempt < 3 )); do
   done
   echo "attempt $attempt: protocol=$PROTOCOL n=$N peers=$peers"
 
-  pids=()
-  for (( id = 1; id <= N; id++ )); do
-    timeout $(( DEADLINE_MS / 1000 + LINGER_MS / 1000 + 15 )) \
-      "$NODE_BIN" --id "$id" --peers "$peers" --protocol "$PROTOCOL" \
-        --deadline-ms "$DEADLINE_MS" --linger-ms "$LINGER_MS" \
-        > "$workdir/node-$id.out" 2> "$workdir/node-$id.err" &
-    pids+=($!)
-  done
-
-  failures=0
-  for (( id = 1; id <= N; id++ )); do
-    wait "${pids[$((id - 1))]}" || failures=$((failures + 1))
-  done
-
-  if (( failures > 0 )); then
-    # A bind failure (port stolen between attempts) is retryable; anything
-    # else is a real failure — tell them apart by stderr content.
-    if grep -lq "cannot start transport" "$workdir"/node-*.err 2>/dev/null; then
-      echo "port clash, retrying on a new range" >&2
-      continue
-    fi
-    echo "FAIL: $failures/$N nodes did not decide" >&2
-    cat "$workdir"/node-*.err >&2
+  if [[ "$PROTOCOL" == client ]]; then
+    run_client_mode "$base_port" "$peers"
+  else
+    run_single_shot_mode "$peers"
+  fi
+  rc=$?
+  if (( rc == 0 )); then
+    exit 0
+  elif (( rc == 2 )); then
+    echo "port clash, retrying on a new range" >&2
+    continue
+  else
     exit 1
   fi
-
-  values=$(grep -h "^DECIDED" "$workdir"/node-*.out \
-             | sed 's/.*value=//' | sort -u)
-  count=$(cat "$workdir"/node-*.out | grep -c "^DECIDED")
-  if [[ $(wc -l <<< "$values") -ne 1 || "$count" -ne "$N" ]]; then
-    echo "FAIL: agreement violated or missing decisions" >&2
-    grep -h "^DECIDED" "$workdir"/node-*.out >&2
-    exit 1
-  fi
-
-  echo "OK: $N/$N replicas decided value=$values"
-  exit 0
 done
 
 echo "FAIL: could not find a free port range" >&2

@@ -1,0 +1,65 @@
+#include "net/client.hpp"
+
+namespace probft::net {
+
+namespace {
+
+void check_version(std::uint8_t version) {
+  if (version != kClientWireVersion) {
+    throw CodecError("client wire: unknown version");
+  }
+}
+
+void check_payload_size(std::size_t size) {
+  if (size > kMaxClientPayload) {
+    throw CodecError("client wire: payload exceeds cap");
+  }
+}
+
+}  // namespace
+
+Bytes ClientRequest::encode() const {
+  Writer w;
+  w.u8(kClientWireVersion);
+  w.u64(client_id);
+  w.u64(seq);
+  w.bytes(ByteSpan(payload.data(), payload.size()));
+  return std::move(w).take();
+}
+
+ClientRequest ClientRequest::decode(ByteSpan data) {
+  Reader r(data);
+  check_version(r.u8());
+  ClientRequest req;
+  req.client_id = r.u64();
+  req.seq = r.u64();
+  req.payload = r.bytes();
+  check_payload_size(req.payload.size());
+  r.expect_exhausted();
+  return req;
+}
+
+Bytes ClientReply::encode() const {
+  Writer w;
+  w.u8(kClientWireVersion);
+  w.u64(client_id);
+  w.u64(seq);
+  w.u64(slot);
+  w.bytes(ByteSpan(result.data(), result.size()));
+  return std::move(w).take();
+}
+
+ClientReply ClientReply::decode(ByteSpan data) {
+  Reader r(data);
+  check_version(r.u8());
+  ClientReply reply;
+  reply.client_id = r.u64();
+  reply.seq = r.u64();
+  reply.slot = r.u64();
+  reply.result = r.bytes();
+  check_payload_size(reply.result.size());
+  r.expect_exhausted();
+  return reply;
+}
+
+}  // namespace probft::net

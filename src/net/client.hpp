@@ -1,0 +1,68 @@
+// Client wire protocol for the SMR service.
+//
+// Clients talk to a replica's client port over the same length-prefixed
+// hardened framing the replica↔replica links use (net/frame.hpp); inside a
+// frame, the payload is one of the two messages below, each carrying its
+// own version byte so the client protocol can evolve independently of the
+// frame format:
+//
+//   ClientRequest{client_id, seq, payload}  — client → replica (tag 0x30)
+//   ClientReply{client_id, seq, slot, result} — replica → client (tag 0x31)
+//
+// `seq` is the client's own monotonically increasing request number; the
+// SMR layer executes each (client_id, seq) at most once, so a client may
+// retry a request (same seq) against any replica without risking double
+// execution. The replica replies after the request executed in log order;
+// a retry of an already-executed request is answered from the replica's
+// last-reply cache.
+//
+// Decoding is strict: truncated buffers, trailing bytes, unknown versions
+// and oversized payloads all throw CodecError, so a hostile client (or
+// replica) cannot feed the peer an ambiguous message.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/codec.hpp"
+
+namespace probft::net {
+
+inline constexpr std::uint8_t kClientWireVersion = 1;
+
+/// Frame tags carrying client-protocol payloads.
+inline constexpr std::uint8_t kClientRequestTag = 0x30;
+inline constexpr std::uint8_t kClientReplyTag = 0x31;
+
+/// Cap on a single request payload / reply result. Requests also have to
+/// fit the SMR batch byte cap; this bound is what the codec enforces
+/// before any engine state is touched.
+inline constexpr std::size_t kMaxClientPayload = 1u << 20;
+
+struct ClientRequest {
+  std::uint64_t client_id = 0;
+  std::uint64_t seq = 0;
+  Bytes payload;
+
+  [[nodiscard]] Bytes encode() const;
+  /// Throws CodecError on truncation, trailing bytes, a version byte this
+  /// build does not speak, or a payload above kMaxClientPayload.
+  static ClientRequest decode(ByteSpan data);
+
+  bool operator==(const ClientRequest& other) const = default;
+};
+
+struct ClientReply {
+  std::uint64_t client_id = 0;
+  std::uint64_t seq = 0;
+  /// Log slot the request was decided in.
+  std::uint64_t slot = 0;
+  Bytes result;
+
+  [[nodiscard]] Bytes encode() const;
+  static ClientReply decode(ByteSpan data);
+
+  bool operator==(const ClientReply& other) const = default;
+};
+
+}  // namespace probft::net

@@ -58,6 +58,49 @@ TimePoint TcpTransport::now_us() {
          static_cast<TimePoint>(ts.tv_nsec) / 1'000;
 }
 
+namespace {
+
+/// Binds and listens on `bind_addr`, returning the fd and writing the
+/// actually-bound port to `bound_port`. Throws on failure.
+int listen_on(const PeerAddress& bind_addr, std::uint16_t& bound_port) {
+  sockaddr_storage addr{};
+  socklen_t addr_len = 0;
+  if (!resolve(bind_addr, addr, addr_len)) {
+    throw std::invalid_argument("TcpTransport: cannot resolve listen host");
+  }
+  const int fd = ::socket(addr.ss_family, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), addr_len) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("bind");
+  }
+  if (::listen(fd, 64) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("listen");
+  }
+  set_nonblocking(fd);
+
+  sockaddr_storage bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    if (bound.ss_family == AF_INET) {
+      bound_port = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      bound_port = ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+  return fd;
+}
+
+}  // namespace
+
 TcpTransport::TcpTransport(TcpTransportConfig config)
     : cfg_(std::move(config)) {
   if (cfg_.self == 0 || cfg_.n == 0 || cfg_.self > cfg_.n) {
@@ -72,46 +115,32 @@ TcpTransport::TcpTransport(TcpTransportConfig config)
     outbound_[id]->decoder = FrameDecoder(cfg_.max_frame_payload);
   }
   open_listener();
+  if (cfg_.client_port_enabled) open_client_listener();
 }
 
 TcpTransport::~TcpTransport() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (client_listen_fd_ >= 0) ::close(client_listen_fd_);
   for (auto& conn : outbound_) {
     if (conn && conn->fd >= 0) ::close(conn->fd);
   }
   for (auto& conn : inbound_) {
     if (conn.fd >= 0) ::close(conn.fd);
   }
+  for (auto& conn : clients_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
 }
 
 void TcpTransport::open_listener() {
-  sockaddr_storage addr{};
-  socklen_t addr_len = 0;
-  const PeerAddress bind_addr{cfg_.listen_host, cfg_.listen_port};
-  if (!resolve(bind_addr, addr, addr_len)) {
-    throw std::invalid_argument("TcpTransport: cannot resolve listen host");
-  }
-  listen_fd_ = ::socket(addr.ss_family, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw_errno("socket");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), addr_len) < 0) {
-    throw_errno("bind");
-  }
-  if (::listen(listen_fd_, 64) < 0) throw_errno("listen");
-  set_nonblocking(listen_fd_);
+  listen_fd_ =
+      listen_on(PeerAddress{cfg_.listen_host, cfg_.listen_port}, listen_port_);
+}
 
-  sockaddr_storage bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) == 0) {
-    if (bound.ss_family == AF_INET) {
-      listen_port_ = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
-    } else if (bound.ss_family == AF_INET6) {
-      listen_port_ =
-          ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
-    }
-  }
+void TcpTransport::open_client_listener() {
+  client_listen_fd_ = listen_on(
+      PeerAddress{cfg_.client_listen_host, cfg_.client_listen_port},
+      client_port_);
 }
 
 void TcpTransport::register_handler(ReplicaId id, Handler handler) {
@@ -309,6 +338,108 @@ void TcpTransport::flush(OutboundConn& conn) {
   }
 }
 
+void TcpTransport::send_to_client(std::uint64_t conn, std::uint8_t tag,
+                                  const Bytes& payload) {
+  ++stats_.sends;
+  ++stats_.sends_by_tag[tag];
+  stats_.bytes_sent += payload.size();
+  stats_.bytes_by_tag[tag] += payload.size();
+  if (payload.size() > cfg_.max_frame_payload) {
+    ++stats_.dropped;
+    return;
+  }
+  for (auto& client : clients_) {
+    if (client.id != conn || client.fd < 0) continue;
+    const Bytes frame = encode_frame(cfg_.self, tag,
+                                     ByteSpan(payload.data(), payload.size()));
+    if (client.outbuf.size() - client.out_off + frame.size() >
+        cfg_.max_client_pending_bytes) {
+      // The client stopped reading: cut it loose rather than buffer
+      // without bound. It can reconnect and retry.
+      ::close(client.fd);
+      client.fd = -1;
+      ++stats_.dropped;
+      return;
+    }
+    client.outbuf.insert(client.outbuf.end(), frame.begin(), frame.end());
+    // Opportunistic flush so a reply does not wait out a poll timeout;
+    // whatever the socket buffer rejects drains via POLLOUT.
+    bool close_me = false;
+    flush_client(client, close_me);
+    if (close_me) {
+      ::close(client.fd);
+      client.fd = -1;  // reaped by the loop's erase pass
+    }
+    return;
+  }
+  ++stats_.dropped;  // connection gone; the client will retry elsewhere
+}
+
+void TcpTransport::accept_clients() {
+  while (true) {
+    const int fd = ::accept(client_listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;
+    if (clients_.size() >= cfg_.max_client_conns) {
+      ::close(fd);  // full house: shed load instead of exhausting fds
+      ++stats_.dropped;
+      continue;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ClientConn conn;
+    conn.id = next_client_conn_++;
+    conn.fd = fd;
+    conn.decoder = FrameDecoder(cfg_.max_frame_payload);
+    clients_.push_back(std::move(conn));
+  }
+}
+
+void TcpTransport::read_client_ready(ClientConn& conn, bool& close_me) {
+  std::uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t got = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (got > 0) {
+      conn.decoder.feed(ByteSpan(buf, static_cast<std::size_t>(got)));
+      Frame frame;
+      while (true) {
+        const auto status = conn.decoder.next(frame);
+        if (status == FrameDecoder::Status::kFrame) {
+          if (client_handler_) {
+            ++stats_.delivered;
+            client_handler_(conn.id, frame.tag, frame.payload);
+          }
+          continue;
+        }
+        if (status == FrameDecoder::Status::kError) close_me = true;
+        break;
+      }
+      if (close_me) return;
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_me = true;  // EOF or hard error
+    return;
+  }
+}
+
+void TcpTransport::flush_client(ClientConn& conn, bool& close_me) {
+  while (conn.out_off < conn.outbuf.size()) {
+    const ssize_t wrote =
+        ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      conn.out_off += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_me = true;  // a lost client connection is not retried
+    return;
+  }
+  conn.outbuf.clear();
+  conn.out_off = 0;
+}
+
 void TcpTransport::dispatch(const Frame& frame) {
   if (frame.sender == 0 || frame.sender > cfg_.n) return;  // hostile id
   if (handler_) {
@@ -390,6 +521,19 @@ bool TcpTransport::run_until(const std::function<bool()>& done,
     for (auto& conn : inbound_) {
       fds.push_back(pollfd{conn.fd, POLLIN, 0});
     }
+    std::size_t client_listen_idx = 0;
+    const bool poll_client_listener = client_listen_fd_ >= 0;
+    if (poll_client_listener) {
+      client_listen_idx = fds.size();
+      fds.push_back(pollfd{client_listen_fd_, POLLIN, 0});
+    }
+    const std::size_t client_base = fds.size();
+    const std::size_t clients_polled = clients_.size();
+    for (auto& conn : clients_) {
+      short events = POLLIN;
+      if (conn.out_off < conn.outbuf.size()) events |= POLLOUT;
+      fds.push_back(pollfd{conn.fd, events, 0});
+    }
 
     const int rc = ::poll(fds.data(), fds.size(), poll_timeout_ms());
     if (rc < 0 && errno != EINTR) break;
@@ -453,6 +597,32 @@ bool TcpTransport::run_until(const std::function<bool()>& done,
                                     return c.fd < 0;
                                   }),
                    inbound_.end());
+
+    if (poll_client_listener &&
+        (fds[client_listen_idx].revents & POLLIN) != 0) {
+      accept_clients();  // appends; new conns are polled next iteration
+    }
+    for (std::size_t i = 0; i < clients_polled; ++i) {
+      ClientConn& conn = clients_[i];
+      const short revents = fds[client_base + i].revents;
+      if (revents == 0 || conn.fd < 0) continue;
+      bool close_me = false;
+      if (revents & POLLIN) {
+        read_client_ready(conn, close_me);
+      } else if (revents & (POLLERR | POLLHUP)) {
+        close_me = true;
+      }
+      if (!close_me && (revents & POLLOUT)) flush_client(conn, close_me);
+      if (close_me) {
+        ::close(conn.fd);
+        conn.fd = -1;
+      }
+    }
+    clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
+                                  [](const ClientConn& c) {
+                                    return c.fd < 0;
+                                  }),
+                   clients_.end());
   }
   return done ? done() : false;
 }

@@ -61,6 +61,23 @@ struct TcpTransportConfig {
   /// Per-peer cap on bytes queued while the peer is unreachable; messages
   /// beyond it are counted as dropped (backpressure, not unbounded memory).
   std::size_t max_pending_bytes = 64u << 20;
+
+  /// Optional client-facing listener (the SMR service port). When
+  /// enabled, the transport also accepts connections on this address;
+  /// frames arriving there are handed to the client handler (keyed by a
+  /// connection id for replies) instead of the replica handler, so
+  /// clients never need to speak the replica peer protocol. Port 0 binds
+  /// an ephemeral port — read it back with client_port().
+  bool client_port_enabled = false;
+  std::string client_listen_host = "127.0.0.1";
+  std::uint16_t client_listen_port = 0;
+  /// Cap on unsent reply bytes per client connection; a client that stops
+  /// reading is disconnected instead of buffering without bound.
+  std::size_t max_client_pending_bytes = 16u << 20;
+  /// Cap on concurrently accepted client connections; beyond it, new
+  /// connections are closed immediately (fd-exhaustion resistance on a
+  /// public-facing port).
+  std::size_t max_client_conns = 1024;
 };
 
 class TcpTransport final : public ITransport {
@@ -91,6 +108,21 @@ class TcpTransport final : public ITransport {
   [[nodiscard]] std::uint16_t listen_port() const { return listen_port_; }
   /// (Re)sets a peer address before the loop runs.
   void set_peer(ReplicaId id, PeerAddress address);
+
+  // ---- client port ----
+  /// Receives frames from client connections as (connection id, tag,
+  /// payload). Connection ids are never reused within one transport.
+  using ClientHandler = std::function<void(
+      std::uint64_t conn, std::uint8_t tag, const Bytes& payload)>;
+  void set_client_handler(ClientHandler handler) {
+    client_handler_ = std::move(handler);
+  }
+  /// Queues one frame to a client connection; silently drops if the
+  /// connection is gone (the client retries against any replica).
+  void send_to_client(std::uint64_t conn, std::uint8_t tag,
+                      const Bytes& payload);
+  /// The actually-bound client port (0 when the listener is disabled).
+  [[nodiscard]] std::uint16_t client_port() const { return client_port_; }
 
   /// Schedules `fn` after `delay` µs of monotonic time; satisfies the
   /// Synchronizer::TimerSetter contract. Callable only from the loop
@@ -137,6 +169,13 @@ class TcpTransport final : public ITransport {
     int fd = -1;
     FrameDecoder decoder;
   };
+  struct ClientConn {
+    std::uint64_t id = 0;
+    int fd = -1;
+    FrameDecoder decoder;
+    Bytes outbuf;             // unsent reply bytes
+    std::size_t out_off = 0;  // sent prefix of outbuf
+  };
   struct Timer {
     TimePoint at = 0;
     std::uint64_t seq = 0;
@@ -149,6 +188,10 @@ class TcpTransport final : public ITransport {
 
   [[nodiscard]] static TimePoint now_us();
   void open_listener();
+  void open_client_listener();
+  void accept_clients();
+  void read_client_ready(ClientConn& conn, bool& close_me);
+  void flush_client(ClientConn& conn, bool& close_me);
   void start_dial(OutboundConn& conn);
   void finish_dial(OutboundConn& conn);
   void fail_dial(OutboundConn& conn);
@@ -171,6 +214,12 @@ class TcpTransport final : public ITransport {
   std::uint16_t listen_port_ = 0;
   std::vector<std::unique_ptr<OutboundConn>> outbound_;  // index 0 unused
   std::vector<InboundConn> inbound_;
+
+  int client_listen_fd_ = -1;
+  std::uint16_t client_port_ = 0;
+  std::vector<ClientConn> clients_;
+  std::uint64_t next_client_conn_ = 1;
+  ClientHandler client_handler_;
 
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::uint64_t timer_seq_ = 0;

@@ -59,6 +59,10 @@ struct ClusterConfig {
   SplitStrategy split = SplitStrategy::kOptimal;
   Bytes attack_value_a;
   Bytes attack_value_b;
+  /// Pipeline/batching shape used when this config drives an SMR fleet
+  /// (scenario Workload::kSmr, the throughput bench); ignored by the
+  /// single-shot protocols.
+  smr::SmrOptions smr;
   /// Value proposed by honest replica `i` is value_prefix || i ...
   Bytes value_prefix;
   /// ... unless an explicit per-replica value is given here (1-based index

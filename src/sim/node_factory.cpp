@@ -54,6 +54,24 @@ std::unique_ptr<core::INode> make_honest_node(const NodeParams& params,
   return nullptr;  // unreachable
 }
 
+std::unique_ptr<smr::SmrReplica> make_smr_node(const NodeParams& params,
+                                               core::ProtocolHost host) {
+  smr::SmrConfig cfg;
+  cfg.id = params.id;
+  cfg.n = params.n;
+  cfg.f = params.f;
+  cfg.o = params.o;
+  cfg.l = params.l;
+  cfg.pipeline = params.smr;
+  cfg.fast_verify = params.fast_verify;
+  cfg.suite = params.suite;
+  cfg.secret_key = params.secret_key;
+  cfg.public_keys = params.public_keys;
+  cfg.sync = params.sync;
+  cfg.on_execute = params.on_execute;
+  return std::make_unique<smr::SmrReplica>(std::move(cfg), std::move(host));
+}
+
 Bytes default_node_value(const Bytes& prefix, ReplicaId id) {
   Bytes value = prefix.empty() ? to_bytes("value-") : prefix;
   value.push_back(static_cast<std::uint8_t>('0' + (id % 10)));

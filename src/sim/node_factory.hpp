@@ -16,6 +16,7 @@
 #include "core/replica.hpp"
 #include "crypto/suite.hpp"
 #include "net/transport.hpp"
+#include "smr/smr_replica.hpp"
 #include "sync/synchronizer.hpp"
 
 namespace probft::sim {
@@ -39,10 +40,22 @@ struct NodeParams {
   Bytes secret_key;
   crypto::PublicKeyDir public_keys;
   sync::SyncConfig sync;  // n/f filled in by the replica constructors
+  /// Pipeline/batching shape for SMR nodes (make_smr_node); ignored by
+  /// the single-shot protocols.
+  smr::SmrOptions smr;
+  /// Per-executed-request callback for SMR nodes (client reply path).
+  std::function<void(const smr::ExecutedCommand&)> on_execute;
 };
 
 /// Builds an honest replica of the requested protocol against `host`.
 [[nodiscard]] std::unique_ptr<core::INode> make_honest_node(
+    const NodeParams& params, core::ProtocolHost host);
+
+/// Builds a pipelined SMR replica (ProBFT-backed log) against `host`,
+/// using the same key/suite/sync plumbing as the single-shot factory —
+/// `params.protocol` and `params.my_value` are ignored. Both deployment
+/// worlds (sim fleets, the TCP node binary) construct SMR nodes here.
+[[nodiscard]] std::unique_ptr<smr::SmrReplica> make_smr_node(
     const NodeParams& params, core::ProtocolHost host);
 
 /// The default per-replica proposal value: `prefix` (or "value-") plus an

@@ -49,6 +49,26 @@ const char* to_string(LatencyModel model) {
   return "?";
 }
 
+const char* to_string(Workload workload) {
+  switch (workload) {
+    case Workload::kSingleShot: return "single-shot";
+    case Workload::kSmr: return "smr";
+  }
+  return "?";
+}
+
+bool workload_from_string(const std::string& text, Workload& out) {
+  if (text == to_string(Workload::kSingleShot)) {
+    out = Workload::kSingleShot;
+    return true;
+  }
+  if (text == to_string(Workload::kSmr)) {
+    out = Workload::kSmr;
+    return true;
+  }
+  return false;
+}
+
 const std::vector<Protocol>& all_protocols() {
   static const std::vector<Protocol> kProtocols = {
       Protocol::kProbft, Protocol::kPbft, Protocol::kHotStuff};
@@ -89,6 +109,9 @@ std::string scenario_name(const ScenarioSpec& spec) {
   std::ostringstream name;
   name << to_string(spec.protocol) << "/n" << spec.n << "f" << spec.f << "/"
        << to_string(spec.fault) << "/" << to_string(spec.latency);
+  if (spec.workload != Workload::kSingleShot) {
+    name << "/" << to_string(spec.workload);
+  }
   return name.str();
 }
 
@@ -103,7 +126,30 @@ ScenarioSpec conformance_base_spec() {
   return base;
 }
 
+bool smr_fault_supported(Fault fault) {
+  switch (fault) {
+    case Fault::kNone:
+    case Fault::kSilentFollowers:
+    case Fault::kChurnRecovery:
+    case Fault::kPartitionUntilGst:
+    case Fault::kAsymmetricPartition:
+    case Fault::kReorderAdversary:
+      return true;
+    case Fault::kSilentLeader:  // per-slot views rotate internally; the
+                                // "view-1 leader" crash is silent-followers
+                                // shaped at the fleet level
+    case Fault::kEquivocate:
+    case Fault::kFlood:
+    case Fault::kAdaptiveLeader:
+      return false;
+  }
+  return false;
+}
+
 bool fault_applicable(const ScenarioSpec& spec) {
+  if (spec.workload == Workload::kSmr && !smr_fault_supported(spec.fault)) {
+    return false;
+  }
   switch (spec.fault) {
     case Fault::kNone:
       return true;
@@ -177,6 +223,7 @@ ClusterConfig make_cluster_config(const ScenarioSpec& spec,
   cfg.l = spec.l;
   cfg.seed = seed;
   cfg.latency = make_latency_config(spec.latency);
+  cfg.smr = spec.smr;
   cfg.behaviors.assign(spec.n, Behavior::kHonest);
 
   switch (spec.fault) {
@@ -252,30 +299,31 @@ std::string decision_transcript(const Cluster& cluster) {
   return out.str();
 }
 
-}  // namespace
-
-ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
-  Cluster cluster(make_cluster_config(spec, seed));
-
+/// Realizes the network-level faults (partitions, churn, reordering,
+/// adaptive corruption) as a filter on `network`. Shared by the
+/// single-shot and SMR run paths so the fault semantics cannot drift
+/// between workloads. `gst` is the healing point for the partition
+/// shapes.
+void apply_network_fault(net::Network& network, net::Simulator& sim,
+                         const ScenarioSpec& spec, TimePoint gst,
+                         std::uint64_t seed) {
   if (spec.fault == Fault::kPartitionUntilGst) {
     // Drop every cross-half message until GST; the scheduler heals after.
     const std::uint32_t half = spec.n / 2;
-    const TimePoint gst = cluster.config().latency.gst;
-    auto* sim = &cluster.simulator();
-    cluster.network().set_filter(
-        [half, gst, sim](ReplicaId from, ReplicaId to, std::uint8_t) {
-          if (sim->now() >= gst) return false;
+    auto* sim_ptr = &sim;
+    network.set_filter(
+        [half, gst, sim_ptr](ReplicaId from, ReplicaId to, std::uint8_t) {
+          if (sim_ptr->now() >= gst) return false;
           return (from <= half) != (to <= half);
         });
   } else if (spec.fault == Fault::kAsymmetricPartition) {
     // One-directional outage: until GST, half B never hears half A (A→B
     // dropped) while B→A flows normally. Heals at GST.
     const std::uint32_t half = spec.n / 2;
-    const TimePoint gst = cluster.config().latency.gst;
-    auto* sim = &cluster.simulator();
-    cluster.network().set_filter(
-        [half, gst, sim](ReplicaId from, ReplicaId to, std::uint8_t) {
-          if (sim->now() >= gst) return false;
+    auto* sim_ptr = &sim;
+    network.set_filter(
+        [half, gst, sim_ptr](ReplicaId from, ReplicaId to, std::uint8_t) {
+          if (sim_ptr->now() >= gst) return false;
           return from <= half && to > half;
         });
   } else if (spec.fault == Fault::kChurnRecovery) {
@@ -289,10 +337,10 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
         std::min<TimePoint>(400'000, spec.deadline / 2);
     const auto plan = std::make_shared<const ChurnPlan>(
         ChurnPlan::make(spec.n, spec.f, seed, /*earliest=*/0, recover_by));
-    auto* sim = &cluster.simulator();
-    cluster.network().set_filter(
-        [plan, sim](ReplicaId from, ReplicaId to, std::uint8_t) {
-          const TimePoint now = sim->now();
+    auto* sim_ptr = &sim;
+    network.set_filter(
+        [plan, sim_ptr](ReplicaId from, ReplicaId to, std::uint8_t) {
+          const TimePoint now = sim_ptr->now();
           return plan->is_down(from, now) || plan->is_down(to, now);
         });
   } else if (spec.fault == Fault::kAdaptiveLeader) {
@@ -300,11 +348,20 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
     // (budget f); corruption manifests as total silence from the victim.
     const auto adversary = std::make_shared<AdaptiveLeaderAdversary>(
         spec.n, spec.f, leadership_tags(spec.protocol));
-    cluster.network().set_filter(
+    network.set_filter(
         [adversary](ReplicaId from, ReplicaId /*to*/, std::uint8_t tag) {
           return adversary->should_drop(from, tag);
         });
   }
+}
+
+}  // namespace
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
+  if (spec.workload == Workload::kSmr) return run_scenario_smr(spec, seed);
+  Cluster cluster(make_cluster_config(spec, seed));
+  apply_network_fault(cluster.network(), cluster.simulator(), spec,
+                      cluster.config().latency.gst, seed);
 
   cluster.start();
   const bool done = cluster.run_to_completion(spec.deadline, spec.max_events);
@@ -323,6 +380,152 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
     outcome.last_decision_at = std::max(outcome.last_decision_at, d.at);
   }
   outcome.transcript = decision_transcript(cluster);
+  return outcome;
+}
+
+ScenarioOutcome run_scenario_smr(const ScenarioSpec& spec,
+                                 std::uint64_t seed) {
+  const ClusterConfig cfg = make_cluster_config(spec, seed);
+  net::Simulator sim;
+  net::Network network(sim, spec.n, seed, cfg.latency);
+  const auto suite = crypto::make_sim_suite();
+
+  std::vector<crypto::KeyPair> keys(spec.n + 1);
+  std::vector<Bytes> key_table(spec.n + 1);
+  for (ReplicaId id = 1; id <= spec.n; ++id) {
+    keys[id] = suite->keygen(mix64(seed, id));
+    key_table[id] = keys[id].public_key;
+  }
+  const crypto::PublicKeyDir public_keys(std::move(key_table));
+
+  // Crash shape: the f highest ids never start and their links are dead
+  // (the fleet has no Byzantine node kinds — network faults and crashes
+  // are what the SMR conformance dimension covers).
+  std::vector<bool> down(spec.n + 1, false);
+  if (spec.fault == Fault::kSilentFollowers) {
+    for (std::uint32_t i = 0; i < spec.f && i < spec.n; ++i) {
+      down[spec.n - i] = true;
+    }
+  }
+
+  const std::uint64_t target = spec.smr_commands;
+  std::size_t correct_total = 0;
+  std::size_t done = 0;  // correct replicas that executed the full workload
+  TimePoint last_execution_at = 0;
+
+  std::vector<std::unique_ptr<smr::SmrReplica>> nodes(spec.n + 1);
+  for (ReplicaId id = 1; id <= spec.n; ++id) {
+    if (!down[id]) ++correct_total;
+    NodeParams params;
+    params.id = id;
+    params.n = spec.n;
+    params.f = spec.f;
+    params.o = spec.o;
+    params.l = spec.l;
+    params.smr = spec.smr;
+    params.suite = suite.get();
+    params.secret_key = keys[id].secret_key;
+    params.public_keys = public_keys;
+    core::ProtocolHost host = transport_host(
+        network, id, [&sim](Duration d, std::function<void()> fn) {
+          sim.schedule_after(d, std::move(fn));
+        });
+    host.on_commit = [&done, &down, &last_execution_at, &sim, target, id](
+                         std::uint64_t index, const Bytes&) {
+      last_execution_at = sim.now();
+      if (!down[id] && index + 1 == target) ++done;
+    };
+    nodes[id] = make_smr_node(params, std::move(host));
+    network.register_handler(
+        id, [&nodes, id](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+          nodes[id]->on_message(from, tag, m);
+        });
+  }
+
+  if (spec.fault == Fault::kSilentFollowers) {
+    network.set_filter([&down](ReplicaId from, ReplicaId to, std::uint8_t) {
+      return down[from] || down[to];
+    });
+  } else {
+    apply_network_fault(network, sim, spec, cfg.latency.gst, seed);
+  }
+
+  // Two-wave client workload. Wave 2 lands after every benign outage
+  // cleared (partitions heal at GST ≤ 300 ms, churn victims recover by
+  // 400 ms), so replicas that missed wave 1 see fresh slot traffic, open
+  // the missed slots and backfill them via decided-value hints/pulls.
+  const ReplicaId entry2 = spec.n >= 2 ? 2 : 1;
+  const ReplicaId entry3 = spec.n >= 3 ? 3 : 1;
+  const std::uint64_t wave1 = (target + 1) / 2;
+  sim.schedule_after(1'000, [&nodes, wave1] {
+    for (std::uint64_t i = 1; i <= wave1; ++i) {
+      (void)nodes[1]->submit_request(9001, i,
+                                     to_bytes("cmd-" + std::to_string(i)));
+    }
+  });
+  sim.schedule_after(500'000, [&nodes, wave1, target, entry2, entry3] {
+    // A client retry of the first request against another replica: the
+    // dedup table must keep it from executing twice.
+    (void)nodes[entry3]->submit_request(9001, 1, to_bytes("cmd-1"));
+    std::uint64_t next = wave1 + 1;
+    if (next <= target) {
+      // A second client entering at a non-leader replica (forwarded).
+      (void)nodes[entry2]->submit_request(9002, 1, to_bytes("cmd-w2"));
+      ++next;
+    }
+    for (; next <= target; ++next) {
+      (void)nodes[1]->submit_request(9001, next - 1,
+                                     to_bytes("cmd-" + std::to_string(next - 1)));
+    }
+  });
+
+  for (ReplicaId id = 1; id <= spec.n; ++id) {
+    if (!down[id]) nodes[id]->start();
+  }
+  std::size_t fired = 0;
+  while (done < correct_total && fired < spec.max_events &&
+         sim.now() < spec.deadline) {
+    if (!sim.step()) break;
+    ++fired;
+  }
+
+  ScenarioOutcome outcome;
+  outcome.seed = seed;
+  outcome.terminated = done == correct_total;
+  outcome.decided = done;
+  outcome.correct = correct_total;
+  outcome.messages = network.stats().sends;
+  outcome.bytes = network.stats().bytes_sent;
+  outcome.events = sim.events_fired();
+  outcome.last_decision_at = last_execution_at;
+
+  // Agreement at the log level: every correct replica's slot log must be
+  // an element-wise prefix of the longest correct log.
+  const smr::SmrReplica* longest = nullptr;
+  for (ReplicaId id = 1; id <= spec.n; ++id) {
+    if (down[id]) continue;
+    if (longest == nullptr ||
+        nodes[id]->slot_log().size() > longest->slot_log().size()) {
+      longest = nodes[id].get();
+    }
+  }
+  bool agreement = true;
+  std::ostringstream transcript;
+  for (ReplicaId id = 1; id <= spec.n; ++id) {
+    if (down[id]) {
+      transcript << id << " down\n";
+      continue;
+    }
+    const auto& slot_log = nodes[id]->slot_log();
+    for (std::size_t slot = 0; slot < slot_log.size(); ++slot) {
+      if (slot_log[slot] != longest->slot_log()[slot]) agreement = false;
+    }
+    transcript << id << " " << nodes[id]->executed_commands() << " "
+               << slot_log.size() << " " << smr::log_digest(slot_log)
+               << "\n";
+  }
+  outcome.agreement = agreement;
+  outcome.transcript = transcript.str();
   return outcome;
 }
 

@@ -44,6 +44,15 @@ enum class LatencyModel {
   kLossyDuplicating,  // partial synchrony plus duplicate deliveries
 };
 
+/// What the cluster is asked to do. kSingleShot decides one value per
+/// replica (the original conformance shape); kSmr drives a pipelined SMR
+/// fleet through a client workload and asserts identical logs — the
+/// conformance bar moves from "one agreed value" to "one agreed log".
+enum class Workload {
+  kSingleShot,
+  kSmr,
+};
+
 struct ScenarioSpec {
   Protocol protocol = Protocol::kProbft;
   std::uint32_t n = 4;
@@ -52,6 +61,12 @@ struct ScenarioSpec {
   double l = 2.0;  // ProBFT quorum factor
   Fault fault = Fault::kNone;
   LatencyModel latency = LatencyModel::kSynchronous;
+  Workload workload = Workload::kSingleShot;
+  /// SMR workload shape: pipeline/batching options and how many client
+  /// requests the harness submits (in two waves, so replicas cut off by a
+  /// partition or churn outage see fresh traffic after healing).
+  smr::SmrOptions smr;
+  std::uint64_t smr_commands = 12;
   std::vector<std::uint64_t> seeds = {1};
   TimePoint deadline = 120'000'000;      // virtual μs
   std::size_t max_events = 50'000'000;
@@ -90,6 +105,7 @@ struct ScenarioResult {
 [[nodiscard]] const char* to_string(Protocol protocol);
 [[nodiscard]] const char* to_string(Fault fault);
 [[nodiscard]] const char* to_string(LatencyModel model);
+[[nodiscard]] const char* to_string(Workload workload);
 
 /// Every protocol / fault in a stable order — the single enumeration the
 /// matrix builders, CLI parsers and sweeps iterate, so adding an
@@ -101,6 +117,7 @@ struct ScenarioResult {
 /// unknown input. Used by CLI front-ends.
 bool protocol_from_string(const std::string& text, Protocol& out);
 bool fault_from_string(const std::string& text, Fault& out);
+bool workload_from_string(const std::string& text, Workload& out);
 
 /// "probft/n32f3/equivocate/partial-synchrony" — stable id for reports.
 [[nodiscard]] std::string scenario_name(const ScenarioSpec& spec);
@@ -113,8 +130,16 @@ bool fault_from_string(const std::string& text, Fault& out);
 
 /// Whether a fault can be injected under a protocol (equivocate/flood craft
 /// ProBFT-format messages, so they only apply there) and cluster shape
-/// (silent-followers and equivocate need f ≥ 1).
+/// (silent-followers and equivocate need f ≥ 1). For the SMR workload the
+/// fault must additionally be realizable against a fleet
+/// (smr_fault_supported).
 [[nodiscard]] bool fault_applicable(const ScenarioSpec& spec);
+
+/// Faults realizable against an SMR fleet: crash shapes and network
+/// faults (silent followers, churn, partitions, reordering). The
+/// ProBFT-format attack traffic (equivocate/flood) and the adaptive
+/// leader corruption target single-shot wire tags and stay single-shot.
+[[nodiscard]] bool smr_fault_supported(Fault fault);
 
 /// Default termination expectation for a fault: active Byzantine attacks
 /// can stall progress (the paper only claims agreement under them), every
@@ -136,9 +161,19 @@ bool fault_from_string(const std::string& text, Fault& out);
     const ScenarioSpec& spec, std::uint64_t seed,
     const sync::SyncConfig& sync, const net::LatencyConfig& latency);
 
-/// Runs one (spec, seed) experiment to completion.
+/// Runs one (spec, seed) experiment to completion. Dispatches on
+/// spec.workload: kSingleShot builds a Cluster, kSmr an SmrReplica fleet.
 [[nodiscard]] ScenarioOutcome run_scenario(const ScenarioSpec& spec,
                                            std::uint64_t seed);
+
+/// The SMR workload run path: n SmrReplicas over the simulated network,
+/// a two-wave client workload of spec.smr_commands requests (including a
+/// cross-replica retry that must execute once), fault filters from the
+/// spec. `terminated` means every correct replica executed the full
+/// workload; `agreement` means correct replicas' slot logs are
+/// prefix-consistent; the transcript is one per-replica log-digest line.
+[[nodiscard]] ScenarioOutcome run_scenario_smr(const ScenarioSpec& spec,
+                                               std::uint64_t seed);
 
 /// Runs every seed of one spec.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);

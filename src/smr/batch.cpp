@@ -1,0 +1,56 @@
+#include "smr/batch.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace probft::smr {
+
+void Request::encode(Writer& w) const {
+  w.u64(client);
+  w.u64(seq);
+  w.bytes(ByteSpan(payload.data(), payload.size()));
+}
+
+Request Request::decode(Reader& r) {
+  Request req;
+  req.client = r.u64();
+  req.seq = r.u64();
+  req.payload = r.bytes();
+  return req;
+}
+
+Bytes encode_batch(const Batch& batch) {
+  Writer w;
+  w.vec(batch, [](Writer& ww, const Request& req) { req.encode(ww); });
+  return std::move(w).take();
+}
+
+Batch decode_batch(ByteSpan data, const BatchLimits& limits) {
+  if (data.size() > limits.max_bytes) {
+    throw CodecError("batch: encoded size exceeds limit");
+  }
+  Reader r(data);
+  auto batch = r.vec<Request>(
+      [](Reader& rr) { return Request::decode(rr); }, limits.max_commands);
+  r.expect_exhausted();
+  return batch;
+}
+
+bool is_valid_batch(const Bytes& value, const BatchLimits& limits) {
+  try {
+    (void)decode_batch(ByteSpan(value.data(), value.size()), limits);
+    return true;
+  } catch (const CodecError&) {
+    return false;
+  }
+}
+
+std::string log_digest(const std::vector<Bytes>& slot_log) {
+  Writer w;
+  for (const Bytes& value : slot_log) {
+    w.bytes(ByteSpan(value.data(), value.size()));
+  }
+  const Bytes blob = std::move(w).take();
+  return to_hex(crypto::sha256(ByteSpan(blob.data(), blob.size())));
+}
+
+}  // namespace probft::smr

@@ -9,44 +9,205 @@ namespace probft::smr {
 
 namespace {
 
-const Bytes& noop_command() {
-  static const Bytes noop = to_bytes("__noop__");
-  return noop;
+/// Encoded size one request adds to a batch (client + seq + length prefix
+/// + payload); the batch itself starts at 4 bytes (count prefix).
+[[nodiscard]] std::size_t request_wire_size(const Request& req) {
+  return 8 + 8 + 4 + req.payload.size();
 }
+
+/// Distinct hinted values tracked per slot before further ones are
+/// ignored (a Byzantine peer cannot grow the table unboundedly).
+constexpr std::size_t kMaxHintValues = 8;
+
+/// Per-slot cap on buffered messages for not-yet-opened slots.
+constexpr std::size_t kMaxBufferedPerSlot = 4096;
 
 }  // namespace
 
 SmrReplica::SmrReplica(SmrConfig config, core::ProtocolHost host)
     : cfg_(std::move(config)), host_(std::move(host)) {
   if (cfg_.id == 0 || cfg_.id > cfg_.n || cfg_.suite == nullptr ||
-      cfg_.public_keys.size() != cfg_.n + 1 || cfg_.max_slots == 0) {
+      cfg_.public_keys.size() != cfg_.n + 1 ||
+      cfg_.pipeline.max_slots == 0 || cfg_.pipeline.window == 0 ||
+      cfg_.pipeline.batch_max_commands == 0 ||
+      cfg_.pipeline.batch_max_bytes < 64) {
     throw std::invalid_argument("SmrReplica: bad configuration");
   }
+  limits_.max_commands = cfg_.pipeline.batch_max_commands;
+  limits_.max_bytes = cfg_.pipeline.batch_max_bytes;
 }
 
-void SmrReplica::start() { open_next_slot(); }
+void SmrReplica::start() {
+  started_ = true;
+  maybe_open_slots(/*pace_expired=*/false);
+}
 
 void SmrReplica::submit(Bytes command) {
-  if (command.empty() || command == noop_command()) {
+  if (command.empty()) {
     throw std::invalid_argument("submit: command must be non-empty");
   }
-  queue_.push_back(std::move(command));
-}
-
-bool SmrReplica::has_committed(const Bytes& command) const {
-  return std::find(log_.begin(), log_.end(), command) != log_.end();
-}
-
-Bytes SmrReplica::proposal_for_next_slot() const {
-  for (const auto& command : queue_) {
-    if (!has_committed(command)) return command;
+  Request req{cfg_.id, local_seq_ + 1, std::move(command)};
+  if (4 + request_wire_size(req) > limits_.max_bytes) {
+    throw std::invalid_argument("submit: command exceeds the batch byte cap");
   }
-  return noop_command();
+  ++local_seq_;
+  const ReplicaId leader = leader_of(1, cfg_.n);
+  Bytes forward;
+  if (leader != cfg_.id) {
+    Writer w;
+    req.encode(w);
+    forward = std::move(w).take();
+  }
+  if (!enqueue(std::move(req))) {
+    // Local seqs are unique, so the only rejection is the intake cap.
+    throw std::overflow_error("submit: request queue is full");
+  }
+  if (!forward.empty()) host_.send(leader, kSmrForwardTag, forward);
+}
+
+bool SmrReplica::submit_request(std::uint64_t client, std::uint64_t seq,
+                                Bytes payload) {
+  Request req{client, seq, std::move(payload)};
+  const ReplicaId leader = leader_of(1, cfg_.n);
+  Bytes forward;
+  if (leader != cfg_.id) {
+    Writer w;
+    req.encode(w);
+    forward = std::move(w).take();
+  }
+  if (!enqueue(std::move(req))) return false;
+  if (!forward.empty()) host_.send(leader, kSmrForwardTag, forward);
+  return true;
+}
+
+bool SmrReplica::enqueue(Request request) {
+  if (request.payload.empty() ||
+      4 + request_wire_size(request) > limits_.max_bytes) {
+    return false;
+  }
+  if (queue_.size() >= cfg_.pipeline.max_pending_requests) {
+    return false;  // backpressure: a forward flood must not grow memory
+  }
+  const auto last = last_exec_.find(request.client);
+  if (last != last_exec_.end() && request.seq <= last->second) {
+    return false;  // already executed (or superseded): retry is a no-op
+  }
+  if (!pending_keys_.insert({request.client, request.seq}).second) {
+    return false;  // already queued or assigned to an in-flight slot
+  }
+  queue_bytes_ += request_wire_size(request);
+  queue_.push_back(std::move(request));
+  maybe_open_slots(/*pace_expired=*/false);
+  return true;
+}
+
+bool SmrReplica::has_committed(const Bytes& payload) const {
+  return std::find(exec_payloads_.begin(), exec_payloads_.end(), payload) !=
+         exec_payloads_.end();
+}
+
+std::uint64_t SmrReplica::last_executed_seq(std::uint64_t client) const {
+  const auto it = last_exec_.find(client);
+  return it == last_exec_.end() ? 0 : it->second;
+}
+
+std::uint64_t SmrReplica::open_limit() const {
+  return std::min<std::uint64_t>(cfg_.pipeline.max_slots,
+                                 log_.size() + cfg_.pipeline.window);
+}
+
+std::uint64_t SmrReplica::horizon() const {
+  return std::min<std::uint64_t>(
+      cfg_.pipeline.max_slots,
+      log_.size() + 2 * static_cast<std::uint64_t>(cfg_.pipeline.window));
+}
+
+bool SmrReplica::full_batch_ready() const {
+  return queue_.size() >= limits_.max_commands ||
+         4 + queue_bytes_ >= limits_.max_bytes;
+}
+
+void SmrReplica::maybe_open_slots(bool pace_expired) {
+  if (!started_) return;
+  if (next_open_ < log_.size()) next_open_ = log_.size();
+  while (next_open_ < open_limit()) {
+    if (decided_out_of_order_.count(next_open_) != 0) {
+      ++next_open_;  // outcome already known (hints): no instance needed
+      continue;
+    }
+    if (queue_.empty()) break;
+    if (!full_batch_ready() && !pace_expired) break;
+    pace_expired = false;  // one partial batch per pacing expiry
+    open_next_slot();
+  }
+  if (!queue_.empty() && next_open_ < open_limit() && !pace_armed_) {
+    arm_pacing();
+  }
+  if (log_.size() < next_open_) arm_catchup();
+}
+
+void SmrReplica::open_slots_through(std::uint64_t slot) {
+  if (!started_) return;
+  if (next_open_ < log_.size()) next_open_ = log_.size();
+  while (next_open_ <= slot && next_open_ < open_limit()) {
+    if (decided_out_of_order_.count(next_open_) != 0) {
+      ++next_open_;
+      continue;
+    }
+    open_next_slot();
+  }
+  if (log_.size() < next_open_) arm_catchup();
+}
+
+void SmrReplica::arm_pacing() {
+  pace_armed_ = true;
+  host_.set_timer(cfg_.pipeline.batch_timeout, [this] {
+    collect_retired();
+    pace_armed_ = false;
+    maybe_open_slots(/*pace_expired=*/true);
+  });
+}
+
+void SmrReplica::arm_catchup() {
+  // Behind = execution trails either a locally opened slot or any slot a
+  // peer has been seen working on (the gap may exceed the window — a
+  // straggler that missed a whole stretch must still pull itself back).
+  if (catchup_armed_ ||
+      (log_.size() >= next_open_ && log_.size() >= max_seen_slot_)) {
+    return;
+  }
+  catchup_armed_ = true;
+  const std::uint64_t mark = log_.size();
+  host_.set_timer(cfg_.pipeline.catchup_timeout, [this, mark] {
+    collect_retired();
+    catchup_armed_ = false;
+    if (log_.size() >= next_open_ && log_.size() >= max_seen_slot_) return;
+    if (log_.size() == mark) {
+      // Execution is stuck on the same slot a full period later: ask
+      // peers that already executed it for the decided value.
+      Writer w;
+      w.u64(log_.size());
+      host_.broadcast(kSmrPullTag, std::move(w).take());
+    }
+    arm_catchup();  // keep watching while behind
+  });
 }
 
 void SmrReplica::open_next_slot() {
-  if (next_slot_ >= cfg_.max_slots) return;
-  const std::uint64_t slot = next_slot_++;
+  const std::uint64_t slot = next_open_++;
+
+  // Draw the slot's batch from the queue head; one request always fits
+  // (enqueue rejects requests beyond the byte cap).
+  Batch batch;
+  std::size_t bytes = 4;
+  while (!queue_.empty() && batch.size() < limits_.max_commands) {
+    const std::size_t add = request_wire_size(queue_.front());
+    if (!batch.empty() && bytes + add > limits_.max_bytes) break;
+    bytes += add;
+    queue_bytes_ -= add;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
 
   core::ReplicaConfig rc;
   rc.id = cfg_.id;
@@ -54,10 +215,20 @@ void SmrReplica::open_next_slot() {
   rc.f = cfg_.f;
   rc.o = cfg_.o;
   rc.l = cfg_.l;
-  rc.my_value = proposal_for_next_slot();
+  rc.my_value = encode_batch(batch);
+  rc.valid = [limits = limits_](const Bytes& value) {
+    return is_valid_batch(value, limits);
+  };
+  // A decided instance freezes its synchronizer; stragglers catch up via
+  // decided-value hints, not via decided replicas' view changes.
+  rc.stop_sync_on_decide = true;
+  rc.fast_verify = cfg_.fast_verify;
   rc.suite = cfg_.suite;
   rc.secret_key = cfg_.secret_key;
   rc.public_keys = cfg_.public_keys;
+
+  assigned_count_ += batch.size();
+  assigned_.emplace(slot, std::move(batch));
 
   // The per-slot instance talks to a derived host that prefixes wire
   // traffic with the slot number and funnels decisions into the log.
@@ -77,7 +248,15 @@ void SmrReplica::open_next_slot() {
     w.raw(m);
     host_.broadcast(kSmrTag, std::move(w).take());
   };
-  slot_host.set_timer = host_.set_timer;
+  // Retired instances are destroyed while their timers may still be in
+  // flight; the wrapper drops a firing whose slot is gone.
+  slot_host.set_timer = [this, slot](Duration delay,
+                                     std::function<void()> fn) {
+    host_.set_timer(delay, [this, slot, fn = std::move(fn)] {
+      collect_retired();  // top-level event: no instance frame is live
+      if (instances_.count(slot) != 0) fn();
+    });
+  };
   slot_host.on_decide = [this, slot](View /*view*/, const Bytes& value) {
     on_slot_decided(slot, value);
   };
@@ -92,52 +271,209 @@ void SmrReplica::open_next_slot() {
     const auto pending = std::move(it->second);
     buffered_.erase(it);
     for (const auto& msg : pending) {
-      instances_.at(slot)->on_message(msg.from, msg.tag, msg.payload);
+      const auto inst = instances_.find(slot);
+      if (inst == instances_.end()) break;  // decided & executed mid-replay
+      inst->second->on_message(msg.from, msg.tag, msg.payload);
     }
   }
 }
 
 void SmrReplica::on_slot_decided(std::uint64_t slot, const Bytes& value) {
+  if (slot < log_.size()) return;  // already executed
   decided_out_of_order_.emplace(slot, value);
+  execute_ready_slots();
+}
+
+void SmrReplica::execute_ready_slots() {
   bool advanced = false;
   while (true) {
     const auto it = decided_out_of_order_.find(log_.size());
     if (it == decided_out_of_order_.end()) break;
-    const Bytes command = it->second;
+    const std::uint64_t slot = it->first;
+    Bytes value = std::move(it->second);
     decided_out_of_order_.erase(it);
-    log_.push_back(command);
-    advanced = true;
-    // Committed commands leave the local client queue.
-    queue_.erase(std::remove(queue_.begin(), queue_.end(), command),
-                 queue_.end());
-    if (host_.on_commit && command != to_bytes("__noop__")) {
-      host_.on_commit(log_.size() - 1, command);
+
+    Batch batch;
+    try {
+      batch = decode_batch(ByteSpan(value.data(), value.size()), limits_);
+    } catch (const CodecError&) {
+      batch.clear();  // unreachable behind the validity predicate
     }
+    for (Request& req : batch) {
+      auto& last = last_exec_[req.client];
+      if (req.seq <= last) continue;  // replayed request: execute once
+      last = req.seq;
+      ExecutedCommand exec;
+      exec.slot = slot;
+      exec.index = exec_payloads_.size();
+      exec.client = req.client;
+      exec.seq = req.seq;
+      exec.payload = req.payload;
+      exec_payloads_.push_back(std::move(req.payload));
+      if (host_.on_commit) host_.on_commit(exec.index, exec.payload);
+      if (cfg_.on_execute) cfg_.on_execute(exec);
+    }
+
+    // This replica's own assignment for the slot: whatever the decided
+    // batch did not cover goes back to the queue head for reproposal.
+    const auto ait = assigned_.find(slot);
+    if (ait != assigned_.end()) {
+      Batch mine = std::move(ait->second);
+      assigned_count_ -= mine.size();
+      assigned_.erase(ait);
+      for (auto rit = mine.rbegin(); rit != mine.rend(); ++rit) {
+        const auto lit = last_exec_.find(rit->client);
+        if (lit != last_exec_.end() && rit->seq <= lit->second) {
+          pending_keys_.erase({rit->client, rit->seq});
+          continue;
+        }
+        queue_bytes_ += request_wire_size(*rit);
+        queue_.push_front(std::move(*rit));
+      }
+    }
+    // Scrub queued requests another replica's batch just executed.
+    for (auto qit = queue_.begin(); qit != queue_.end();) {
+      const auto lit = last_exec_.find(qit->client);
+      if (lit != last_exec_.end() && qit->seq <= lit->second) {
+        pending_keys_.erase({qit->client, qit->seq});
+        queue_bytes_ -= request_wire_size(*qit);
+        qit = queue_.erase(qit);
+      } else {
+        ++qit;
+      }
+    }
+
+    log_.push_back(std::move(value));
+    advanced = true;
   }
-  if (advanced && log_.size() == next_slot_) {
-    open_next_slot();
+  if (advanced) {
+    retire_executed_slots();
+    maybe_open_slots(/*pace_expired=*/false);
   }
+}
+
+void SmrReplica::retire_executed_slots() {
+  const std::uint64_t exec = log_.size();
+  const std::uint64_t keep_from =
+      exec > cfg_.pipeline.retire_tail ? exec - cfg_.pipeline.retire_tail : 0;
+  const auto end = instances_.lower_bound(keep_from);
+  for (auto it = instances_.begin(); it != end; ++it) {
+    retired_.push_back(std::move(it->second));
+  }
+  instances_.erase(instances_.begin(), end);
+  buffered_.erase(buffered_.begin(), buffered_.lower_bound(exec));
+  hints_.erase(hints_.begin(), hints_.lower_bound(exec));
+}
+
+void SmrReplica::collect_retired() { retired_.clear(); }
+
+void SmrReplica::send_hint(ReplicaId to, std::uint64_t slot) {
+  Writer w;
+  w.u64(slot);
+  w.bytes(ByteSpan(log_[slot].data(), log_[slot].size()));
+  host_.send(to, kSmrHintTag, std::move(w).take());
+}
+
+void SmrReplica::handle_slot_envelope(ReplicaId from, const Bytes& payload) {
+  Reader r(ByteSpan(payload.data(), payload.size()));
+  const std::uint64_t slot = r.u64();
+  const std::uint8_t inner_tag = r.u8();
+  Bytes inner = r.raw(r.remaining());
+  if (slot >= cfg_.pipeline.max_slots) return;  // out of configured range
+  max_seen_slot_ = std::max(max_seen_slot_, slot + 1);
+
+  if (slot < log_.size()) {
+    // Executed here: the sender is behind — answer with the outcome
+    // instead of replaying a retired instance.
+    send_hint(from, slot);
+    return;
+  }
+
+  auto it = instances_.find(slot);
+  if (it == instances_.end() && slot >= next_open_ && slot < open_limit()) {
+    open_slots_through(slot);
+    it = instances_.find(slot);
+  }
+  if (it != instances_.end()) {
+    it->second->on_message(from, inner_tag, inner);
+    return;
+  }
+  // Beyond the open window (or already hint-decided): buffer within the
+  // horizon, bounded per slot to resist flooding. Either way the sender
+  // is ahead of us — make sure the catch-up pull is running.
+  arm_catchup();
+  if (slot >= horizon()) return;
+  auto& bucket = buffered_[slot];
+  if (bucket.size() < kMaxBufferedPerSlot) {
+    bucket.push_back(Buffered{from, inner_tag, std::move(inner)});
+  }
+}
+
+void SmrReplica::handle_forward(ReplicaId from, const Bytes& payload) {
+  (void)from;  // any replica may forward; dedup makes replays harmless
+  Reader r(ByteSpan(payload.data(), payload.size()));
+  Request req = Request::decode(r);
+  r.expect_exhausted();
+  (void)enqueue(std::move(req));
+}
+
+void SmrReplica::handle_hint(ReplicaId from, const Bytes& payload) {
+  Reader r(ByteSpan(payload.data(), payload.size()));
+  const std::uint64_t slot = r.u64();
+  Bytes value = r.bytes();
+  r.expect_exhausted();
+  if (slot >= cfg_.pipeline.max_slots) return;
+  max_seen_slot_ = std::max(max_seen_slot_, slot + 1);
+  if (slot < log_.size() || slot >= horizon()) return;
+  if (!is_valid_batch(value, limits_)) return;
+  auto& slot_hints = hints_[slot];
+  auto vit = std::find_if(
+      slot_hints.begin(), slot_hints.end(),
+      [&value](const HintEntry& entry) { return entry.value == value; });
+  if (vit == slot_hints.end()) {
+    if (slot_hints.size() >= kMaxHintValues) return;
+    slot_hints.push_back(HintEntry{std::move(value), {}});
+    vit = std::prev(slot_hints.end());
+  }
+  vit->vouchers.insert(from);
+  // f + 1 distinct vouchers contain at least one correct replica that
+  // executed the slot with this value.
+  if (vit->vouchers.size() >= static_cast<std::size_t>(cfg_.f) + 1) {
+    const Bytes decided = vit->value;
+    on_slot_decided(slot, decided);
+  }
+}
+
+void SmrReplica::handle_pull(ReplicaId from, const Bytes& payload) {
+  Reader r(ByteSpan(payload.data(), payload.size()));
+  const std::uint64_t slot = r.u64();
+  r.expect_exhausted();
+  // Answer a window's worth of executed slots starting at the asked one,
+  // so a straggler recovers window-per-round instead of slot-per-round.
+  const std::uint64_t upto = std::min<std::uint64_t>(
+      log_.size(), slot + cfg_.pipeline.window);
+  for (std::uint64_t s = slot; s < upto; ++s) send_hint(from, s);
 }
 
 void SmrReplica::on_message(ReplicaId from, std::uint8_t tag,
                             const Bytes& payload) {
-  if (tag != kSmrTag) return;
+  collect_retired();  // top-level event: no instance frame is live
   try {
-    Reader r(ByteSpan(payload.data(), payload.size()));
-    const std::uint64_t slot = r.u64();
-    const std::uint8_t inner_tag = r.u8();
-    Bytes inner = r.raw(r.remaining());
-    if (slot >= cfg_.max_slots) return;  // out of configured range
-
-    const auto it = instances_.find(slot);
-    if (it != instances_.end()) {
-      it->second->on_message(from, inner_tag, inner);
-      return;
-    }
-    // Slot not opened yet: buffer (bounded per slot to resist flooding).
-    auto& bucket = buffered_[slot];
-    if (bucket.size() < 4096) {
-      bucket.push_back(Buffered{from, inner_tag, std::move(inner)});
+    switch (tag) {
+      case kSmrTag:
+        handle_slot_envelope(from, payload);
+        break;
+      case kSmrForwardTag:
+        handle_forward(from, payload);
+        break;
+      case kSmrHintTag:
+        handle_hint(from, payload);
+        break;
+      case kSmrPullTag:
+        handle_pull(from, payload);
+        break;
+      default:
+        break;  // not SMR traffic
     }
   } catch (const CodecError&) {
     // Malformed envelope: drop.

@@ -1,14 +1,35 @@
 // State machine replication on top of ProBFT (paper §7: "leveraging ProBFT
 // for constructing a scalable state machine replication protocol").
 //
-// Design: the replicated log is a sequence of slots; each slot is decided
-// by an independent single-shot ProBFT instance. All instances of one
-// replica share the node's keypair and network connection — wire messages
-// are the ProBFT messages prefixed with the slot number. A replica opens
-// slot k+1 as soon as its slot-k instance decides, executes decided
-// commands strictly in slot order, and proposes its oldest not-yet-
-// committed client command whenever it leads a slot (a no-op filler
-// otherwise).
+// The replicated log is a sequence of slots; each slot is decided by an
+// independent single-shot ProBFT instance. All instances of one replica
+// share the node's keypair and network connection — wire messages are the
+// ProBFT messages prefixed with the slot number.
+//
+// Pipelined, batched engine (PBFT-style water marks):
+//
+//  - A slot decides a `Batch` of client requests (smr/batch.hpp), not a
+//    single opaque command; requests carry (client id, seq) so replayed
+//    requests are deduplicated via a per-client last-executed table.
+//  - Slots [exec, exec + window) run concurrently; execution is strictly
+//    in slot order. Decisions that land out of order buffer until the gap
+//    fills.
+//  - Slot opening is demand-driven: a slot opens when this replica has a
+//    full batch ready, when its pacing timer (batch_timeout) expires with
+//    requests queued, or when consensus traffic for the slot arrives from
+//    a peer. An idle system opens no slots and burns no no-op fillers.
+//  - Submissions at a non-leader replica are forwarded to the round-robin
+//    view-1 leader so they land in the next batch without waiting for a
+//    view change; the local copy is kept as a liveness fallback.
+//  - Executed slots are retired: the per-slot core::Replica is destroyed
+//    once execution has moved `retire_tail` slots past it, so memory is
+//    O(window + tail) instead of O(log length). Late traffic for a retired
+//    (executed) slot is answered with a decided-value hint; a replica
+//    adopts a hinted value once f + 1 distinct peers vouch for it (at
+//    least one correct), which is how stragglers catch up after the
+//    cluster has moved on. Hints are authenticated by the channel, like
+//    every other wire message here; a multi-administrative-domain
+//    deployment would carry commit certificates instead.
 //
 // Because each slot is a full ProBFT instance, the probabilistic agreement
 // guarantee applies per slot, and the SMR inherits safety with probability
@@ -16,22 +37,73 @@
 // log lengths.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "core/protocol_host.hpp"
 #include "core/replica.hpp"
+#include "smr/batch.hpp"
 
 namespace probft::smr {
 
-/// The byte every SMR wire message starts with, so SMR traffic can share a
-/// network with other tags if needed.
-inline constexpr std::uint8_t kSmrTag = 0x20;
+/// Outer wire tags, so SMR traffic can share a network with other tags.
+inline constexpr std::uint8_t kSmrTag = 0x20;      // slot-prefixed consensus
+inline constexpr std::uint8_t kSmrForwardTag = 0x21;  // request → leader
+inline constexpr std::uint8_t kSmrHintTag = 0x22;  // decided-value hint
+inline constexpr std::uint8_t kSmrPullTag = 0x23;  // straggler asks for hints
+
+/// Pipeline shape: how many instances run in flight, how requests batch,
+/// and how long executed instances linger. Plumbed through
+/// sim::NodeParams / sim::ClusterConfig so the simulator, the TCP node
+/// binary and the benches configure the engine identically.
+struct SmrOptions {
+  /// In-flight window W: slots [exec, exec + window) may be open at once.
+  /// window = 1 reproduces the old serial open-one-slot-at-a-time engine.
+  std::uint32_t window = 8;
+  /// Batch caps: a slot proposal carries at most this many requests /
+  /// encoded bytes. batch_max_commands = 1 reproduces one-command slots.
+  std::uint32_t batch_max_commands = 64;
+  std::size_t batch_max_bytes = 256 * 1024;
+  /// Pacing: with a non-empty but not-full queue, a slot opens after this
+  /// long (µs) instead of waiting for the batch to fill.
+  Duration batch_timeout = 20'000;
+  /// Executed slots keep their instance for this many further slots
+  /// before retirement (late NewLeader traffic lands there); beyond it,
+  /// traffic is answered with hints.
+  std::uint32_t retire_tail = 2;
+  /// While execution trails slots known to exist (opened locally, or
+  /// merely observed in peer traffic — the gap may exceed the window),
+  /// the replica broadcasts a pull for the oldest unexecuted slot at
+  /// this period (µs); peers that already executed answer with
+  /// decided-value hints for a window's worth of slots. This is how a
+  /// straggler catches up after the rest of the cluster decided (and
+  /// froze) a slot's instance, however far behind it fell.
+  Duration catchup_timeout = 250'000;
+  /// Cap on requests held in the intake queue (local submissions and
+  /// peer forwards combined); beyond it, enqueue rejects — backpressure
+  /// instead of unbounded memory under a forward flood.
+  std::size_t max_pending_requests = 8192;
+  /// Hard cap on the number of slots this replica will open (bounds the
+  /// simulation; a production deployment would run unbounded).
+  std::uint64_t max_slots = 1024;
+};
+
+/// One executed request, reported in execution order.
+struct ExecutedCommand {
+  std::uint64_t slot = 0;   // log slot the request was decided in
+  std::uint64_t index = 0;  // global execution index (0-based)
+  std::uint64_t client = 0;
+  std::uint64_t seq = 0;
+  Bytes payload;
+};
 
 struct SmrConfig {
   ReplicaId id = 0;
@@ -39,9 +111,11 @@ struct SmrConfig {
   std::uint32_t f = 0;
   double o = 1.7;
   double l = 2.0;
-  /// Hard cap on the number of slots this replica will open (bounds the
-  /// simulation; a production deployment would run unbounded).
-  std::uint64_t max_slots = 1024;
+
+  SmrOptions pipeline;
+
+  /// ProBFT verification fast path for the per-slot instances.
+  bool fast_verify = true;
 
   const crypto::CryptoSuite* suite = nullptr;
   Bytes secret_key;
@@ -49,54 +123,140 @@ struct SmrConfig {
 
   /// Consensus pacing (per-slot synchronizer settings).
   sync::SyncConfig sync;
+
+  /// Called once per executed request, in execution order (after the
+  /// host's coarser on_commit). This is where a serving node sends client
+  /// replies.
+  std::function<void(const ExecutedCommand&)> on_execute;
 };
 
 class SmrReplica : public core::INode {
  public:
-  /// The host's `on_commit` is called once per committed log entry, in
-  /// slot order; `on_decide` is unused at this layer (per-slot decisions
-  /// are internal).
+  /// The host's `on_commit` is called once per executed request as
+  /// (global execution index, payload); `on_decide` is unused at this
+  /// layer (per-slot decisions are internal).
   SmrReplica(SmrConfig config, core::ProtocolHost host);
 
-  /// Opens slot 0.
+  /// Demand-driven: nothing happens until a request is submitted or peer
+  /// traffic arrives.
   void start() override;
 
-  /// Enqueues a client command; it will be proposed whenever this replica
-  /// leads a slot and the command is still uncommitted.
+  /// Local convenience client: wraps `command` as a request from client
+  /// id `id()` with an auto-incremented seq. Throws on empty/oversized
+  /// commands (they could never be batched).
   void submit(Bytes command);
+
+  /// Client-path entry: enqueues (client, seq, payload) for ordering.
+  /// Returns false — and enqueues nothing — for duplicates (seq not past
+  /// the client's last executed or already pending) and for payloads that
+  /// cannot fit a batch. Retries are therefore idempotent.
+  bool submit_request(std::uint64_t client, std::uint64_t seq, Bytes payload);
 
   void on_message(ReplicaId from, std::uint8_t tag,
                   const Bytes& payload) override;
 
   // ---- inspection ----
-  /// Committed commands, in slot order.
-  [[nodiscard]] const std::vector<Bytes>& log() const { return log_; }
+  /// Executed request payloads, in execution order.
+  [[nodiscard]] const std::vector<Bytes>& log() const {
+    return exec_payloads_;
+  }
+  /// Decided batch encodings per executed slot (index = slot).
+  [[nodiscard]] const std::vector<Bytes>& slot_log() const { return log_; }
   [[nodiscard]] std::uint64_t committed_slots() const { return log_.size(); }
-  [[nodiscard]] std::uint64_t open_slot() const { return next_slot_ - 1; }
-  [[nodiscard]] std::size_t pending_commands() const { return queue_.size(); }
-  [[nodiscard]] bool has_committed(const Bytes& command) const;
+  [[nodiscard]] std::uint64_t executed_commands() const {
+    return exec_payloads_.size();
+  }
+  /// Live per-slot consensus instances (bounded by window + tail).
+  [[nodiscard]] std::size_t open_instances() const {
+    return instances_.size();
+  }
+  [[nodiscard]] std::uint64_t next_unopened_slot() const {
+    return next_open_;
+  }
+  /// Requests queued or assigned to an in-flight slot, not yet executed.
+  [[nodiscard]] std::size_t pending_commands() const {
+    return queue_.size() + assigned_count_;
+  }
+  [[nodiscard]] bool has_committed(const Bytes& payload) const;
+  /// Last executed seq for `client` (0 if none) — the dedup table.
+  [[nodiscard]] std::uint64_t last_executed_seq(std::uint64_t client) const;
+  /// Whether (client, seq) is queued or assigned to an in-flight slot —
+  /// i.e. a submit_request(...) == false was a retry of live work, not a
+  /// rejection. Serving nodes use this to keep reply routes alive.
+  [[nodiscard]] bool has_pending(std::uint64_t client,
+                                 std::uint64_t seq) const {
+    return pending_keys_.count({client, seq}) != 0;
+  }
 
  private:
-  void open_next_slot();
-  void on_slot_decided(std::uint64_t slot, const Bytes& value);
-  [[nodiscard]] Bytes proposal_for_next_slot() const;
-
-  SmrConfig cfg_;
-  core::ProtocolHost host_;
-
-  std::uint64_t next_slot_ = 0;  // next slot to open
-  std::map<std::uint64_t, std::unique_ptr<core::Replica>> instances_;
-  std::map<std::uint64_t, Bytes> decided_out_of_order_;
-  std::vector<Bytes> log_;
-  std::deque<Bytes> queue_;
-
-  // Messages for slots we have not opened yet.
   struct Buffered {
     ReplicaId from;
     std::uint8_t tag;
     Bytes payload;
   };
+
+  [[nodiscard]] bool enqueue(Request request);
+  [[nodiscard]] bool full_batch_ready() const;
+  void maybe_open_slots(bool pace_expired);
+  void open_slots_through(std::uint64_t slot);
+  void open_next_slot();
+  void arm_pacing();
+  void handle_slot_envelope(ReplicaId from, const Bytes& payload);
+  void handle_forward(ReplicaId from, const Bytes& payload);
+  void handle_hint(ReplicaId from, const Bytes& payload);
+  void handle_pull(ReplicaId from, const Bytes& payload);
+  void send_hint(ReplicaId to, std::uint64_t slot);
+  void arm_catchup();
+  void on_slot_decided(std::uint64_t slot, const Bytes& value);
+  void execute_ready_slots();
+  void retire_executed_slots();
+  void collect_retired();
+  /// Upper bound (exclusive) on slots that may be open right now.
+  [[nodiscard]] std::uint64_t open_limit() const;
+  /// Horizon for buffering/hint state: slots beyond it are dropped.
+  [[nodiscard]] std::uint64_t horizon() const;
+
+  SmrConfig cfg_;
+  core::ProtocolHost host_;
+  BatchLimits limits_;
+
+  // -- executed state --
+  std::vector<Bytes> log_;            // decided batch per executed slot
+  std::vector<Bytes> exec_payloads_;  // executed payloads, execution order
+  std::map<std::uint64_t, std::uint64_t> last_exec_;  // client → seq
+
+  // -- request intake --
+  std::deque<Request> queue_;   // not yet assigned to a slot
+  std::size_t queue_bytes_ = 0; // encoded size the queue would batch to
+  std::set<std::pair<std::uint64_t, std::uint64_t>> pending_keys_;
+  std::map<std::uint64_t, Batch> assigned_;  // slot → this replica's batch
+  std::size_t assigned_count_ = 0;
+  std::uint64_t local_seq_ = 0;
+  bool pace_armed_ = false;
+  bool catchup_armed_ = false;
+  bool started_ = false;
+  /// Exclusive upper bound on slots known to exist somewhere in the
+  /// cluster (from peer traffic and hints). While log_.size() is below
+  /// it, this replica is behind and the catch-up pull keeps running —
+  /// including when the gap is wider than the open window.
+  std::uint64_t max_seen_slot_ = 0;
+
+  // -- in-flight slots --
+  std::uint64_t next_open_ = 0;  // lowest never-opened slot
+  std::map<std::uint64_t, std::unique_ptr<core::Replica>> instances_;
+  /// Retirement is deferred: an instance may be retired from inside its
+  /// own decision callback, so it parks here and is destroyed at the next
+  /// top-level event (message or timer) when no instance frame is live.
+  std::vector<std::unique_ptr<core::Replica>> retired_;
+  std::map<std::uint64_t, Bytes> decided_out_of_order_;
   std::map<std::uint64_t, std::vector<Buffered>> buffered_;
+  // slot → hinted values with their vouching peers (few distinct values,
+  // linear scan); f+1 distinct peers adopt.
+  struct HintEntry {
+    Bytes value;
+    std::set<ReplicaId> vouchers;
+  };
+  std::map<std::uint64_t, std::vector<HintEntry>> hints_;
 };
 
 }  // namespace probft::smr

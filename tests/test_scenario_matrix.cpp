@@ -82,6 +82,48 @@ TEST(ScenarioMatrix, AsynchronyPresetsStillTerminate) {
   }
 }
 
+TEST(ScenarioMatrix, SmrWorkloadKeepsLogsIdenticalUnderFaults) {
+  // The SMR workload dimension: a pipelined SmrReplica fleet driven
+  // through a two-wave client workload (including a cross-replica retry)
+  // must end with every correct replica executing the full workload and
+  // prefix-consistent slot logs — under crash and churn faults at
+  // minimum, plus the partition/reorder network faults.
+  ScenarioSpec base = matrix_base();
+  base.workload = Workload::kSmr;
+  base.smr_commands = 10;
+  base.smr.window = 4;
+  base.smr.batch_max_commands = 4;
+  const std::vector<Fault> faults = {
+      Fault::kNone, Fault::kSilentFollowers, Fault::kChurnRecovery,
+      Fault::kPartitionUntilGst, Fault::kReorderAdversary};
+  const auto specs =
+      expand_matrix({Protocol::kProbft}, faults, {1, 2}, base);
+  ASSERT_EQ(specs.size(), 5U);
+  for (const auto& result : run_matrix(specs)) {
+    for (const auto& outcome : result.outcomes) {
+      EXPECT_TRUE(outcome.agreement)
+          << scenario_name(result.spec) << " seed " << outcome.seed << "\n"
+          << outcome.transcript;
+      EXPECT_TRUE(outcome.terminated)
+          << scenario_name(result.spec) << " seed " << outcome.seed << ": "
+          << outcome.decided << "/" << outcome.correct << "\n"
+          << outcome.transcript;
+    }
+  }
+}
+
+TEST(ScenarioMatrix, SmrWorkloadIsSeedDeterministic) {
+  ScenarioSpec spec = matrix_base();
+  spec.workload = Workload::kSmr;
+  spec.fault = Fault::kChurnRecovery;
+  spec.smr_commands = 8;
+  const auto a = run_scenario_smr(spec, /*seed=*/5);
+  const auto b = run_scenario_smr(spec, /*seed=*/5);
+  EXPECT_EQ(a.transcript, b.transcript);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
 // ---- Harness unit tests ----
 
 TEST(ScenarioSpecTest, FaultApplicability) {
@@ -104,6 +146,19 @@ TEST(ScenarioSpecTest, FaultApplicability) {
   EXPECT_FALSE(fault_applicable(spec));
   spec.f = 1;
   EXPECT_TRUE(fault_applicable(spec));
+
+  // The SMR workload narrows applicability to fleet-realizable faults.
+  spec.workload = Workload::kSmr;
+  spec.fault = Fault::kSilentFollowers;
+  EXPECT_TRUE(fault_applicable(spec));
+  spec.fault = Fault::kChurnRecovery;
+  EXPECT_TRUE(fault_applicable(spec));
+  spec.fault = Fault::kEquivocate;
+  spec.protocol = Protocol::kProbft;
+  EXPECT_FALSE(fault_applicable(spec));
+  spec.fault = Fault::kAdaptiveLeader;
+  EXPECT_FALSE(fault_applicable(spec));
+  EXPECT_FALSE(smr_fault_supported(Fault::kFlood));
 }
 
 TEST(ScenarioSpecTest, MakeClusterConfigDerivesBehaviors) {
@@ -152,6 +207,13 @@ TEST(ScenarioSpecTest, NamesAndRoundTrips) {
   EXPECT_TRUE(fault_from_string("equivocate", fault));
   EXPECT_EQ(fault, Fault::kEquivocate);
   EXPECT_FALSE(fault_from_string("unknown", fault));
+
+  spec.workload = Workload::kSmr;
+  EXPECT_EQ(scenario_name(spec), "pbft/n16f3/silent-f/partial-synchrony/smr");
+  Workload workload{};
+  EXPECT_TRUE(workload_from_string("smr", workload));
+  EXPECT_EQ(workload, Workload::kSmr);
+  EXPECT_FALSE(workload_from_string("raft", workload));
 }
 
 TEST(ScenarioSpecTest, ExpandMatrixSkipsInapplicable) {

@@ -1,7 +1,11 @@
-// State machine replication over ProBFT (src/smr): a fleet of SmrReplicas
-// on the simulated network must produce identical logs.
+// Pipelined, batched state machine replication over ProBFT (src/smr): a
+// fleet of SmrReplicas on the simulated network must produce identical
+// logs, execute each (client, seq) exactly once, keep at most
+// window + retire_tail consensus instances alive, and open no slots while
+// idle.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "common/rng.hpp"
@@ -19,7 +23,7 @@ struct Fleet {
   std::vector<std::unique_ptr<SmrReplica>> replicas;  // 1-based
   std::vector<std::vector<Bytes>> commits;            // per replica
 
-  explicit Fleet(std::uint32_t n, std::uint64_t max_slots = 8,
+  explicit Fleet(std::uint32_t n, SmrOptions options = {},
                  std::uint64_t seed = 1) {
     net::LatencyConfig latency;
     latency.min_delay = 500;
@@ -40,7 +44,7 @@ struct Fleet {
       cfg.id = id;
       cfg.n = n;
       cfg.f = 0;
-      cfg.max_slots = max_slots;
+      cfg.pipeline = options;
       cfg.suite = suite.get();
       cfg.secret_key = keys[id].secret_key;
       cfg.public_keys = public_keys;
@@ -72,13 +76,13 @@ struct Fleet {
     }
   }
 
-  /// Runs until every replica committed `slots` slots (or deadline).
-  bool run_until_committed(std::uint64_t slots,
-                           TimePoint deadline = 300'000'000) {
+  /// Runs until every replica executed `commands` requests (or deadline).
+  bool run_until_executed(std::uint64_t commands,
+                          TimePoint deadline = 300'000'000) {
     while (sim.now() < deadline) {
       bool all = true;
       for (std::size_t id = 1; id < replicas.size(); ++id) {
-        if (replicas[id]->committed_slots() < slots) {
+        if (replicas[id]->executed_commands() < commands) {
           all = false;
           break;
         }
@@ -90,11 +94,11 @@ struct Fleet {
   }
 };
 
-TEST(Smr, SingleSlotCommits) {
-  Fleet fleet(6, /*max_slots=*/1);
+TEST(Smr, SingleCommandCommitsEverywhere) {
+  Fleet fleet(6);
   fleet.replicas[1]->submit(to_bytes("cmd-1"));
   fleet.start_all();
-  ASSERT_TRUE(fleet.run_until_committed(1));
+  ASSERT_TRUE(fleet.run_until_executed(1));
   for (ReplicaId id = 1; id <= 6; ++id) {
     ASSERT_EQ(fleet.replicas[id]->log().size(), 1U);
     EXPECT_EQ(fleet.replicas[id]->log()[0], to_bytes("cmd-1"));
@@ -102,98 +106,299 @@ TEST(Smr, SingleSlotCommits) {
 }
 
 TEST(Smr, LogsAreIdenticalAcrossReplicas) {
-  Fleet fleet(6, /*max_slots=*/5);
-  // Several clients submit to different replicas.
+  Fleet fleet(6);
+  // Several clients submit to different replicas; non-leader submissions
+  // are forwarded to the round-robin view-1 leader.
   fleet.replicas[1]->submit(to_bytes("a"));
   fleet.replicas[2]->submit(to_bytes("b"));
   fleet.replicas[3]->submit(to_bytes("c"));
   fleet.start_all();
-  ASSERT_TRUE(fleet.run_until_committed(5));
+  ASSERT_TRUE(fleet.run_until_executed(3));
   const auto& reference = fleet.replicas[1]->log();
-  ASSERT_EQ(reference.size(), 5U);
+  ASSERT_EQ(reference.size(), 3U);
   for (ReplicaId id = 2; id <= 6; ++id) {
     EXPECT_EQ(fleet.replicas[id]->log(), reference) << "replica " << id;
+    EXPECT_EQ(fleet.replicas[id]->slot_log(), fleet.replicas[1]->slot_log())
+        << "replica " << id;
   }
+  EXPECT_TRUE(fleet.replicas[4]->has_committed(to_bytes("b")));
 }
 
-TEST(Smr, SubmittedCommandsEventuallyCommit) {
-  // Slot leaders rotate with views (leader(1) = 1 for every slot's view 1
-  // here), so replica 1's commands commit first; with enough slots every
-  // submitted command lands.
-  Fleet fleet(4, /*max_slots=*/4);
-  fleet.replicas[1]->submit(to_bytes("first"));
-  fleet.replicas[1]->submit(to_bytes("second"));
+TEST(Smr, BatchingAmortizesSlots) {
+  SmrOptions options;
+  options.batch_max_commands = 16;
+  options.window = 4;
+  Fleet fleet(4, options);
+  for (int i = 0; i < 32; ++i) {
+    fleet.replicas[1]->submit(to_bytes("op-" + std::to_string(i)));
+  }
   fleet.start_all();
-  ASSERT_TRUE(fleet.run_until_committed(4));
-  EXPECT_TRUE(fleet.replicas[2]->has_committed(to_bytes("first")));
-  EXPECT_TRUE(fleet.replicas[2]->has_committed(to_bytes("second")));
-  EXPECT_EQ(fleet.replicas[1]->pending_commands(), 0U);
+  ASSERT_TRUE(fleet.run_until_executed(32));
+  // 32 commands in batches of 16: exactly 2 slots.
+  EXPECT_EQ(fleet.replicas[1]->committed_slots(), 2U);
+  EXPECT_EQ(fleet.replicas[1]->log().size(), 32U);
 }
 
-TEST(Smr, NoopsFillSlotsWithoutCommands) {
-  Fleet fleet(4, /*max_slots=*/2);
+TEST(Smr, WindowRunsSlotsConcurrently) {
+  SmrOptions options;
+  options.window = 4;
+  options.batch_max_commands = 1;
+  Fleet fleet(4, options);
+  for (int i = 0; i < 8; ++i) {
+    fleet.replicas[1]->submit(to_bytes("op-" + std::to_string(i)));
+  }
+  fleet.start_all();
+  // The leader must have slots 0..3 in flight before anything executed.
+  bool saw_full_window = false;
+  while (fleet.sim.now() < 300'000'000) {
+    if (fleet.replicas[1]->next_unopened_slot() -
+            fleet.replicas[1]->committed_slots() >=
+        4) {
+      saw_full_window = true;
+      break;
+    }
+    if (!fleet.sim.step()) break;
+  }
+  EXPECT_TRUE(saw_full_window);
+  ASSERT_TRUE(fleet.run_until_executed(8));
+  EXPECT_EQ(fleet.replicas[1]->committed_slots(), 8U);
+}
+
+TEST(Smr, SerialWindowMatchesPipelinedLog) {
+  // Acceptance: per-seed logs are bit-identical across window sizes for
+  // fault-free runs — the pipeline only changes scheduling, not content.
+  auto run = [](std::uint32_t window) {
+    SmrOptions options;
+    options.window = window;
+    options.batch_max_commands = 4;
+    Fleet fleet(5, options, /*seed=*/7);
+    for (int i = 0; i < 16; ++i) {
+      fleet.replicas[1]->submit(to_bytes("cmd-" + std::to_string(i)));
+    }
+    fleet.start_all();
+    EXPECT_TRUE(fleet.run_until_executed(16));
+    return fleet.replicas[1]->slot_log();
+  };
+  const auto serial = run(1);
+  const auto pipelined = run(8);
+  EXPECT_EQ(serial, pipelined);
+}
+
+TEST(Smr, IdleFleetOpensNoSlots) {
+  Fleet fleet(4);
   fleet.start_all();  // nobody submits anything
-  ASSERT_TRUE(fleet.run_until_committed(2));
-  // Slots decided on no-ops; the commit callback skips them.
+  fleet.sim.run_until(5'000'000);
   for (ReplicaId id = 1; id <= 4; ++id) {
-    EXPECT_EQ(fleet.replicas[id]->committed_slots(), 2U);
-    EXPECT_TRUE(fleet.commits[id].empty());
+    EXPECT_EQ(fleet.replicas[id]->committed_slots(), 0U);
+    EXPECT_EQ(fleet.replicas[id]->next_unopened_slot(), 0U);
+    EXPECT_EQ(fleet.replicas[id]->open_instances(), 0U);
   }
+  // Demand-driven opening: an idle fleet sends nothing at all.
+  EXPECT_EQ(fleet.net->stats().sends, 0U);
 }
 
-TEST(Smr, CommitCallbackFiresInSlotOrder) {
-  Fleet fleet(4, /*max_slots=*/3);
-  fleet.replicas[1]->submit(to_bytes("x"));
-  fleet.replicas[1]->submit(to_bytes("y"));
-  fleet.replicas[1]->submit(to_bytes("z"));
+TEST(Smr, PacingTimerFlushesPartialBatch) {
+  SmrOptions options;
+  options.batch_max_commands = 64;  // never fills
+  options.batch_timeout = 10'000;
+  Fleet fleet(4, options);
+  fleet.replicas[1]->submit(to_bytes("lonely"));
   fleet.start_all();
-  ASSERT_TRUE(fleet.run_until_committed(3));
-  for (ReplicaId id = 1; id <= 4; ++id) {
-    ASSERT_EQ(fleet.commits[id].size(), 3U);
-    EXPECT_EQ(fleet.commits[id][0], to_bytes("x"));
-    EXPECT_EQ(fleet.commits[id][1], to_bytes("y"));
-    EXPECT_EQ(fleet.commits[id][2], to_bytes("z"));
-  }
+  ASSERT_TRUE(fleet.run_until_executed(1));
+  EXPECT_EQ(fleet.replicas[2]->log()[0], to_bytes("lonely"));
 }
 
-TEST(Smr, MaxSlotsBoundsTheLog) {
-  Fleet fleet(4, /*max_slots=*/2);
-  fleet.replicas[1]->submit(to_bytes("a"));
+TEST(Smr, RetriedRequestExecutesExactlyOnce) {
+  Fleet fleet(4);
+  const std::uint64_t client = 4242;
+  // The client submits to replica 1, then retries the same request at
+  // replica 2 (e.g. after a timeout): the request must execute once.
+  EXPECT_TRUE(fleet.replicas[1]->submit_request(client, 1, to_bytes("pay")));
+  EXPECT_TRUE(fleet.replicas[2]->submit_request(client, 1, to_bytes("pay")));
   fleet.start_all();
-  ASSERT_TRUE(fleet.run_until_committed(2));
-  fleet.sim.run_until(fleet.sim.now() + 1'000'000);
+  ASSERT_TRUE(fleet.run_until_executed(1));
+  fleet.sim.run_until(fleet.sim.now() + 2'000'000);
   for (ReplicaId id = 1; id <= 4; ++id) {
-    EXPECT_EQ(fleet.replicas[id]->committed_slots(), 2U);
+    EXPECT_EQ(fleet.replicas[id]->executed_commands(), 1U) << "replica " << id;
+    EXPECT_EQ(fleet.replicas[id]->last_executed_seq(client), 1U);
+    EXPECT_EQ(fleet.commits[id].size(), 1U);
   }
 }
 
-TEST(Smr, RejectsEmptyAndReservedCommands) {
-  Fleet fleet(4, 1);
+TEST(Smr, DuplicateSubmitRejectedLocally) {
+  Fleet fleet(4);
+  EXPECT_TRUE(fleet.replicas[1]->submit_request(7, 3, to_bytes("x")));
+  EXPECT_FALSE(fleet.replicas[1]->submit_request(7, 3, to_bytes("x")));
+  fleet.start_all();
+  ASSERT_TRUE(fleet.run_until_executed(1));
+  // Post-execution retry is also a no-op.
+  EXPECT_FALSE(fleet.replicas[1]->submit_request(7, 3, to_bytes("x")));
+  EXPECT_FALSE(fleet.replicas[1]->submit_request(7, 2, to_bytes("old")));
+}
+
+TEST(Smr, RetirementBoundsLiveInstances) {
+  // Regression for the unbounded instances_ map: a long log (max_slots ≫
+  // window) must not keep every decided core::Replica alive.
+  SmrOptions options;
+  options.window = 4;
+  options.batch_max_commands = 1;
+  options.retire_tail = 2;
+  options.max_slots = 1024;
+  Fleet fleet(4, options);
+  for (int i = 0; i < 48; ++i) {
+    fleet.replicas[1]->submit(to_bytes("op-" + std::to_string(i)));
+  }
+  fleet.start_all();
+  const std::size_t bound = options.window + options.retire_tail;
+  while (fleet.sim.now() < 300'000'000) {
+    bool all = true;
+    for (ReplicaId id = 1; id <= 4; ++id) {
+      EXPECT_LE(fleet.replicas[id]->open_instances(), bound)
+          << "replica " << id << " at " << fleet.sim.now();
+      if (fleet.replicas[id]->executed_commands() < 48) all = false;
+    }
+    if (all) break;
+    if (!fleet.sim.step()) break;
+  }
+  for (ReplicaId id = 1; id <= 4; ++id) {
+    ASSERT_EQ(fleet.replicas[id]->executed_commands(), 48U);
+    EXPECT_EQ(fleet.replicas[id]->committed_slots(), 48U);
+    EXPECT_LE(fleet.replicas[id]->open_instances(), bound);
+  }
+}
+
+TEST(Smr, StragglerCatchesUpViaHints) {
+  // Replica 6 is partitioned while the first command decides (at n = 6
+  // the q = ⌈2√6⌉ = 5 quorum is reachable without it); the others
+  // execute, retire the slot, and freeze its instance. New traffic after
+  // the heal makes replica 6 open the missed slot, and decided-value
+  // hints from its peers let it catch up.
+  SmrOptions options;
+  options.window = 2;
+  options.retire_tail = 0;
+  Fleet fleet(6, options);
+  fleet.net->set_filter([](ReplicaId from, ReplicaId to, std::uint8_t) {
+    return from == 6 || to == 6;
+  });
+  fleet.replicas[1]->submit(to_bytes("first"));
+  fleet.start_all();
+  while (fleet.sim.now() < 100'000'000 &&
+         (fleet.replicas[1]->executed_commands() < 1 ||
+          fleet.replicas[2]->executed_commands() < 1 ||
+          fleet.replicas[5]->executed_commands() < 1)) {
+    if (!fleet.sim.step()) break;
+  }
+  ASSERT_EQ(fleet.replicas[1]->executed_commands(), 1U);
+  ASSERT_EQ(fleet.replicas[6]->executed_commands(), 0U);
+
+  fleet.net->clear_filter();
+  fleet.replicas[1]->submit(to_bytes("second"));
+  ASSERT_TRUE(fleet.run_until_executed(2));
+  EXPECT_EQ(fleet.replicas[6]->log(), fleet.replicas[1]->log());
+}
+
+TEST(Smr, StragglerCatchesUpFromBeyondTheWindow) {
+  // Regression: a replica that misses MORE slots than the open window
+  // (here 8 decided slots vs window 2) must still recover — traffic for
+  // far-future slots cannot be opened or buffered, so recovery rides
+  // entirely on the catch-up pull → hint protocol.
+  SmrOptions options;
+  options.window = 2;
+  options.batch_max_commands = 1;
+  options.retire_tail = 0;
+  options.catchup_timeout = 50'000;
+  Fleet fleet(6, options);
+  fleet.net->set_filter([](ReplicaId from, ReplicaId to, std::uint8_t) {
+    return from == 6 || to == 6;
+  });
+  for (int i = 0; i < 8; ++i) {
+    fleet.replicas[1]->submit(to_bytes("op-" + std::to_string(i)));
+  }
+  fleet.start_all();
+  while (fleet.sim.now() < 150'000'000 &&
+         fleet.replicas[1]->executed_commands() < 8) {
+    if (!fleet.sim.step()) break;
+  }
+  ASSERT_EQ(fleet.replicas[1]->executed_commands(), 8U);
+  ASSERT_EQ(fleet.replicas[6]->executed_commands(), 0U);
+
+  fleet.net->clear_filter();
+  fleet.replicas[1]->submit(to_bytes("after-heal"));
+  ASSERT_TRUE(fleet.run_until_executed(9));
+  EXPECT_EQ(fleet.replicas[6]->log(), fleet.replicas[1]->log());
+  EXPECT_EQ(fleet.replicas[6]->committed_slots(), 9U);
+}
+
+TEST(Smr, ForwardFloodIsBounded) {
+  // Regression: a Byzantine peer spamming unique forwarded requests must
+  // hit the intake cap, not grow the queue without bound.
+  SmrOptions options;
+  options.max_pending_requests = 16;
+  Fleet fleet(4, options);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    Writer w;
+    Request{/*client=*/100'000 + i, /*seq=*/1, to_bytes("flood")}.encode(w);
+    fleet.replicas[1]->on_message(2, kSmrForwardTag, std::move(w).take());
+  }
+  EXPECT_LE(fleet.replicas[1]->pending_commands(), 16U);
+  // Local submissions see the same backpressure, loudly.
+  Fleet small(4, options);
+  for (int i = 0; i < 16; ++i) {
+    small.replicas[1]->submit(to_bytes("fill-" + std::to_string(i)));
+  }
+  EXPECT_THROW(small.replicas[1]->submit(to_bytes("one-too-many")),
+               std::overflow_error);
+}
+
+TEST(Smr, RejectsEmptyAndOversizedCommands) {
+  SmrOptions options;
+  options.batch_max_bytes = 256;
+  Fleet fleet(4, options);
   EXPECT_THROW(fleet.replicas[1]->submit(Bytes{}), std::invalid_argument);
-  EXPECT_THROW(fleet.replicas[1]->submit(to_bytes("__noop__")),
+  EXPECT_THROW(fleet.replicas[1]->submit(Bytes(512, 0xaa)),
                std::invalid_argument);
+  EXPECT_FALSE(fleet.replicas[1]->submit_request(1, 1, Bytes{}));
+  EXPECT_FALSE(fleet.replicas[1]->submit_request(1, 1, Bytes(512, 0xaa)));
 }
 
 TEST(Smr, RejectsBadConfig) {
   SmrConfig cfg;  // id = 0
   EXPECT_THROW(SmrReplica(cfg, {}), std::invalid_argument);
+  Fleet fleet(1);  // n = 1 just to borrow key material
+  SmrConfig zero_window;
+  zero_window.id = 1;
+  zero_window.n = 1;
+  zero_window.suite = fleet.suite.get();
+  zero_window.secret_key = fleet.keys[1].secret_key;
+  zero_window.public_keys = crypto::PublicKeyDir(
+      std::vector<Bytes>{Bytes{}, fleet.keys[1].public_key});
+  zero_window.pipeline.window = 0;
+  EXPECT_THROW(SmrReplica(zero_window, {}), std::invalid_argument);
 }
 
 TEST(Smr, MalformedEnvelopesAreDropped) {
-  Fleet fleet(4, 1);
+  Fleet fleet(4);
   fleet.start_all();
   fleet.replicas[1]->on_message(2, kSmrTag, Bytes{0x01});        // truncated
+  fleet.replicas[1]->on_message(2, kSmrHintTag, Bytes{0x01});    // truncated
+  fleet.replicas[1]->on_message(2, kSmrForwardTag, Bytes{0x01});  // truncated
+  fleet.replicas[1]->on_message(2, kSmrPullTag, Bytes{0x01});    // truncated
   fleet.replicas[1]->on_message(2, 0x33, to_bytes("whatever"));  // wrong tag
   EXPECT_EQ(fleet.replicas[1]->committed_slots(), 0U);
+  EXPECT_EQ(fleet.replicas[1]->next_unopened_slot(), 0U);
 }
 
 TEST(Smr, DeterministicAcrossRuns) {
   auto run_once = [](std::uint64_t seed) {
-    Fleet fleet(5, 3, seed);
+    SmrOptions options;
+    options.window = 4;
+    options.batch_max_commands = 2;
+    Fleet fleet(5, options, seed);
     fleet.replicas[1]->submit(to_bytes("p"));
     fleet.replicas[2]->submit(to_bytes("q"));
+    fleet.replicas[1]->submit(to_bytes("r"));
     fleet.start_all();
-    fleet.run_until_committed(3);
+    fleet.run_until_executed(3);
     return fleet.replicas[1]->log();
   };
   EXPECT_EQ(run_once(42), run_once(42));

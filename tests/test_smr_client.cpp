@@ -1,0 +1,155 @@
+// Client wire protocol (net/client.hpp) and batch codec (smr/batch.hpp)
+// tests: round-trips, hostile buffers (truncation, oversize payloads,
+// garbage versions, trailing bytes) and duplicate-seq replay — the
+// properties the SMR client path relies on to survive arbitrary bytes
+// from clients and to keep retries idempotent. Mirrors test_frame.cpp.
+#include <gtest/gtest.h>
+
+#include "net/client.hpp"
+#include "smr/batch.hpp"
+
+namespace probft {
+namespace {
+
+// ---- ClientRequest / ClientReply wire format ----
+
+TEST(ClientWire, RequestRoundTrip) {
+  net::ClientRequest request;
+  request.client_id = 0x1122334455667788ULL;
+  request.seq = 42;
+  request.payload = to_bytes("transfer 10 coins");
+  const Bytes wire = request.encode();
+  EXPECT_EQ(wire[0], net::kClientWireVersion);
+  const auto decoded =
+      net::ClientRequest::decode(ByteSpan(wire.data(), wire.size()));
+  EXPECT_EQ(decoded, request);
+}
+
+TEST(ClientWire, ReplyRoundTrip) {
+  net::ClientReply reply;
+  reply.client_id = 9001;
+  reply.seq = 7;
+  reply.slot = 123;
+  reply.result = to_bytes("ok");
+  const Bytes wire = reply.encode();
+  const auto decoded =
+      net::ClientReply::decode(ByteSpan(wire.data(), wire.size()));
+  EXPECT_EQ(decoded, reply);
+}
+
+TEST(ClientWire, TruncationIsRejected) {
+  net::ClientRequest request;
+  request.client_id = 1;
+  request.seq = 1;
+  request.payload = to_bytes("payload");
+  const Bytes wire = request.encode();
+  // No strict prefix may decode: truncation must throw, never misparse.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_THROW(
+        (void)net::ClientRequest::decode(ByteSpan(wire.data(), len)),
+        CodecError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(ClientWire, TrailingBytesAreRejected) {
+  net::ClientRequest request;
+  request.client_id = 1;
+  request.seq = 1;
+  request.payload = to_bytes("p");
+  Bytes wire = request.encode();
+  wire.push_back(0x00);
+  EXPECT_THROW((void)net::ClientRequest::decode(ByteSpan(wire.data(),
+                                                         wire.size())),
+               CodecError);
+}
+
+TEST(ClientWire, GarbageVersionIsRejected) {
+  net::ClientRequest request;
+  request.client_id = 1;
+  request.seq = 1;
+  request.payload = to_bytes("p");
+  Bytes wire = request.encode();
+  for (const std::uint8_t version : {0x00, 0x02, 0x7f, 0xff}) {
+    wire[0] = version;
+    EXPECT_THROW((void)net::ClientRequest::decode(
+                     ByteSpan(wire.data(), wire.size())),
+                 CodecError)
+        << "version " << int(version);
+  }
+}
+
+TEST(ClientWire, OversizePayloadIsRejected) {
+  // A length prefix above the cap must throw before any giant allocation
+  // is honored as a real message.
+  net::ClientRequest request;
+  request.client_id = 1;
+  request.seq = 1;
+  request.payload = Bytes(net::kMaxClientPayload + 1, 0xab);
+  const Bytes wire = request.encode();
+  EXPECT_THROW((void)net::ClientRequest::decode(ByteSpan(wire.data(),
+                                                         wire.size())),
+               CodecError);
+  net::ClientReply reply;
+  reply.result = Bytes(net::kMaxClientPayload + 1, 0xcd);
+  const Bytes reply_wire = reply.encode();
+  EXPECT_THROW((void)net::ClientReply::decode(
+                   ByteSpan(reply_wire.data(), reply_wire.size())),
+               CodecError);
+}
+
+// ---- Batch codec ----
+
+TEST(BatchCodec, RoundTrip) {
+  smr::Batch batch;
+  batch.push_back(smr::Request{1, 1, to_bytes("a")});
+  batch.push_back(smr::Request{2, 9, to_bytes("bb")});
+  batch.push_back(smr::Request{1, 2, Bytes(100, 0x5c)});
+  const Bytes wire = smr::encode_batch(batch);
+  const smr::BatchLimits limits;
+  EXPECT_EQ(smr::decode_batch(ByteSpan(wire.data(), wire.size()), limits),
+            batch);
+  EXPECT_TRUE(smr::is_valid_batch(wire, limits));
+}
+
+TEST(BatchCodec, EmptyBatchIsValid) {
+  const Bytes wire = smr::encode_batch({});
+  const smr::BatchLimits limits;
+  EXPECT_TRUE(smr::is_valid_batch(wire, limits));
+  EXPECT_TRUE(
+      smr::decode_batch(ByteSpan(wire.data(), wire.size()), limits).empty());
+}
+
+TEST(BatchCodec, RejectsHostileBuffers) {
+  const smr::BatchLimits limits{/*max_commands=*/4, /*max_bytes=*/256};
+  smr::Batch batch;
+  batch.push_back(smr::Request{1, 1, to_bytes("x")});
+  Bytes wire = smr::encode_batch(batch);
+
+  // Truncation at every split point.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(smr::is_valid_batch(Bytes(wire.begin(),
+                                           wire.begin() +
+                                               static_cast<std::ptrdiff_t>(
+                                                   len)),
+                                     limits))
+        << "prefix length " << len;
+  }
+  // Trailing garbage.
+  Bytes trailing = wire;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(smr::is_valid_batch(trailing, limits));
+  // Count above the command cap.
+  smr::Batch big;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    big.push_back(smr::Request{1, i, to_bytes("c")});
+  }
+  EXPECT_FALSE(smr::is_valid_batch(smr::encode_batch(big), limits));
+  // Encoded size above the byte cap.
+  smr::Batch fat;
+  fat.push_back(smr::Request{1, 1, Bytes(512, 0xaa)});
+  EXPECT_FALSE(smr::is_valid_batch(smr::encode_batch(fat), limits));
+}
+
+}  // namespace
+}  // namespace probft
