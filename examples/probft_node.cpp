@@ -25,13 +25,24 @@
 //    from the last-reply cache without re-executing. The process runs
 //    until --run-ms elapses — or exits early once --expect-cmds commands
 //    executed (plus --linger-ms for stragglers) — and prints
-//      SMRLOG id=<id> slots=<s> cmds=<c> digest=<hex>
-//    so a harness can assert identical logs across the cluster.
+//      SMRLOG id=<id> slots=<s> base=<b> cmds=<c> digest=<hex>
+//    (digest = the truncation-invariant chained log digest) so a harness
+//    can assert identical logs across the cluster.
 //
+//    --wal-dir DIR makes the log durable: decisions and stable
+//    checkpoints are written to an fsync'd write-ahead log under DIR, and
+//    a restarted process recovers its executed prefix from it before
+//    rejoining (printing "RECOVERED id=<id> base=<b> slots=<s>" when it
+//    found state). kill -9 + restart must converge to the same digest as
+//    the peers — scripts/run_tcp_cluster.sh's restart mode asserts it.
+//
+// SIGTERM/SIGINT stop the event loop gracefully in both modes: the WAL
+// is flushed and the final SMRLOG/--stats lines are still printed.
 // --stats prints per-tag TransportStats on shutdown in both modes.
-// scripts/run_tcp_cluster.sh drives both: agreement smoke (default) and
-// the client mode (`client` protocol argument).
+// scripts/run_tcp_cluster.sh drives all modes: agreement smoke (default),
+// client mode (`client` protocol argument), crash-restart (`restart`).
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -46,6 +57,7 @@
 #include "net/tcp_transport.hpp"
 #include "sim/node_factory.hpp"
 #include "sim/scenario.hpp"
+#include "store/wal.hpp"
 
 namespace {
 
@@ -71,7 +83,21 @@ struct Options {
   std::uint64_t expect_cmds = 0;  // 0 = run the full --run-ms
   std::uint32_t window = 8;
   std::uint32_t batch = 64;
+  std::string wal_dir;                      // empty = no durability
+  std::uint64_t checkpoint_interval = 16;   // slots; 0 disables
+  bool fsync = true;                        // fsync WAL writes
 };
+
+// SIGTERM/SIGINT → stop the transport loop; the normal shutdown path
+// (WAL flush, SMRLOG, --stats) then runs. The handler only touches an
+// atomic inside TcpTransport::stop(), which is async-signal-safe.
+net::TcpTransport* g_transport = nullptr;
+volatile std::sig_atomic_t g_signaled = 0;
+
+extern "C" void handle_stop_signal(int /*sig*/) {
+  g_signaled = 1;
+  if (g_transport != nullptr) g_transport->stop();
+}
 
 void usage() {
   std::fprintf(
@@ -82,7 +108,9 @@ void usage() {
       "                   [--value STRING] [--deadline-ms MS]\n"
       "                   [--linger-ms MS] [--stats BOOL]\n"
       "                   [--smr BOOL] [--client-port P] [--run-ms MS]\n"
-      "                   [--expect-cmds N] [--window W] [--batch B]\n");
+      "                   [--expect-cmds N] [--window W] [--batch B]\n"
+      "                   [--wal-dir DIR] [--checkpoint-interval SLOTS]\n"
+      "                   [--fsync BOOL]\n");
 }
 
 std::uint64_t parse_u64(const std::string& text) {
@@ -169,6 +197,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.window = static_cast<std::uint32_t>(parse_u64(value));
     } else if (key == "--batch") {
       opt.batch = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "--wal-dir") {
+      opt.wal_dir = value;
+      opt.smr = true;  // durability only applies to the log
+    } else if (key == "--checkpoint-interval") {
+      opt.checkpoint_interval = parse_u64(value);
+    } else if (key == "--fsync") {
+      opt.fsync = parse_bool(value);
     } else {
       return false;
     }
@@ -197,6 +232,22 @@ int run_smr_node(const Options& opt, net::TcpTransport& transport,
                  sim::NodeParams params) {
   params.smr.window = opt.window;
   params.smr.batch_max_commands = opt.batch;
+  params.smr.checkpoint_interval = opt.checkpoint_interval;
+
+  // Durability: the replica recovers from the WAL at construction and
+  // appends decisions / stable checkpoints to it while running.
+  std::unique_ptr<store::Wal> wal;
+  if (!opt.wal_dir.empty()) {
+    try {
+      wal = std::make_unique<store::Wal>(
+          store::WalOptions{opt.wal_dir, opt.fsync});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot open WAL at %s: %s\n",
+                   opt.wal_dir.c_str(), e.what());
+      return 1;
+    }
+    params.wal = wal.get();
+  }
 
   std::unique_ptr<smr::SmrReplica> node;
 
@@ -263,6 +314,13 @@ int run_smr_node(const Options& opt, net::TcpTransport& transport,
     }
   });
 
+  if (node->recovered_slots() > 0) {
+    std::printf("RECOVERED id=%u base=%llu slots=%llu\n", opt.id,
+                static_cast<unsigned long long>(node->log_base()),
+                static_cast<unsigned long long>(node->recovered_slots()));
+    std::fflush(stdout);
+  }
+
   node->start();
   const std::uint64_t expect = opt.expect_cmds;
   const auto caught_up = [&node, expect] {
@@ -272,14 +330,19 @@ int run_smr_node(const Options& opt, net::TcpTransport& transport,
       expect > 0 ? std::function<bool()>(caught_up) : nullptr;
   const bool reached = transport.run_until(done, opt.run_ms * 1000);
   // Keep serving peers/clients so slower replicas reach the same log.
+  // (A stop signal makes both loops return immediately: stop() is sticky.)
   transport.run_until(nullptr, opt.linger_ms * 1000);
 
-  std::printf("SMRLOG id=%u slots=%llu cmds=%llu digest=%s\n", opt.id,
+  if (wal) wal->sync();  // flush any buffered tail before reporting
+  std::printf("SMRLOG id=%u slots=%llu base=%llu cmds=%llu digest=%s\n",
+              opt.id,
               static_cast<unsigned long long>(node->committed_slots()),
+              static_cast<unsigned long long>(node->log_base()),
               static_cast<unsigned long long>(node->executed_commands()),
-              smr::log_digest(node->slot_log()).c_str());
+              node->log_digest().c_str());
   std::fflush(stdout);
   if (opt.stats) print_stats(transport.stats());
+  if (g_signaled) return 0;  // clean stop on request, not a failure
   if (expect > 0 && !reached) {
     std::fprintf(stderr, "executed %llu/%llu commands within %llu ms\n",
                  static_cast<unsigned long long>(node->executed_commands()),
@@ -314,6 +377,10 @@ int run_single_shot(const Options& opt, net::TcpTransport& transport,
   transport.run_until([&decided]() { return decided; },
                       opt.deadline_ms * 1000);
   if (!decided) {
+    if (g_signaled) {  // asked to stop — not a timeout failure
+      if (opt.stats) print_stats(transport.stats());
+      return 0;
+    }
     std::fprintf(stderr, "no decision within %llu ms\n",
                  static_cast<unsigned long long>(opt.deadline_ms));
     if (opt.stats) print_stats(transport.stats());
@@ -372,6 +439,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot start transport: %s\n", e.what());
     return 1;
   }
+  g_transport = transport.get();
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
 
   sim::NodeParams params;
   params.protocol = opt.protocol;

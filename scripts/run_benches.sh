@@ -65,6 +65,19 @@ for bench in "${builddir}"/bench/bench_*; do
 \"txt\": \"${name}.txt\"}"
 done
 
+# Machine-readable SMR summary: committed-commands/sec plus checkpoint
+# and WAL-recovery timings. The repo keeps a committed copy of this file
+# (BENCH_smr.json at the repo root) as the durability baseline.
+if [ -x "${builddir}/bench/bench_smr_throughput" ]; then
+  echo "== BENCH_smr.json (throughput + checkpoint/recovery timings)"
+  if ! "${builddir}/bench/bench_smr_throughput" \
+      --emit-json="${outdir}/BENCH_smr.json"; then
+    echo "   FAILED: bench_smr_throughput --emit-json" >&2
+    status=1
+    failed=$((failed + 1))
+  fi
+fi
+
 cat >"${manifest}" <<EOF
 {
   "benches_run": ${ran},

@@ -441,14 +441,14 @@ void TcpTransport::flush_client(ClientConn& conn, bool& close_me) {
 }
 
 void TcpTransport::dispatch(const Frame& frame) {
-  if (frame.sender == 0 || frame.sender > cfg_.n) return;  // hostile id
   if (handler_) {
     ++stats_.delivered;
     handler_(frame.sender, frame.tag, frame.payload);
   }
 }
 
-void TcpTransport::read_ready(int fd, FrameDecoder& decoder, bool& close_me) {
+void TcpTransport::read_ready(int fd, FrameDecoder& decoder, ReplicaId& bound,
+                              bool& close_me) {
   std::uint8_t buf[64 * 1024];
   while (true) {
     const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
@@ -458,6 +458,19 @@ void TcpTransport::read_ready(int fd, FrameDecoder& decoder, bool& close_me) {
       while (true) {
         const auto status = decoder.next(frame);
         if (status == FrameDecoder::Status::kFrame) {
+          // Sender pinning: a connection speaks for exactly one replica.
+          // Out-of-range ids, this node's own id (we never dial ourselves)
+          // and mismatches against an established binding are hostile —
+          // poison the stream rather than let one socket impersonate many
+          // "distinct senders".
+          if (frame.sender == 0 || frame.sender > cfg_.n ||
+              frame.sender == cfg_.self ||
+              (bound != 0 && frame.sender != bound)) {
+            ++stats_.dropped;
+            close_me = true;
+            break;
+          }
+          bound = frame.sender;
           dispatch(frame);
           continue;
         }
@@ -562,8 +575,11 @@ bool TcpTransport::run_until(const std::function<bool()>& done,
       }
       bool close_me = false;
       if (revents & POLLIN) {
-        // Read before honoring HUP: a peer may flush data and close.
-        read_ready(conn.fd, conn.decoder, close_me);
+        // Read before honoring HUP: a peer may flush data and close. A
+        // dialed connection is bound to its peer from the start: anything
+        // the peer writes back must speak as itself.
+        ReplicaId bound = conn.peer;
+        read_ready(conn.fd, conn.decoder, bound, close_me);
       } else if (revents & (POLLERR | POLLHUP)) {
         close_me = true;
       }
@@ -583,7 +599,8 @@ bool TcpTransport::run_until(const std::function<bool()>& done,
       if (revents == 0) continue;
       bool close_me = false;
       if (revents & POLLIN) {
-        read_ready(inbound_[i].fd, inbound_[i].decoder, close_me);
+        read_ready(inbound_[i].fd, inbound_[i].decoder, inbound_[i].bound,
+                   close_me);
       } else if (revents & (POLLERR | POLLHUP)) {
         close_me = true;
       }

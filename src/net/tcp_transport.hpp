@@ -4,8 +4,14 @@
 //  - Every node listens on its configured address and DIALS every peer, so
 //    each ordered pair (i → j) has one TCP connection carrying i's traffic
 //    to j; accepted connections are receive-only. This avoids connection
-//    dedup/handshake logic entirely — a frame's sender field identifies the
-//    origin, and the protocol layer authenticates senders by signature.
+//    dedup/handshake logic entirely. A connection is BOUND to the sender id
+//    claimed by its first valid frame (dialed connections are bound to the
+//    dialed peer): later frames claiming any other id poison the stream and
+//    drop it. Without that pinning, one hostile peer could stamp frames
+//    with every replica id over a single socket and counterfeit f+1
+//    "distinct senders" for unsigned traffic (the SMR catch-up vouchers);
+//    signatures authenticate message *contents*, not the multiplicity of
+//    claimed origins.
 //  - Sockets are nonblocking and multiplexed with poll(2) in a
 //    single-threaded event loop (run_until()); protocol callbacks run on
 //    the loop thread, so replica code needs no locking — the same
@@ -168,6 +174,9 @@ class TcpTransport final : public ITransport {
   struct InboundConn {
     int fd = -1;
     FrameDecoder decoder;
+    /// Claimed sender id, fixed by the first valid frame; 0 = not yet
+    /// bound. Frames claiming a different id close the connection.
+    ReplicaId bound = 0;
   };
   struct ClientConn {
     std::uint64_t id = 0;
@@ -201,7 +210,13 @@ class TcpTransport final : public ITransport {
   /// encoded bytes across a broadcast/multicast loop.
   void send_one(ReplicaId to, std::uint8_t tag, const Bytes& payload,
                 std::shared_ptr<const Bytes>& frame);
-  void read_ready(int fd, FrameDecoder& decoder, bool& close_me);
+  /// Drains `fd` into `decoder` and dispatches complete frames. `bound`
+  /// pins the connection's sender id: 0 means unbound (an accepted
+  /// connection before its first frame) and is set from the first valid
+  /// frame; any frame whose sender mismatches a nonzero binding — or
+  /// claims an out-of-range id or this node's own id — sets `close_me`.
+  void read_ready(int fd, FrameDecoder& decoder, ReplicaId& bound,
+                  bool& close_me);
   void dispatch(const Frame& frame);
   void fire_due_timers();
   [[nodiscard]] int poll_timeout_ms() const;

@@ -68,6 +68,7 @@ std::unique_ptr<smr::SmrReplica> make_smr_node(const NodeParams& params,
   cfg.secret_key = params.secret_key;
   cfg.public_keys = params.public_keys;
   cfg.sync = params.sync;
+  cfg.wal = params.wal;
   cfg.on_execute = params.on_execute;
   return std::make_unique<smr::SmrReplica>(std::move(cfg), std::move(host));
 }

@@ -43,6 +43,9 @@ struct NodeParams {
   /// Pipeline/batching shape for SMR nodes (make_smr_node); ignored by
   /// the single-shot protocols.
   smr::SmrOptions smr;
+  /// Optional write-ahead log for SMR nodes (non-owning; must outlive the
+  /// node). The replica recovers from its contents at construction.
+  store::Wal* wal = nullptr;
   /// Per-executed-request callback for SMR nodes (client reply path).
   std::function<void(const smr::ExecutedCommand&)> on_execute;
 };

@@ -1,7 +1,12 @@
 #include "sim/scenario.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
 #include <sstream>
+
+#include "store/wal.hpp"
 
 namespace probft::sim {
 
@@ -36,6 +41,7 @@ const char* to_string(Fault fault) {
     case Fault::kAsymmetricPartition: return "asym-partition";
     case Fault::kReorderAdversary: return "reorder";
     case Fault::kAdaptiveLeader: return "adaptive-leader";
+    case Fault::kKillRestart: return "kill-restart";
   }
   return "?";
 }
@@ -81,7 +87,8 @@ const std::vector<Fault>& all_faults() {
       Fault::kSilentFollowers, Fault::kEquivocate,
       Fault::kFlood,         Fault::kPartitionUntilGst,
       Fault::kChurnRecovery, Fault::kAsymmetricPartition,
-      Fault::kReorderAdversary, Fault::kAdaptiveLeader};
+      Fault::kReorderAdversary, Fault::kAdaptiveLeader,
+      Fault::kKillRestart};
   return kFaults;
 }
 
@@ -134,6 +141,7 @@ bool smr_fault_supported(Fault fault) {
     case Fault::kPartitionUntilGst:
     case Fault::kAsymmetricPartition:
     case Fault::kReorderAdversary:
+    case Fault::kKillRestart:
       return true;
     case Fault::kSilentLeader:  // per-slot views rotate internally; the
                                 // "view-1 leader" crash is silent-followers
@@ -178,6 +186,11 @@ bool fault_applicable(const ScenarioSpec& spec) {
     case Fault::kAdaptiveLeader:
       // The corruption budget is the fault budget f.
       return spec.f >= 1;
+    case Fault::kKillRestart:
+      // Crash-restart durability only exists at the SMR layer (the WAL
+      // lives under the replicated log); single-shot runs have no
+      // persistent state to recover.
+      return spec.workload == Workload::kSmr && spec.n >= 2;
   }
   return false;
 }
@@ -232,6 +245,7 @@ ClusterConfig make_cluster_config(const ScenarioSpec& spec,
     case Fault::kChurnRecovery:        // honest victims; dropped at the net
     case Fault::kAsymmetricPartition:  // realized as a network filter
     case Fault::kAdaptiveLeader:       // realized as a stateful filter
+    case Fault::kKillRestart:          // realized in the SMR run path
       break;
     case Fault::kReorderAdversary:
       cfg.latency.reorder_prob = 0.3;
@@ -408,27 +422,61 @@ ScenarioOutcome run_scenario_smr(const ScenarioSpec& spec,
     }
   }
 
+  // Crash-restart shape: replica 2 is killed mid-run (node object
+  // destroyed, exactly what a kill -9 looks like to the others) and later
+  // reconstructed from its write-ahead log. A small checkpoint interval
+  // makes the fleet stabilize a checkpoint before the kill so recovery
+  // starts from it rather than from genesis.
+  const ReplicaId victim = spec.fault == Fault::kKillRestart ? 2 : 0;
+  smr::SmrOptions smr_opts = spec.smr;
+  std::unique_ptr<store::Wal> victim_wal;
+  std::filesystem::path wal_dir;
+  if (victim != 0) {
+    smr_opts.checkpoint_interval = 2;
+    wal_dir = std::filesystem::temp_directory_path() /
+              ("probft-kr-" + std::to_string(::getpid()) + "-" +
+               std::to_string(seed));
+    std::filesystem::remove_all(wal_dir);
+    // The simulator only fakes the crash (object teardown, not process
+    // death), so fsync buys nothing here — skip it for speed.
+    victim_wal = std::make_unique<store::Wal>(
+        store::WalOptions{wal_dir.string(), /*fsync=*/false});
+  }
+  // Timers scheduled by a killed node must not fire into freed memory:
+  // under kill-restart every node's timer callbacks are epoch-guarded and
+  // the victim's epoch is bumped at the kill.
+  std::vector<std::uint64_t> epochs(spec.n + 1, 0);
+
   const std::uint64_t target = spec.smr_commands;
   std::size_t correct_total = 0;
   std::size_t done = 0;  // correct replicas that executed the full workload
   TimePoint last_execution_at = 0;
 
   std::vector<std::unique_ptr<smr::SmrReplica>> nodes(spec.n + 1);
-  for (ReplicaId id = 1; id <= spec.n; ++id) {
-    if (!down[id]) ++correct_total;
+  std::function<void(ReplicaId)> build_node = [&](ReplicaId id) {
     NodeParams params;
     params.id = id;
     params.n = spec.n;
     params.f = spec.f;
     params.o = spec.o;
     params.l = spec.l;
-    params.smr = spec.smr;
+    params.smr = smr_opts;
     params.suite = suite.get();
     params.secret_key = keys[id].secret_key;
     params.public_keys = public_keys;
+    if (id == victim) params.wal = victim_wal.get();
     core::ProtocolHost host = transport_host(
-        network, id, [&sim](Duration d, std::function<void()> fn) {
-          sim.schedule_after(d, std::move(fn));
+        network, id,
+        [&sim, &epochs, id, guarded = victim != 0](Duration d,
+                                                   std::function<void()> fn) {
+          if (!guarded) {
+            sim.schedule_after(d, std::move(fn));
+            return;
+          }
+          const std::uint64_t epoch = epochs[id];
+          sim.schedule_after(d, [&epochs, id, epoch, fn = std::move(fn)] {
+            if (epochs[id] == epoch) fn();
+          });
         });
     host.on_commit = [&done, &down, &last_execution_at, &sim, target, id](
                          std::uint64_t index, const Bytes&) {
@@ -438,8 +486,26 @@ ScenarioOutcome run_scenario_smr(const ScenarioSpec& spec,
     nodes[id] = make_smr_node(params, std::move(host));
     network.register_handler(
         id, [&nodes, id](ReplicaId from, std::uint8_t tag, const Bytes& m) {
-          nodes[id]->on_message(from, tag, m);
+          if (nodes[id]) nodes[id]->on_message(from, tag, m);
         });
+  };
+  for (ReplicaId id = 1; id <= spec.n; ++id) {
+    if (!down[id]) ++correct_total;
+    build_node(id);
+  }
+
+  if (victim != 0) {
+    // Kill between the waves, restart before wave 2 lands: peers keep
+    // deciding while the victim is gone, the restarted node recovers its
+    // prefix from the WAL and backfills the rest via signed hints.
+    sim.schedule_after(250'000, [&epochs, &nodes, victim] {
+      ++epochs[victim];
+      nodes[victim].reset();
+    });
+    sim.schedule_after(450'000, [&build_node, &nodes, victim] {
+      build_node(victim);
+      nodes[victim]->start();
+    });
   }
 
   if (spec.fault == Fault::kSilentFollowers) {
@@ -489,6 +555,17 @@ ScenarioOutcome run_scenario_smr(const ScenarioSpec& spec,
     ++fired;
   }
 
+  // Recount completion from replica state rather than trusting the
+  // incremental counter: a replica that adopted a certified checkpoint
+  // jumped past individual executions, so its on_commit callbacks never
+  // saw the final index even though it holds the full workload.
+  done = 0;
+  for (ReplicaId id = 1; id <= spec.n; ++id) {
+    if (!down[id] && nodes[id] && nodes[id]->executed_commands() >= target) {
+      ++done;
+    }
+  }
+
   ScenarioOutcome outcome;
   outcome.seed = seed;
   outcome.terminated = done == correct_total;
@@ -499,33 +576,56 @@ ScenarioOutcome run_scenario_smr(const ScenarioSpec& spec,
   outcome.events = sim.events_fired();
   outcome.last_decision_at = last_execution_at;
 
-  // Agreement at the log level: every correct replica's slot log must be
-  // an element-wise prefix of the longest correct log.
+  // Agreement at the log level: correct replicas' retained slot logs must
+  // agree wherever they overlap (logs may start at different bases once
+  // stable checkpoints truncate them). The reference is the replica that
+  // executed furthest.
   const smr::SmrReplica* longest = nullptr;
   for (ReplicaId id = 1; id <= spec.n; ++id) {
-    if (down[id]) continue;
+    if (down[id] || !nodes[id]) continue;
     if (longest == nullptr ||
-        nodes[id]->slot_log().size() > longest->slot_log().size()) {
+        nodes[id]->committed_slots() > longest->committed_slots()) {
       longest = nodes[id].get();
     }
   }
   bool agreement = true;
   std::ostringstream transcript;
   for (ReplicaId id = 1; id <= spec.n; ++id) {
-    if (down[id]) {
+    if (down[id] || !nodes[id]) {
       transcript << id << " down\n";
       continue;
     }
     const auto& slot_log = nodes[id]->slot_log();
-    for (std::size_t slot = 0; slot < slot_log.size(); ++slot) {
-      if (slot_log[slot] != longest->slot_log()[slot]) agreement = false;
+    const std::uint64_t base = nodes[id]->log_base();
+    for (std::size_t i = 0; i < slot_log.size(); ++i) {
+      const std::uint64_t slot = base + i;
+      if (slot < longest->log_base() ||
+          slot >= longest->committed_slots()) {
+        continue;  // outside the reference's retained range
+      }
+      if (slot_log[i] !=
+          longest->slot_log()[slot - longest->log_base()]) {
+        agreement = false;
+      }
+    }
+    // Replicas that executed equally far must hold bit-identical logs:
+    // the chained digest covers truncated slots too.
+    if (nodes[id]->committed_slots() == longest->committed_slots() &&
+        nodes[id]->log_digest() != longest->log_digest()) {
+      agreement = false;
     }
     transcript << id << " " << nodes[id]->executed_commands() << " "
-               << slot_log.size() << " " << smr::log_digest(slot_log)
+               << nodes[id]->committed_slots() << " "
+               << nodes[id]->log_base() << " " << nodes[id]->log_digest()
                << "\n";
   }
   outcome.agreement = agreement;
   outcome.transcript = transcript.str();
+  if (victim != 0) {
+    std::error_code ec;
+    victim_wal.reset();
+    std::filesystem::remove_all(wal_dir, ec);
+  }
   return outcome;
 }
 

@@ -35,6 +35,8 @@ enum class Fault {
   kAsymmetricPartition,  // until GST half A hears half B but not vice versa
   kReorderAdversary,   // adversarial per-link message reordering
   kAdaptiveLeader,     // adversary corrupts each new view's leader (budget f)
+  kKillRestart,        // SMR only: kill one replica mid-run, restart it from
+                       // its write-ahead log (crash-restart durability)
 };
 
 /// Latency presets over net::LatencyConfig.

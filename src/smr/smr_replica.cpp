@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/codec.hpp"
+#include "crypto/sha256.hpp"
 
 namespace probft::smr {
 
@@ -22,6 +23,19 @@ constexpr std::size_t kMaxHintValues = 8;
 /// Per-slot cap on buffered messages for not-yet-opened slots.
 constexpr std::size_t kMaxBufferedPerSlot = 4096;
 
+/// Boundary slots tracked for checkpoint votes / pending snapshots at
+/// once; older ones are evicted in favor of newer (a straggler's ancient
+/// boundary will be covered by a peer's state transfer anyway).
+constexpr std::size_t kMaxTrackedCkpts = 8;
+
+/// Distinct state digests tracked per boundary (Byzantine votes cannot
+/// grow the tally unboundedly).
+constexpr std::size_t kMaxCkptDigests = 4;
+
+[[nodiscard]] ByteSpan span(const Bytes& b) {
+  return ByteSpan(b.data(), b.size());
+}
+
 }  // namespace
 
 SmrReplica::SmrReplica(SmrConfig config, core::ProtocolHost host)
@@ -35,10 +49,20 @@ SmrReplica::SmrReplica(SmrConfig config, core::ProtocolHost host)
   }
   limits_.max_commands = cfg_.pipeline.batch_max_commands;
   limits_.max_bytes = cfg_.pipeline.batch_max_bytes;
+  chain_ = zero_digest();
+  if (cfg_.wal != nullptr) recover_from_wal();
 }
 
 void SmrReplica::start() {
   started_ = true;
+  if (recovered_slots_ > 0) {
+    // Rejoin announcement: ask the cluster what happened past the
+    // recovered prefix (peers answer with signed hints / a certified
+    // checkpoint if they moved further than our WAL knew).
+    Writer w;
+    w.u64(exec_slots());
+    host_.broadcast(kSmrPullTag, std::move(w).take());
+  }
   maybe_open_slots(/*pace_expired=*/false);
 }
 
@@ -113,13 +137,13 @@ std::uint64_t SmrReplica::last_executed_seq(std::uint64_t client) const {
 
 std::uint64_t SmrReplica::open_limit() const {
   return std::min<std::uint64_t>(cfg_.pipeline.max_slots,
-                                 log_.size() + cfg_.pipeline.window);
+                                 exec_slots() + cfg_.pipeline.window);
 }
 
 std::uint64_t SmrReplica::horizon() const {
   return std::min<std::uint64_t>(
       cfg_.pipeline.max_slots,
-      log_.size() + 2 * static_cast<std::uint64_t>(cfg_.pipeline.window));
+      exec_slots() + 2 * static_cast<std::uint64_t>(cfg_.pipeline.window));
 }
 
 bool SmrReplica::full_batch_ready() const {
@@ -129,7 +153,7 @@ bool SmrReplica::full_batch_ready() const {
 
 void SmrReplica::maybe_open_slots(bool pace_expired) {
   if (!started_) return;
-  if (next_open_ < log_.size()) next_open_ = log_.size();
+  if (next_open_ < exec_slots()) next_open_ = exec_slots();
   while (next_open_ < open_limit()) {
     if (decided_out_of_order_.count(next_open_) != 0) {
       ++next_open_;  // outcome already known (hints): no instance needed
@@ -143,12 +167,12 @@ void SmrReplica::maybe_open_slots(bool pace_expired) {
   if (!queue_.empty() && next_open_ < open_limit() && !pace_armed_) {
     arm_pacing();
   }
-  if (log_.size() < next_open_) arm_catchup();
+  if (exec_slots() < next_open_) arm_catchup();
 }
 
 void SmrReplica::open_slots_through(std::uint64_t slot) {
   if (!started_) return;
-  if (next_open_ < log_.size()) next_open_ = log_.size();
+  if (next_open_ < exec_slots()) next_open_ = exec_slots();
   while (next_open_ <= slot && next_open_ < open_limit()) {
     if (decided_out_of_order_.count(next_open_) != 0) {
       ++next_open_;
@@ -156,7 +180,7 @@ void SmrReplica::open_slots_through(std::uint64_t slot) {
     }
     open_next_slot();
   }
-  if (log_.size() < next_open_) arm_catchup();
+  if (exec_slots() < next_open_) arm_catchup();
 }
 
 void SmrReplica::arm_pacing() {
@@ -173,20 +197,20 @@ void SmrReplica::arm_catchup() {
   // peer has been seen working on (the gap may exceed the window — a
   // straggler that missed a whole stretch must still pull itself back).
   if (catchup_armed_ ||
-      (log_.size() >= next_open_ && log_.size() >= max_seen_slot_)) {
+      (exec_slots() >= next_open_ && exec_slots() >= max_seen_slot_)) {
     return;
   }
   catchup_armed_ = true;
-  const std::uint64_t mark = log_.size();
+  const std::uint64_t mark = exec_slots();
   host_.set_timer(cfg_.pipeline.catchup_timeout, [this, mark] {
     collect_retired();
     catchup_armed_ = false;
-    if (log_.size() >= next_open_ && log_.size() >= max_seen_slot_) return;
-    if (log_.size() == mark) {
+    if (exec_slots() >= next_open_ && exec_slots() >= max_seen_slot_) return;
+    if (exec_slots() == mark) {
       // Execution is stuck on the same slot a full period later: ask
       // peers that already executed it for the decided value.
       Writer w;
-      w.u64(log_.size());
+      w.u64(exec_slots());
       host_.broadcast(kSmrPullTag, std::move(w).take());
     }
     arm_catchup();  // keep watching while behind
@@ -279,23 +303,40 @@ void SmrReplica::open_next_slot() {
 }
 
 void SmrReplica::on_slot_decided(std::uint64_t slot, const Bytes& value) {
-  if (slot < log_.size()) return;  // already executed
+  if (slot < exec_slots()) return;  // already executed
   decided_out_of_order_.emplace(slot, value);
   execute_ready_slots();
+}
+
+Bytes SmrReplica::encode_decide_record(std::uint64_t slot,
+                                       const Bytes& value) {
+  Writer w;
+  w.u64(slot);
+  w.bytes(span(value));
+  return std::move(w).take();
 }
 
 void SmrReplica::execute_ready_slots() {
   bool advanced = false;
   while (true) {
-    const auto it = decided_out_of_order_.find(log_.size());
+    const auto it = decided_out_of_order_.find(exec_slots());
     if (it == decided_out_of_order_.end()) break;
     const std::uint64_t slot = it->first;
     Bytes value = std::move(it->second);
     decided_out_of_order_.erase(it);
 
+    // Durability point: the decide reaches the WAL (and disk, when fsync
+    // is on) before any client-visible execution effect, so a crash after
+    // a reply can always replay the slot. Recovery replays records that
+    // are already on disk — no re-append.
+    if (cfg_.wal != nullptr && !recovering_) {
+      cfg_.wal->append(encode_decide_record(slot, value));
+      cfg_.wal->sync();
+    }
+
     Batch batch;
     try {
-      batch = decode_batch(ByteSpan(value.data(), value.size()), limits_);
+      batch = decode_batch(span(value), limits_);
     } catch (const CodecError&) {
       batch.clear();  // unreachable behind the validity predicate
     }
@@ -305,13 +346,16 @@ void SmrReplica::execute_ready_slots() {
       last = req.seq;
       ExecutedCommand exec;
       exec.slot = slot;
-      exec.index = exec_payloads_.size();
+      exec.index = exec_count_;
       exec.client = req.client;
       exec.seq = req.seq;
       exec.payload = req.payload;
+      ++exec_count_;
       exec_payloads_.push_back(std::move(req.payload));
-      if (host_.on_commit) host_.on_commit(exec.index, exec.payload);
-      if (cfg_.on_execute) cfg_.on_execute(exec);
+      if (!recovering_) {
+        if (host_.on_commit) host_.on_commit(exec.index, exec.payload);
+        if (cfg_.on_execute) cfg_.on_execute(exec);
+      }
     }
 
     // This replica's own assignment for the slot: whatever the decided
@@ -344,7 +388,9 @@ void SmrReplica::execute_ready_slots() {
     }
 
     log_.push_back(std::move(value));
+    chain_ = chain_digest(chain_, log_.back());
     advanced = true;
+    maybe_checkpoint();
   }
   if (advanced) {
     retire_executed_slots();
@@ -353,7 +399,7 @@ void SmrReplica::execute_ready_slots() {
 }
 
 void SmrReplica::retire_executed_slots() {
-  const std::uint64_t exec = log_.size();
+  const std::uint64_t exec = exec_slots();
   const std::uint64_t keep_from =
       exec > cfg_.pipeline.retire_tail ? exec - cfg_.pipeline.retire_tail : 0;
   const auto end = instances_.lower_bound(keep_from);
@@ -367,22 +413,255 @@ void SmrReplica::retire_executed_slots() {
 
 void SmrReplica::collect_retired() { retired_.clear(); }
 
+// ---- checkpoints ----
+
+CheckpointState SmrReplica::snapshot_state() const {
+  CheckpointState state;
+  state.slot = exec_slots();
+  state.exec_count = exec_count_;
+  state.log_digest = chain_;
+  state.last_exec.assign(last_exec_.begin(), last_exec_.end());
+  return state;
+}
+
+void SmrReplica::maybe_checkpoint() {
+  const std::uint64_t interval = cfg_.pipeline.checkpoint_interval;
+  const std::uint64_t slot = exec_slots();
+  if (interval == 0 || slot % interval != 0) return;
+  if (slot <= stable_slot_ || pending_states_.count(slot) != 0) return;
+  CheckpointState state = snapshot_state();
+  Bytes digest = state.digest();
+  const Bytes msg = checkpoint_signing_bytes(slot, digest);
+  Bytes sig = cfg_.suite->sign(span(cfg_.secret_key), span(msg));
+  record_ckpt_vote(slot, digest, cfg_.id, sig);
+  if (pending_states_.size() >= kMaxTrackedCkpts) {
+    pending_states_.erase(pending_states_.begin());
+  }
+  pending_states_.emplace(slot, std::make_pair(std::move(state), digest));
+  if (recovering_) return;  // replay: the cluster voted long ago
+  CheckpointVote vote{slot, digest, cfg_.id, std::move(sig)};
+  Writer w;
+  vote.encode(w);
+  host_.broadcast(kSmrCkptTag, std::move(w).take());
+  try_stabilize(slot);
+}
+
+void SmrReplica::record_ckpt_vote(std::uint64_t slot, const Bytes& digest,
+                                  ReplicaId signer, Bytes signature) {
+  auto it = ckpt_votes_.find(slot);
+  if (it == ckpt_votes_.end()) {
+    if (ckpt_votes_.size() >= kMaxTrackedCkpts) {
+      const auto lowest = ckpt_votes_.begin();
+      if (lowest->first >= slot) return;  // older than everything tracked
+      ckpt_votes_.erase(lowest);
+    }
+    it = ckpt_votes_.emplace(slot, std::vector<CkptTally>{}).first;
+  }
+  auto& tallies = it->second;
+  auto tit = std::find_if(
+      tallies.begin(), tallies.end(),
+      [&digest](const CkptTally& t) { return t.digest == digest; });
+  if (tit == tallies.end()) {
+    if (tallies.size() >= kMaxCkptDigests) return;
+    tallies.push_back(CkptTally{digest, {}});
+    tit = std::prev(tallies.end());
+  }
+  tit->sigs.emplace(signer, std::move(signature));
+}
+
+void SmrReplica::try_stabilize(std::uint64_t slot) {
+  const auto pit = pending_states_.find(slot);
+  if (pit == pending_states_.end()) return;
+  const auto vit = ckpt_votes_.find(slot);
+  if (vit == ckpt_votes_.end()) return;
+  const std::size_t quorum = 2 * static_cast<std::size_t>(cfg_.f) + 1;
+  for (const CkptTally& tally : vit->second) {
+    if (tally.digest != pit->second.second || tally.sigs.size() < quorum) {
+      continue;
+    }
+    CheckpointCert cert;
+    cert.slot = slot;
+    cert.state_digest = tally.digest;
+    cert.signatures.assign(tally.sigs.begin(), tally.sigs.end());
+    stabilize(pit->second.first, std::move(cert));
+    return;
+  }
+}
+
+void SmrReplica::stabilize(CheckpointState state, CheckpointCert cert) {
+  const std::uint64_t slot = state.slot;
+  if (slot <= stable_slot_ && stable_.has_value()) return;
+  // Persist before truncating memory: the WAL's new segment carries the
+  // retained tail, the snapshot record carries state + cert.
+  if (cfg_.wal != nullptr && !recovering_) {
+    Writer w;
+    state.encode(w);
+    cert.encode(w);
+    std::vector<Bytes> tail;
+    tail.reserve(log_.size() - (slot - log_base_));
+    for (std::size_t i = slot - log_base_; i < log_.size(); ++i) {
+      tail.push_back(encode_decide_record(log_base_ + i, log_[i]));
+    }
+    cfg_.wal->checkpoint(slot, std::move(w).take(), tail);
+  }
+  log_.erase(log_.begin(),
+             log_.begin() + static_cast<std::ptrdiff_t>(slot - log_base_));
+  log_base_ = slot;
+  stable_slot_ = slot;
+  stable_ = std::make_pair(std::move(state), std::move(cert));
+  pending_states_.erase(pending_states_.begin(),
+                        pending_states_.upper_bound(slot));
+  ckpt_votes_.erase(ckpt_votes_.begin(), ckpt_votes_.upper_bound(slot));
+}
+
+void SmrReplica::install_checkpoint(CheckpointState state,
+                                    CheckpointCert cert) {
+  const std::uint64_t slot = state.slot;  // > exec_slots(), caller-checked
+
+  // Our own in-flight assignments for skipped slots: requests the
+  // checkpoint's dedup table does not cover go back to the queue head.
+  std::map<std::uint64_t, std::uint64_t> last_new(state.last_exec.begin(),
+                                                  state.last_exec.end());
+  for (auto ait = assigned_.begin();
+       ait != assigned_.end() && ait->first < slot;) {
+    Batch mine = std::move(ait->second);
+    assigned_count_ -= mine.size();
+    ait = assigned_.erase(ait);
+    for (auto rit = mine.rbegin(); rit != mine.rend(); ++rit) {
+      const auto lit = last_new.find(rit->client);
+      if (lit != last_new.end() && rit->seq <= lit->second) {
+        pending_keys_.erase({rit->client, rit->seq});
+        continue;
+      }
+      queue_bytes_ += request_wire_size(*rit);
+      queue_.push_front(std::move(*rit));
+    }
+  }
+  last_exec_ = std::move(last_new);
+  for (auto qit = queue_.begin(); qit != queue_.end();) {
+    const auto lit = last_exec_.find(qit->client);
+    if (lit != last_exec_.end() && qit->seq <= lit->second) {
+      pending_keys_.erase({qit->client, qit->seq});
+      queue_bytes_ -= request_wire_size(*qit);
+      qit = queue_.erase(qit);
+    } else {
+      ++qit;
+    }
+  }
+
+  // Jump the log: everything below `slot` is summarized by the cert.
+  // exec_payloads_ keeps only locally-executed payloads (documented gap).
+  exec_count_ = state.exec_count;
+  chain_ = state.log_digest;
+  log_.clear();
+  log_base_ = slot;
+  next_open_ = std::max(next_open_, slot);
+  max_seen_slot_ = std::max(max_seen_slot_, slot);
+
+  for (auto iit = instances_.begin();
+       iit != instances_.end() && iit->first < slot;) {
+    retired_.push_back(std::move(iit->second));
+    iit = instances_.erase(iit);
+  }
+  decided_out_of_order_.erase(decided_out_of_order_.begin(),
+                              decided_out_of_order_.lower_bound(slot));
+  buffered_.erase(buffered_.begin(), buffered_.lower_bound(slot));
+  hints_.erase(hints_.begin(), hints_.lower_bound(slot));
+  pending_states_.erase(pending_states_.begin(),
+                        pending_states_.upper_bound(slot));
+  ckpt_votes_.erase(ckpt_votes_.begin(), ckpt_votes_.upper_bound(slot));
+
+  stable_slot_ = slot;
+  stable_ = std::make_pair(std::move(state), std::move(cert));
+  if (cfg_.wal != nullptr && !recovering_) {
+    Writer w;
+    stable_->first.encode(w);
+    stable_->second.encode(w);
+    cfg_.wal->checkpoint(slot, std::move(w).take(), {});
+  }
+
+  execute_ready_slots();  // buffered decisions above the base may be ready
+  maybe_open_slots(/*pace_expired=*/false);
+}
+
+void SmrReplica::recover_from_wal() {
+  recovering_ = true;
+  const auto& snap = cfg_.wal->snapshot();
+  if (snap.has_value()) {
+    Reader r(span(*snap));
+    CheckpointState state = CheckpointState::decode(r);
+    CheckpointCert cert = CheckpointCert::decode(r);
+    r.expect_exhausted();
+    if (cert.slot != state.slot || cert.state_digest != state.digest() ||
+        !verify_checkpoint_cert(cert, cfg_.n, cfg_.f, *cfg_.suite,
+                                cfg_.public_keys)) {
+      throw std::runtime_error("SmrReplica: WAL checkpoint fails its cert");
+    }
+    log_base_ = state.slot;
+    chain_ = state.log_digest;
+    exec_count_ = state.exec_count;
+    last_exec_ =
+        std::map<std::uint64_t, std::uint64_t>(state.last_exec.begin(),
+                                               state.last_exec.end());
+    next_open_ = state.slot;
+    max_seen_slot_ = state.slot;
+    stable_slot_ = state.slot;
+    stable_ = std::make_pair(std::move(state), std::move(cert));
+  }
+  for (const Bytes& record : cfg_.wal->records()) {
+    Reader r(span(record));
+    const std::uint64_t slot = r.u64();
+    Bytes value = r.bytes();
+    r.expect_exhausted();
+    if (slot != exec_slots()) continue;  // stale segment noise: skip
+    if (!is_valid_batch(value, limits_)) {
+      throw std::runtime_error("SmrReplica: corrupt decide record in WAL");
+    }
+    decided_out_of_order_.emplace(slot, std::move(value));
+    execute_ready_slots();
+  }
+  recovered_slots_ = exec_slots();
+  if (next_open_ < exec_slots()) next_open_ = exec_slots();
+  recovering_ = false;
+}
+
+// ---- catch-up ----
+
 void SmrReplica::send_hint(ReplicaId to, std::uint64_t slot) {
+  const Bytes& value = log_[slot - log_base_];
+  const Bytes value_digest = crypto::sha256(span(value));
+  const Bytes msg = hint_signing_bytes(slot, value_digest);
+  Bytes sig = cfg_.suite->sign(span(cfg_.secret_key), span(msg));
   Writer w;
   w.u64(slot);
-  w.bytes(ByteSpan(log_[slot].data(), log_[slot].size()));
+  w.bytes(span(value));
+  w.bytes(span(sig));
   host_.send(to, kSmrHintTag, std::move(w).take());
 }
 
+void SmrReplica::send_state(ReplicaId to) {
+  if (!stable_.has_value()) return;
+  Writer w;
+  stable_->first.encode(w);
+  stable_->second.encode(w);
+  host_.send(to, kSmrStateTag, std::move(w).take());
+}
+
 void SmrReplica::handle_slot_envelope(ReplicaId from, const Bytes& payload) {
-  Reader r(ByteSpan(payload.data(), payload.size()));
+  Reader r(span(payload));
   const std::uint64_t slot = r.u64();
   const std::uint8_t inner_tag = r.u8();
   Bytes inner = r.raw(r.remaining());
   if (slot >= cfg_.pipeline.max_slots) return;  // out of configured range
   max_seen_slot_ = std::max(max_seen_slot_, slot + 1);
 
-  if (slot < log_.size()) {
+  if (slot < log_base_) {
+    // Truncated here: the sender is behind our stable checkpoint — the
+    // certified summary is the only answer we still have.
+    send_state(from);
+    return;
+  }
+  if (slot < exec_slots()) {
     // Executed here: the sender is behind — answer with the outcome
     // instead of replaying a retired instance.
     send_hint(from, slot);
@@ -411,21 +690,31 @@ void SmrReplica::handle_slot_envelope(ReplicaId from, const Bytes& payload) {
 
 void SmrReplica::handle_forward(ReplicaId from, const Bytes& payload) {
   (void)from;  // any replica may forward; dedup makes replays harmless
-  Reader r(ByteSpan(payload.data(), payload.size()));
+  Reader r(span(payload));
   Request req = Request::decode(r);
   r.expect_exhausted();
   (void)enqueue(std::move(req));
 }
 
 void SmrReplica::handle_hint(ReplicaId from, const Bytes& payload) {
-  Reader r(ByteSpan(payload.data(), payload.size()));
+  Reader r(span(payload));
   const std::uint64_t slot = r.u64();
   Bytes value = r.bytes();
+  Bytes signature = r.bytes();
   r.expect_exhausted();
   if (slot >= cfg_.pipeline.max_slots) return;
   max_seen_slot_ = std::max(max_seen_slot_, slot + 1);
-  if (slot < log_.size() || slot >= horizon()) return;
+  if (slot < exec_slots() || slot >= horizon()) return;
   if (!is_valid_batch(value, limits_)) return;
+  // A voucher only counts if the hint verifies under the claimed sender's
+  // key: a peer that forges f+1 sender ids still commands one keypair, so
+  // it can never assemble f+1 valid vouchers for an undecided value.
+  const Bytes value_digest = crypto::sha256(span(value));
+  const Bytes msg = hint_signing_bytes(slot, value_digest);
+  if (!cfg_.suite->verify(span(cfg_.public_keys[from]), span(msg),
+                          span(signature))) {
+    return;
+  }
   auto& slot_hints = hints_[slot];
   auto vit = std::find_if(
       slot_hints.begin(), slot_hints.end(),
@@ -436,8 +725,8 @@ void SmrReplica::handle_hint(ReplicaId from, const Bytes& payload) {
     vit = std::prev(slot_hints.end());
   }
   vit->vouchers.insert(from);
-  // f + 1 distinct vouchers contain at least one correct replica that
-  // executed the slot with this value.
+  // f + 1 distinct verified vouchers contain at least one correct replica
+  // that executed the slot with this value.
   if (vit->vouchers.size() >= static_cast<std::size_t>(cfg_.f) + 1) {
     const Bytes decided = vit->value;
     on_slot_decided(slot, decided);
@@ -445,14 +734,60 @@ void SmrReplica::handle_hint(ReplicaId from, const Bytes& payload) {
 }
 
 void SmrReplica::handle_pull(ReplicaId from, const Bytes& payload) {
-  Reader r(ByteSpan(payload.data(), payload.size()));
+  Reader r(span(payload));
   const std::uint64_t slot = r.u64();
   r.expect_exhausted();
+  if (slot < log_base_) {
+    // The asked slot is below our truncation point: only the certified
+    // checkpoint can cover it. Signed hints cover the retained stretch
+    // above, so one answer advances the straggler past our base.
+    send_state(from);
+  }
   // Answer a window's worth of executed slots starting at the asked one,
   // so a straggler recovers window-per-round instead of slot-per-round.
+  const std::uint64_t begin = std::max(slot, log_base_);
   const std::uint64_t upto = std::min<std::uint64_t>(
-      log_.size(), slot + cfg_.pipeline.window);
-  for (std::uint64_t s = slot; s < upto; ++s) send_hint(from, s);
+      exec_slots(), begin + cfg_.pipeline.window);
+  for (std::uint64_t s = begin; s < upto; ++s) send_hint(from, s);
+}
+
+void SmrReplica::handle_ckpt_vote(ReplicaId from, const Bytes& payload) {
+  Reader r(span(payload));
+  CheckpointVote vote = CheckpointVote::decode(r);
+  r.expect_exhausted();
+  const std::uint64_t interval = cfg_.pipeline.checkpoint_interval;
+  if (vote.signer != from) return;  // channel and signature must agree
+  if (interval == 0 || vote.slot % interval != 0) return;
+  if (vote.slot <= stable_slot_ || vote.slot > cfg_.pipeline.max_slots) {
+    return;
+  }
+  const Bytes msg = checkpoint_signing_bytes(vote.slot, vote.state_digest);
+  if (!cfg_.suite->verify(span(cfg_.public_keys[vote.signer]), span(msg),
+                          span(vote.signature))) {
+    return;
+  }
+  // A boundary vote also tells a straggler the cluster reached that slot.
+  max_seen_slot_ = std::max(max_seen_slot_, vote.slot);
+  record_ckpt_vote(vote.slot, vote.state_digest, vote.signer,
+                   std::move(vote.signature));
+  try_stabilize(vote.slot);
+  arm_catchup();
+}
+
+void SmrReplica::handle_state(ReplicaId from, const Bytes& payload) {
+  (void)from;  // trust comes from the cert, not the channel
+  Reader r(span(payload));
+  CheckpointState state = CheckpointState::decode(r);
+  CheckpointCert cert = CheckpointCert::decode(r);
+  r.expect_exhausted();
+  if (state.slot <= exec_slots()) return;  // not ahead of us
+  if (state.slot > cfg_.pipeline.max_slots) return;
+  if (cert.slot != state.slot || cert.state_digest != state.digest()) return;
+  if (!verify_checkpoint_cert(cert, cfg_.n, cfg_.f, *cfg_.suite,
+                              cfg_.public_keys)) {
+    return;
+  }
+  install_checkpoint(std::move(state), std::move(cert));
 }
 
 void SmrReplica::on_message(ReplicaId from, std::uint8_t tag,
@@ -471,6 +806,12 @@ void SmrReplica::on_message(ReplicaId from, std::uint8_t tag,
         break;
       case kSmrPullTag:
         handle_pull(from, payload);
+        break;
+      case kSmrCkptTag:
+        handle_ckpt_vote(from, payload);
+        break;
+      case kSmrStateTag:
+        handle_state(from, payload);
         break;
       default:
         break;  // not SMR traffic

@@ -23,13 +23,28 @@
 //    view change; the local copy is kept as a liveness fallback.
 //  - Executed slots are retired: the per-slot core::Replica is destroyed
 //    once execution has moved `retire_tail` slots past it, so memory is
-//    O(window + tail) instead of O(log length). Late traffic for a retired
-//    (executed) slot is answered with a decided-value hint; a replica
-//    adopts a hinted value once f + 1 distinct peers vouch for it (at
-//    least one correct), which is how stragglers catch up after the
-//    cluster has moved on. Hints are authenticated by the channel, like
-//    every other wire message here; a multi-administrative-domain
-//    deployment would carry commit certificates instead.
+//    O(window + tail) instead of O(log length).
+//
+// Certified catch-up and durability (smr/checkpoint.hpp, store/wal.hpp):
+//
+//  - Late traffic for an executed slot is answered with a decided-value
+//    hint SIGNED over (slot, value digest); a replica adopts a hinted
+//    value once f + 1 hints verify against f + 1 distinct replicas' public
+//    keys (at least one correct), so vouchers cannot be forged by a peer
+//    that spoofs sender ids.
+//  - Every `checkpoint_interval` executed slots the replica broadcasts a
+//    signed vote over its state digest (chained log digest + dedup table
+//    + next-exec slot); 2f + 1 matching votes form a CheckpointCert. The
+//    stable checkpoint truncates the retained slot log (memory and, with
+//    a WAL, disk stay O(interval + window) instead of O(log length)).
+//  - A straggler whose gap starts below a peer's truncation point adopts
+//    the peer's checkpoint only after verifying its 2f + 1 cert, then
+//    fills the remaining slots from signed hints — state transfer needs
+//    no channel trust at all.
+//  - With a `store::Wal` attached, every decide is appended (CRC-framed,
+//    fsync'd) before client-visible execution, and stable checkpoints
+//    atomically replace the log's tail on disk; a kill -9'd replica
+//    rejoins from its last stable checkpoint instead of genesis.
 //
 // Because each slot is a full ProBFT instance, the probabilistic agreement
 // guarantee applies per slot, and the SMR inherits safety with probability
@@ -42,7 +57,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -51,14 +68,17 @@
 #include "core/protocol_host.hpp"
 #include "core/replica.hpp"
 #include "smr/batch.hpp"
+#include "smr/checkpoint.hpp"
+#include "store/wal.hpp"
 
 namespace probft::smr {
 
 /// Outer wire tags, so SMR traffic can share a network with other tags.
 inline constexpr std::uint8_t kSmrTag = 0x20;      // slot-prefixed consensus
 inline constexpr std::uint8_t kSmrForwardTag = 0x21;  // request → leader
-inline constexpr std::uint8_t kSmrHintTag = 0x22;  // decided-value hint
+inline constexpr std::uint8_t kSmrHintTag = 0x22;  // signed decided-value hint
 inline constexpr std::uint8_t kSmrPullTag = 0x23;  // straggler asks for hints
+// kSmrCkptTag = 0x24 and kSmrStateTag = 0x25 live in smr/checkpoint.hpp.
 
 /// Pipeline shape: how many instances run in flight, how requests batch,
 /// and how long executed instances linger. Plumbed through
@@ -82,10 +102,9 @@ struct SmrOptions {
   /// While execution trails slots known to exist (opened locally, or
   /// merely observed in peer traffic — the gap may exceed the window),
   /// the replica broadcasts a pull for the oldest unexecuted slot at
-  /// this period (µs); peers that already executed answer with
-  /// decided-value hints for a window's worth of slots. This is how a
-  /// straggler catches up after the rest of the cluster decided (and
-  /// froze) a slot's instance, however far behind it fell.
+  /// this period (µs); peers that already executed answer with signed
+  /// decided-value hints for a window's worth of slots (and a certified
+  /// checkpoint when the asked slot is below their truncation point).
   Duration catchup_timeout = 250'000;
   /// Cap on requests held in the intake queue (local submissions and
   /// peer forwards combined); beyond it, enqueue rejects — backpressure
@@ -94,6 +113,10 @@ struct SmrOptions {
   /// Hard cap on the number of slots this replica will open (bounds the
   /// simulation; a production deployment would run unbounded).
   std::uint64_t max_slots = 1024;
+  /// Checkpoint every this many executed slots (0 disables). A stable
+  /// checkpoint (2f + 1 matching votes) truncates the retained slot log
+  /// below it, in memory and in the WAL.
+  std::uint64_t checkpoint_interval = 16;
 };
 
 /// One executed request, reported in execution order.
@@ -124,9 +147,15 @@ struct SmrConfig {
   /// Consensus pacing (per-slot synchronizer settings).
   sync::SyncConfig sync;
 
+  /// Optional durability: decides are appended (and fsync'd) here before
+  /// client-visible execution, and stable checkpoints truncate it. The
+  /// replica recovers from the WAL's contents at construction. Non-owning;
+  /// must outlive the replica.
+  store::Wal* wal = nullptr;
+
   /// Called once per executed request, in execution order (after the
   /// host's coarser on_commit). This is where a serving node sends client
-  /// replies.
+  /// replies. Not called for requests replayed from the WAL at recovery.
   std::function<void(const ExecutedCommand&)> on_execute;
 };
 
@@ -134,11 +163,16 @@ class SmrReplica : public core::INode {
  public:
   /// The host's `on_commit` is called once per executed request as
   /// (global execution index, payload); `on_decide` is unused at this
-  /// layer (per-slot decisions are internal).
+  /// layer (per-slot decisions are internal). If `config.wal` holds a
+  /// recoverable state (snapshot and/or decide records), it is installed
+  /// here — before start() — and throws std::runtime_error when the
+  /// snapshot fails certificate verification.
   SmrReplica(SmrConfig config, core::ProtocolHost host);
 
   /// Demand-driven: nothing happens until a request is submitted or peer
-  /// traffic arrives.
+  /// traffic arrives. A replica that recovered a non-empty log announces
+  /// itself with one catch-up pull so peers re-seed it with whatever it
+  /// missed while down.
   void start() override;
 
   /// Local convenience client: wraps `command` as a request from client
@@ -156,15 +190,32 @@ class SmrReplica : public core::INode {
                   const Bytes& payload) override;
 
   // ---- inspection ----
-  /// Executed request payloads, in execution order.
+  /// Executed request payloads, in execution order. Locally-executed only:
+  /// a replica that adopted a certified checkpoint has a gap below it.
   [[nodiscard]] const std::vector<Bytes>& log() const {
     return exec_payloads_;
   }
-  /// Decided batch encodings per executed slot (index = slot).
+  /// Decided batch encodings for the RETAINED slots [log_base(), exec);
+  /// index i holds slot log_base() + i. Slots below the stable checkpoint
+  /// are truncated away.
   [[nodiscard]] const std::vector<Bytes>& slot_log() const { return log_; }
-  [[nodiscard]] std::uint64_t committed_slots() const { return log_.size(); }
-  [[nodiscard]] std::uint64_t executed_commands() const {
-    return exec_payloads_.size();
+  /// First retained slot (== the stable checkpoint slot).
+  [[nodiscard]] std::uint64_t log_base() const { return log_base_; }
+  /// Executed slots, counting truncated ones.
+  [[nodiscard]] std::uint64_t committed_slots() const { return exec_slots(); }
+  [[nodiscard]] std::uint64_t executed_commands() const { return exec_count_; }
+  /// Hex chained digest over ALL executed slots (truncation-invariant):
+  /// d0 = 0^32, d_{i+1} = SHA-256(d_i ‖ len ‖ batch_i). The log identity
+  /// every harness compares across replicas.
+  [[nodiscard]] std::string log_digest() const { return to_hex(chain_); }
+  /// Slot of the stable (2f+1-certified) checkpoint; 0 before the first.
+  [[nodiscard]] std::uint64_t stable_checkpoint() const {
+    return stable_slot_;
+  }
+  /// Executed slots restored from the WAL at construction (checkpoint
+  /// base + replayed decide records); 0 when starting fresh.
+  [[nodiscard]] std::uint64_t recovered_slots() const {
+    return recovered_slots_;
   }
   /// Live per-slot consensus instances (bounded by window + tail).
   [[nodiscard]] std::size_t open_instances() const {
@@ -195,6 +246,11 @@ class SmrReplica : public core::INode {
     Bytes payload;
   };
 
+  /// Executed slots: the retained log plus everything truncated below it.
+  [[nodiscard]] std::uint64_t exec_slots() const {
+    return log_base_ + log_.size();
+  }
+
   [[nodiscard]] bool enqueue(Request request);
   [[nodiscard]] bool full_batch_ready() const;
   void maybe_open_slots(bool pace_expired);
@@ -205,7 +261,10 @@ class SmrReplica : public core::INode {
   void handle_forward(ReplicaId from, const Bytes& payload);
   void handle_hint(ReplicaId from, const Bytes& payload);
   void handle_pull(ReplicaId from, const Bytes& payload);
+  void handle_ckpt_vote(ReplicaId from, const Bytes& payload);
+  void handle_state(ReplicaId from, const Bytes& payload);
   void send_hint(ReplicaId to, std::uint64_t slot);
+  void send_state(ReplicaId to);
   void arm_catchup();
   void on_slot_decided(std::uint64_t slot, const Bytes& value);
   void execute_ready_slots();
@@ -216,14 +275,57 @@ class SmrReplica : public core::INode {
   /// Horizon for buffering/hint state: slots beyond it are dropped.
   [[nodiscard]] std::uint64_t horizon() const;
 
+  // ---- checkpoints / durability ----
+  /// Deterministic summary of the executed prefix right now.
+  [[nodiscard]] CheckpointState snapshot_state() const;
+  /// At a checkpoint-interval boundary: snapshot, sign, broadcast a vote.
+  void maybe_checkpoint();
+  /// Books a verified vote; caller already checked signer and signature.
+  void record_ckpt_vote(std::uint64_t slot, const Bytes& digest,
+                        ReplicaId signer, Bytes signature);
+  /// Promotes `slot` to stable if our own state there has 2f+1 votes.
+  void try_stabilize(std::uint64_t slot);
+  /// Installs a stable checkpoint this replica executed through: persists
+  /// it (snapshot + retained tail) and truncates the log below it.
+  void stabilize(CheckpointState state, CheckpointCert cert);
+  /// Adopts a VERIFIED checkpoint ahead of our execution (state
+  /// transfer): replaces the dedup table, jumps the log base, requeues
+  /// own still-unexecuted assignments from skipped slots.
+  void install_checkpoint(CheckpointState state, CheckpointCert cert);
+  /// Restores state from cfg_.wal (constructor path).
+  void recover_from_wal();
+  [[nodiscard]] static Bytes encode_decide_record(std::uint64_t slot,
+                                                  const Bytes& value);
+
   SmrConfig cfg_;
   core::ProtocolHost host_;
   BatchLimits limits_;
 
   // -- executed state --
-  std::vector<Bytes> log_;            // decided batch per executed slot
-  std::vector<Bytes> exec_payloads_;  // executed payloads, execution order
+  /// Decided batch per RETAINED slot: log_[i] is slot log_base_ + i.
+  std::vector<Bytes> log_;
+  std::uint64_t log_base_ = 0;        // slots below are truncated
+  Bytes chain_;                        // chained digest at exec_slots()
+  std::uint64_t exec_count_ = 0;       // commands executed (incl. recovery)
+  std::vector<Bytes> exec_payloads_;  // locally executed payloads, in order
   std::map<std::uint64_t, std::uint64_t> last_exec_;  // client → seq
+
+  // -- checkpoints --
+  /// Own state snapshots at interval boundaries, awaiting 2f+1 votes:
+  /// slot → (state, state digest).
+  std::map<std::uint64_t, std::pair<CheckpointState, Bytes>> pending_states_;
+  /// Verified votes per boundary slot; few distinct digests (linear scan).
+  struct CkptTally {
+    Bytes digest;
+    std::map<ReplicaId, Bytes> sigs;  // signer → signature
+  };
+  std::map<std::uint64_t, std::vector<CkptTally>> ckpt_votes_;
+  std::uint64_t stable_slot_ = 0;
+  std::optional<std::pair<CheckpointState, CheckpointCert>> stable_;
+
+  // -- recovery --
+  bool recovering_ = false;       // replaying the WAL: no sends, no appends
+  std::uint64_t recovered_slots_ = 0;
 
   // -- request intake --
   std::deque<Request> queue_;   // not yet assigned to a slot
@@ -236,7 +338,7 @@ class SmrReplica : public core::INode {
   bool catchup_armed_ = false;
   bool started_ = false;
   /// Exclusive upper bound on slots known to exist somewhere in the
-  /// cluster (from peer traffic and hints). While log_.size() is below
+  /// cluster (from peer traffic and hints). While exec_slots() is below
   /// it, this replica is behind and the catch-up pull keeps running —
   /// including when the gap is wider than the open window.
   std::uint64_t max_seen_slot_ = 0;
@@ -251,7 +353,7 @@ class SmrReplica : public core::INode {
   std::map<std::uint64_t, Bytes> decided_out_of_order_;
   std::map<std::uint64_t, std::vector<Buffered>> buffered_;
   // slot → hinted values with their vouching peers (few distinct values,
-  // linear scan); f+1 distinct peers adopt.
+  // linear scan); f+1 distinct SIGNATURE-VERIFIED vouchers adopt.
   struct HintEntry {
     Bytes value;
     std::set<ReplicaId> vouchers;

@@ -1,0 +1,250 @@
+#include "store/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+namespace probft::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("wal: " + what + ": " + std::strerror(errno));
+}
+
+[[nodiscard]] std::string segment_name(const char* prefix,
+                                       std::uint64_t mark) {
+  return std::string(prefix) + "-" + std::to_string(mark) + ".dat";
+}
+
+/// Parses "<prefix>-<mark>.dat"; returns false on any other name.
+[[nodiscard]] bool parse_mark(const std::string& name, const char* prefix,
+                              std::uint64_t& mark) {
+  const std::string head = std::string(prefix) + "-";
+  if (name.size() <= head.size() + 4 || name.compare(0, head.size(), head) != 0 ||
+      name.compare(name.size() - 4, 4, ".dat") != 0) {
+    return false;
+  }
+  const std::string digits = name.substr(head.size(), name.size() - head.size() - 4);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  mark = std::stoull(digits);
+  return true;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void write_record(int fd, const Bytes& payload) {
+  std::array<std::uint8_t, 8> header{};
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(ByteSpan(payload.data(), payload.size()));
+  for (int i = 0; i < 4; ++i) {
+    header[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(len >> (8 * i));
+    header[static_cast<std::size_t>(4 + i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  write_all(fd, header.data(), header.size());
+  write_all(fd, payload.data(), payload.size());
+}
+
+/// Reads CRC-framed records from `path`; returns the valid prefix and the
+/// byte offset where it ends (a torn tail starts there).
+[[nodiscard]] std::vector<Bytes> read_records(const fs::path& path,
+                                              std::uint64_t& valid_bytes) {
+  std::vector<Bytes> out;
+  valid_bytes = 0;
+  std::error_code ec;
+  const auto file_size = fs::file_size(path, ec);
+  if (ec) return out;
+  Bytes blob(file_size);
+  if (file_size > 0) {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) fail("open " + path.string());
+    const std::size_t got = std::fread(blob.data(), 1, blob.size(), f);
+    std::fclose(f);
+    blob.resize(got);
+  }
+  std::size_t pos = 0;
+  while (blob.size() - pos >= 8) {
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(blob[pos + static_cast<std::size_t>(i)])
+             << (8 * i);
+      crc |= static_cast<std::uint32_t>(
+                 blob[pos + static_cast<std::size_t>(4 + i)])
+             << (8 * i);
+    }
+    if (blob.size() - pos - 8 < len) break;  // partial record: torn tail
+    ByteSpan payload(blob.data() + pos + 8, len);
+    if (crc32(payload) != crc) break;  // corrupt record: torn tail
+    out.emplace_back(payload.begin(), payload.end());
+    pos += 8 + len;
+  }
+  valid_bytes = pos;
+  return out;
+}
+
+void fsync_path(const fs::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("open for fsync " + path.string());
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync " + path.string());
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+std::uint32_t crc32(ByteSpan data) {
+  static const auto table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (const std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+Wal::Wal(WalOptions options) : opts_(std::move(options)) {
+  if (opts_.dir.empty()) {
+    throw std::invalid_argument("wal: directory must be set");
+  }
+  fs::create_directories(opts_.dir);
+  recover();
+  open_segment_for_append();
+}
+
+Wal::~Wal() {
+  if (log_fd_ >= 0) ::close(log_fd_);
+}
+
+void Wal::maybe_fsync(int fd) const {
+  if (opts_.fsync && ::fsync(fd) != 0) fail("fsync");
+}
+
+void Wal::recover() {
+  // Newest ckpt-<m>.dat whose single record survives its CRC wins; a
+  // corrupt or empty checkpoint file (crash during step 2) is skipped in
+  // favor of the previous one. Orphan log files (crash between steps 1
+  // and 2) are ignored the same way.
+  std::vector<std::uint64_t> ckpt_marks;
+  for (const auto& entry : fs::directory_iterator(opts_.dir)) {
+    std::uint64_t mark = 0;
+    if (parse_mark(entry.path().filename().string(), "ckpt", mark)) {
+      ckpt_marks.push_back(mark);
+    }
+  }
+  std::sort(ckpt_marks.rbegin(), ckpt_marks.rend());
+  mark_ = 0;
+  snapshot_.reset();
+  for (const std::uint64_t mark : ckpt_marks) {
+    std::uint64_t valid = 0;
+    auto records =
+        read_records(fs::path(opts_.dir) / segment_name("ckpt", mark), valid);
+    if (records.size() == 1) {
+      mark_ = mark;
+      snapshot_ = std::move(records.front());
+      break;
+    }
+  }
+  const fs::path log_path = fs::path(opts_.dir) / segment_name("log", mark_);
+  std::uint64_t valid = 0;
+  records_ = read_records(log_path, valid);
+  // Truncate a torn tail so appends extend the valid prefix.
+  std::error_code ec;
+  const auto size = fs::file_size(log_path, ec);
+  if (!ec && size > valid) {
+    fs::resize_file(log_path, valid, ec);
+    if (ec) throw std::runtime_error("wal: truncate failed: " + ec.message());
+  }
+}
+
+void Wal::open_segment_for_append() {
+  if (log_fd_ >= 0) ::close(log_fd_);
+  const fs::path path = fs::path(opts_.dir) / segment_name("log", mark_);
+  log_fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (log_fd_ < 0) fail("open " + path.string());
+}
+
+void Wal::append(const Bytes& record) { write_record(log_fd_, record); }
+
+void Wal::sync() { maybe_fsync(log_fd_); }
+
+void Wal::checkpoint(std::uint64_t mark, const Bytes& snapshot,
+                     const std::vector<Bytes>& tail_records) {
+  const fs::path dir(opts_.dir);
+
+  // Step 1: the new segment's tail, complete before it becomes visible.
+  const fs::path log_tmp = dir / (segment_name("log", mark) + ".tmp");
+  int fd = ::open(log_tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("open " + log_tmp.string());
+  for (const Bytes& record : tail_records) write_record(fd, record);
+  maybe_fsync(fd);
+  ::close(fd);
+  fs::rename(log_tmp, dir / segment_name("log", mark));
+
+  // Step 2: the checkpoint record — the commit point of the install.
+  const fs::path ckpt_tmp = dir / (segment_name("ckpt", mark) + ".tmp");
+  fd = ::open(ckpt_tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("open " + ckpt_tmp.string());
+  write_record(fd, snapshot);
+  maybe_fsync(fd);
+  ::close(fd);
+  fs::rename(ckpt_tmp, dir / segment_name("ckpt", mark));
+  if (opts_.fsync) fsync_path(dir);
+
+  // Step 3: older marks are garbage now.
+  std::vector<fs::path> stale;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::uint64_t m = 0;
+    const std::string name = entry.path().filename().string();
+    if ((parse_mark(name, "ckpt", m) || parse_mark(name, "log", m)) &&
+        m < mark) {
+      stale.push_back(entry.path());
+    }
+  }
+  std::error_code ec;
+  for (const fs::path& path : stale) fs::remove(path, ec);
+
+  mark_ = mark;
+  open_segment_for_append();
+}
+
+}  // namespace probft::store

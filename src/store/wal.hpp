@@ -1,0 +1,86 @@
+// Write-ahead log: the durable substrate under an SMR replica.
+//
+// Layout (one directory per replica):
+//   ckpt-<mark>.dat   one CRC-framed record: the checkpoint snapshot that
+//                     covers every slot below <mark> (absent at mark 0)
+//   log-<mark>.dat    append-only CRC-framed records decided at or after
+//                     <mark>, in append order
+//
+// Records are opaque to this layer — the SMR engine encodes decide records
+// and checkpoint snapshots; the store only frames, checksums, fsyncs and
+// recovers them. Framing is [u32 len][u32 crc32][payload]; recovery reads
+// the newest valid checkpoint, replays its log file, and truncates a torn
+// tail (partial record or CRC mismatch — the write that was in flight when
+// the process died) so subsequent appends extend a valid prefix.
+//
+// Checkpoint installation is crash-safe by ordering:
+//   1. write log-<mark>.tmp (the retained tail records), fsync, rename;
+//   2. write ckpt-<mark>.tmp (the snapshot record), fsync, rename;
+//   3. fsync the directory, then delete files of older marks.
+// A crash between any two steps leaves either the old checkpoint or the
+// new one fully readable: ckpt-<mark>.dat is the commit point, and its log
+// file is complete before it appears.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace probft::store {
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over `data`.
+[[nodiscard]] std::uint32_t crc32(ByteSpan data);
+
+struct WalOptions {
+  std::string dir;    // created if missing
+  bool fsync = true;  // false trades durability for speed (tests, benches)
+};
+
+class Wal {
+ public:
+  /// Opens (and recovers) the log in `options.dir`. Throws
+  /// std::runtime_error on I/O errors; a torn tail is NOT an error — it is
+  /// truncated and recovery reports the valid prefix.
+  explicit Wal(WalOptions options);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // ---- recovery views (state as of open; not updated by writes) ----
+  /// Snapshot payload of the newest valid checkpoint, if any.
+  [[nodiscard]] const std::optional<Bytes>& snapshot() const {
+    return snapshot_;
+  }
+  /// Mark of the recovered checkpoint (0 when none).
+  [[nodiscard]] std::uint64_t mark() const { return mark_; }
+  /// Records appended after the recovered checkpoint, in append order.
+  [[nodiscard]] const std::vector<Bytes>& records() const { return records_; }
+
+  // ---- writes ----
+  /// Appends one record to the current log segment (no fsync).
+  void append(const Bytes& record);
+  /// fsyncs the current log segment (no-op when fsync is disabled).
+  void sync();
+  /// Installs a new checkpoint: `snapshot` covers everything below
+  /// `mark`, `tail_records` are the still-live records at or above it.
+  /// Subsequent append()s extend the new segment.
+  void checkpoint(std::uint64_t mark, const Bytes& snapshot,
+                  const std::vector<Bytes>& tail_records);
+
+ private:
+  void recover();
+  void open_segment_for_append();
+  void maybe_fsync(int fd) const;
+
+  WalOptions opts_;
+  int log_fd_ = -1;          // current log segment, append mode
+  std::uint64_t mark_ = 0;   // current segment's mark
+  std::optional<Bytes> snapshot_;
+  std::vector<Bytes> records_;
+};
+
+}  // namespace probft::store

@@ -1,0 +1,400 @@
+// Byzantine-certified checkpoints, signed catch-up vouchers and certified
+// state transfer (smr/checkpoint.hpp + the SmrReplica catch-up path).
+//
+// The headline regression lives here: a single Byzantine peer used to be
+// able to forge f+1 "distinct senders" vouching for an undecided value
+// (sender ids were channel-trusted), injecting arbitrary values into an
+// honest replica's log. Hints are now signed per claimed sender, so the
+// flood must bounce off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "net/network.hpp"
+#include "sim/scenario.hpp"
+#include "smr/checkpoint.hpp"
+#include "smr/smr_replica.hpp"
+
+namespace probft::smr {
+namespace {
+
+ByteSpan span(const Bytes& bytes) {
+  return ByteSpan(bytes.data(), bytes.size());
+}
+
+// ---- primitive unit tests ----
+
+TEST(Checkpoint, ChainDigestIsOrderSensitiveAndDeterministic) {
+  const Bytes a = to_bytes("batch-a");
+  const Bytes b = to_bytes("batch-b");
+  const Bytes d0 = zero_digest();
+  ASSERT_EQ(d0.size(), 32u);
+  const Bytes d_ab = chain_digest(chain_digest(d0, a), b);
+  const Bytes d_ba = chain_digest(chain_digest(d0, b), a);
+  EXPECT_NE(d_ab, d_ba);
+  EXPECT_EQ(d_ab, chain_digest(chain_digest(d0, a), b));
+  EXPECT_NE(chain_digest(d0, a), d0);
+}
+
+TEST(Checkpoint, StateRoundTripsAndDigestCoversEverything) {
+  CheckpointState state;
+  state.slot = 16;
+  state.exec_count = 40;
+  state.log_digest = chain_digest(zero_digest(), to_bytes("x"));
+  state.last_exec = {{1, 7}, {5, 2}, {9, 11}};
+  Writer w;
+  state.encode(w);
+  const Bytes encoded = std::move(w).take();
+  Reader r(span(encoded));
+  const CheckpointState back = CheckpointState::decode(r);
+  EXPECT_EQ(back.slot, state.slot);
+  EXPECT_EQ(back.exec_count, state.exec_count);
+  EXPECT_EQ(back.log_digest, state.log_digest);
+  EXPECT_EQ(back.last_exec, state.last_exec);
+  EXPECT_EQ(back.digest(), state.digest());
+
+  CheckpointState tweaked = state;
+  tweaked.last_exec[1].second = 3;
+  EXPECT_NE(tweaked.digest(), state.digest());
+}
+
+TEST(Checkpoint, StateDecodeRejectsUnsortedDedupTable) {
+  CheckpointState state;
+  state.slot = 4;
+  state.log_digest = zero_digest();
+  state.last_exec = {{5, 1}, {2, 1}};  // descending client ids: invalid
+  Writer w;
+  state.encode(w);
+  const Bytes encoded = std::move(w).take();
+  Reader r(span(encoded));
+  EXPECT_THROW(CheckpointState::decode(r), CodecError);
+}
+
+class CertTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    suite_ = crypto::make_sim_suite();
+    std::vector<Bytes> table(n_ + 1);
+    keys_.resize(n_ + 1);
+    for (ReplicaId id = 1; id <= n_; ++id) {
+      keys_[id] = suite_->keygen(mix64(7, id));
+      table[id] = keys_[id].public_key;
+    }
+    dir_ = crypto::PublicKeyDir(std::move(table));
+    state_.slot = 8;
+    state_.exec_count = 8;
+    state_.log_digest = chain_digest(zero_digest(), to_bytes("b"));
+    digest_ = state_.digest();
+  }
+
+  [[nodiscard]] CheckpointCert make_cert(
+      const std::vector<ReplicaId>& signers) const {
+    CheckpointCert cert;
+    cert.slot = state_.slot;
+    cert.state_digest = digest_;
+    const Bytes msg = checkpoint_signing_bytes(cert.slot, digest_);
+    for (ReplicaId id : signers) {
+      cert.signatures.emplace_back(
+          id, suite_->sign(span(keys_[id].secret_key), span(msg)));
+    }
+    return cert;
+  }
+
+  std::uint32_t n_ = 4, f_ = 1;  // 2f+1 = 3
+  std::unique_ptr<crypto::CryptoSuite> suite_;
+  std::vector<crypto::KeyPair> keys_;
+  crypto::PublicKeyDir dir_;
+  CheckpointState state_;
+  Bytes digest_;
+};
+
+TEST_F(CertTest, QuorumOfDistinctSignersVerifies) {
+  EXPECT_TRUE(verify_checkpoint_cert(make_cert({1, 2, 3}), n_, f_, *suite_,
+                                     dir_));
+  EXPECT_TRUE(verify_checkpoint_cert(make_cert({2, 3, 4}), n_, f_, *suite_,
+                                     dir_));
+}
+
+TEST_F(CertTest, TooFewSignersRejected) {
+  EXPECT_FALSE(
+      verify_checkpoint_cert(make_cert({1, 2}), n_, f_, *suite_, dir_));
+}
+
+TEST_F(CertTest, DuplicateSignersDoNotCount) {
+  // One keypair signing thrice is still one voucher — the forged-voucher
+  // attack shape, applied to certs.
+  auto cert = make_cert({2, 2, 2});
+  EXPECT_FALSE(verify_checkpoint_cert(cert, n_, f_, *suite_, dir_));
+}
+
+TEST_F(CertTest, SignatureFromWrongKeyRejected) {
+  auto cert = make_cert({1, 2, 3});
+  // Replica 3's slot in the cert, signed by 4's key: claimed and actual
+  // signer disagree.
+  const Bytes msg = checkpoint_signing_bytes(cert.slot, digest_);
+  cert.signatures[2].second =
+      suite_->sign(span(keys_[4].secret_key), span(msg));
+  EXPECT_FALSE(verify_checkpoint_cert(cert, n_, f_, *suite_, dir_));
+}
+
+TEST_F(CertTest, OutOfRangeSignerRejected) {
+  auto cert = make_cert({1, 2, 3});
+  cert.signatures[0].first = 9;  // no such replica
+  EXPECT_FALSE(verify_checkpoint_cert(cert, n_, f_, *suite_, dir_));
+}
+
+// ---- fleet tests ----
+
+struct Fleet {
+  net::Simulator sim;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<crypto::CryptoSuite> suite;
+  std::vector<crypto::KeyPair> keys;
+  std::vector<std::unique_ptr<SmrReplica>> replicas;  // 1-based
+
+  explicit Fleet(std::uint32_t n, std::uint32_t f, SmrOptions options = {},
+                 std::uint64_t seed = 1) {
+    net::LatencyConfig latency;
+    latency.min_delay = 500;
+    latency.max_delay_post = 4'000;
+    net = std::make_unique<net::Network>(sim, n, seed, latency);
+    suite = crypto::make_sim_suite();
+    keys.resize(n + 1);
+    std::vector<Bytes> key_table(n + 1);
+    for (ReplicaId id = 1; id <= n; ++id) {
+      keys[id] = suite->keygen(mix64(seed, id));
+      key_table[id] = keys[id].public_key;
+    }
+    const crypto::PublicKeyDir public_keys(std::move(key_table));
+    replicas.resize(n + 1);
+    for (ReplicaId id = 1; id <= n; ++id) {
+      SmrConfig cfg;
+      cfg.id = id;
+      cfg.n = n;
+      cfg.f = f;
+      cfg.l = 1.5;  // q = 3 at n = 4: quorums survive one silent replica
+      cfg.pipeline = options;
+      cfg.suite = suite.get();
+      cfg.secret_key = keys[id].secret_key;
+      cfg.public_keys = public_keys;
+      cfg.sync.base_timeout = 100'000;
+      core::ProtocolHost hooks;
+      hooks.send = [this, id](ReplicaId to, std::uint8_t tag, const Bytes& m) {
+        net->send(id, to, tag, m);
+      };
+      hooks.broadcast = [this, id](std::uint8_t tag, const Bytes& m) {
+        net->broadcast(id, tag, m);
+      };
+      hooks.set_timer = [this](Duration d, std::function<void()> fn) {
+        sim.schedule_after(d, std::move(fn));
+      };
+      replicas[id] = std::make_unique<SmrReplica>(std::move(cfg), hooks);
+      net->register_handler(
+          id, [this, id](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+            replicas[id]->on_message(from, tag, m);
+          });
+    }
+  }
+
+  void start_all() {
+    for (std::size_t id = 1; id < replicas.size(); ++id) {
+      replicas[id]->start();
+    }
+  }
+
+  bool run_until_executed(std::uint64_t commands,
+                          TimePoint deadline = 300'000'000) {
+    while (sim.now() < deadline) {
+      bool all = true;
+      for (std::size_t id = 1; id < replicas.size(); ++id) {
+        if (replicas[id]->executed_commands() < commands) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+      if (!sim.step()) break;
+    }
+    return false;
+  }
+};
+
+Bytes one_request_batch(const std::string& payload, std::uint64_t client,
+                        std::uint64_t seq) {
+  return encode_batch({Request{client, seq, to_bytes(payload)}});
+}
+
+/// A hint frame as send_hint produces it, signed with `key`.
+Bytes forge_hint(const crypto::CryptoSuite& suite, const Bytes& secret_key,
+                 std::uint64_t slot, const Bytes& value) {
+  const Bytes digest = crypto::sha256(span(value));
+  const Bytes msg = hint_signing_bytes(slot, digest);
+  Bytes sig = suite.sign(span(secret_key), span(msg));
+  Writer w;
+  w.u64(slot);
+  w.bytes(span(value));
+  w.bytes(span(sig));
+  return std::move(w).take();
+}
+
+TEST(CheckpointFleet, ForgedVoucherFloodCannotInjectUndecidedValue) {
+  // n = 4, f = 1: adoption needs f+1 = 2 distinct VERIFIED vouchers.
+  Fleet fleet(4, 1);
+  fleet.start_all();
+  const Bytes evil = one_request_batch("evil-undecided", 666, 1);
+
+  // Replica 4 (one Byzantine keypair) floods replica 1 with vouchers for
+  // an undecided slot-0 value, claiming every sender id on the channel —
+  // exactly what a sender-spoofing TCP peer could do before the transport
+  // bound connections. All carry signatures from 4's key.
+  const Bytes hint =
+      forge_hint(*fleet.suite, fleet.keys[4].secret_key, 0, evil);
+  for (ReplicaId claimed = 2; claimed <= 4; ++claimed) {
+    for (int repeat = 0; repeat < 8; ++repeat) {
+      fleet.replicas[1]->on_message(claimed, kSmrHintTag, hint);
+    }
+  }
+  // No adoption: the signature only verifies under key 4, so the forged
+  // claims from 2 and 3 are discarded and the voucher count stays 1.
+  EXPECT_EQ(fleet.replicas[1]->committed_slots(), 0u);
+  EXPECT_EQ(fleet.replicas[1]->executed_commands(), 0u);
+  EXPECT_FALSE(fleet.replicas[1]->has_committed(to_bytes("evil-undecided")));
+
+  // The cluster must still be able to decide slot 0 normally afterwards.
+  fleet.replicas[1]->submit(to_bytes("legit"));
+  ASSERT_TRUE(fleet.run_until_executed(1));
+  EXPECT_FALSE(fleet.replicas[1]->has_committed(to_bytes("evil-undecided")));
+  EXPECT_TRUE(fleet.replicas[1]->has_committed(to_bytes("legit")));
+}
+
+TEST(CheckpointFleet, ProperlySignedVouchersFromDistinctPeersAdopt) {
+  Fleet fleet(4, 1);
+  fleet.start_all();
+  const Bytes value = one_request_batch("decided-elsewhere", 7, 1);
+  // Two hints signed by the replicas they claim to come from: at least
+  // one of f+1 = 2 distinct signers is correct, so adoption is sound.
+  fleet.replicas[1]->on_message(
+      2, kSmrHintTag,
+      forge_hint(*fleet.suite, fleet.keys[2].secret_key, 0, value));
+  EXPECT_EQ(fleet.replicas[1]->committed_slots(), 0u);  // one is not enough
+  fleet.replicas[1]->on_message(
+      3, kSmrHintTag,
+      forge_hint(*fleet.suite, fleet.keys[3].secret_key, 0, value));
+  EXPECT_EQ(fleet.replicas[1]->committed_slots(), 1u);
+  EXPECT_TRUE(fleet.replicas[1]->has_committed(to_bytes("decided-elsewhere")));
+  EXPECT_EQ(fleet.replicas[1]->last_executed_seq(7), 1u);
+}
+
+TEST(CheckpointFleet, MismatchedChannelSenderVoucherIsDiscarded) {
+  // A hint signed by 4 but delivered as from = 2 must verify under 2's
+  // key (and fail) — the signature cannot be "borrowed".
+  Fleet fleet(4, 1);
+  fleet.start_all();
+  const Bytes value = one_request_batch("x", 1, 1);
+  const Bytes signed_by_4 =
+      forge_hint(*fleet.suite, fleet.keys[4].secret_key, 0, value);
+  fleet.replicas[1]->on_message(2, kSmrHintTag, signed_by_4);
+  fleet.replicas[1]->on_message(3, kSmrHintTag, signed_by_4);
+  fleet.replicas[1]->on_message(4, kSmrHintTag, signed_by_4);  // 1 valid
+  EXPECT_EQ(fleet.replicas[1]->committed_slots(), 0u);
+}
+
+TEST(CheckpointFleet, CheckpointsStabilizeAndTruncateTheLog) {
+  SmrOptions options;
+  options.batch_max_commands = 1;
+  options.checkpoint_interval = 2;
+  Fleet fleet(4, 1, options);
+  for (int i = 0; i < 8; ++i) {
+    fleet.replicas[1]->submit(to_bytes("op-" + std::to_string(i)));
+  }
+  fleet.start_all();
+  ASSERT_TRUE(fleet.run_until_executed(8));
+  // Let trailing checkpoint votes drain.
+  for (int i = 0; i < 20'000 && fleet.sim.step(); ++i) {
+  }
+  const std::string reference = fleet.replicas[1]->log_digest();
+  for (ReplicaId id = 1; id <= 4; ++id) {
+    auto& rep = *fleet.replicas[id];
+    EXPECT_GE(rep.stable_checkpoint(), 2u) << "replica " << id;
+    EXPECT_EQ(rep.stable_checkpoint() % 2, 0u);
+    EXPECT_EQ(rep.log_base(), rep.stable_checkpoint());
+    // The retained log holds only [base, exec): truncation really frees.
+    EXPECT_EQ(rep.slot_log().size(), rep.committed_slots() - rep.log_base());
+    EXPECT_EQ(rep.log_digest(), reference) << "replica " << id;
+  }
+}
+
+TEST(CheckpointFleet, CertifiedStateTransferJumpsAStraggler) {
+  // Hand a fresh replica a certified checkpoint for slot 8: with a valid
+  // 2f+1 cert it must install the state; with a too-small or mismatched
+  // cert it must not.
+  Fleet fleet(4, 1);
+  fleet.start_all();
+
+  CheckpointState state;
+  state.slot = 8;
+  state.exec_count = 11;
+  state.log_digest = chain_digest(zero_digest(), to_bytes("fake-history"));
+  state.last_exec = {{3, 4}};
+  const Bytes digest = state.digest();
+  const Bytes msg = checkpoint_signing_bytes(state.slot, digest);
+  const auto cert_of = [&](std::vector<ReplicaId> signers) {
+    CheckpointCert cert;
+    cert.slot = state.slot;
+    cert.state_digest = digest;
+    for (ReplicaId id : signers) {
+      cert.signatures.emplace_back(
+          id, fleet.suite->sign(span(fleet.keys[id].secret_key), span(msg)));
+    }
+    return cert;
+  };
+  const auto encode_state = [&](const CheckpointCert& cert) {
+    Writer w;
+    state.encode(w);
+    cert.encode(w);
+    return std::move(w).take();
+  };
+
+  // f+1 signatures only: rejected, nothing installs.
+  fleet.replicas[1]->on_message(4, kSmrStateTag,
+                                encode_state(cert_of({2, 4})));
+  EXPECT_EQ(fleet.replicas[1]->committed_slots(), 0u);
+  EXPECT_EQ(fleet.replicas[1]->stable_checkpoint(), 0u);
+
+  // 2f+1 distinct signers: installed, even when relayed by a single
+  // (possibly Byzantine) peer — trust rides the cert, not the channel.
+  fleet.replicas[1]->on_message(4, kSmrStateTag,
+                                encode_state(cert_of({1, 2, 3})));
+  EXPECT_EQ(fleet.replicas[1]->committed_slots(), 8u);
+  EXPECT_EQ(fleet.replicas[1]->executed_commands(), 11u);
+  EXPECT_EQ(fleet.replicas[1]->log_base(), 8u);
+  EXPECT_EQ(fleet.replicas[1]->stable_checkpoint(), 8u);
+  EXPECT_EQ(fleet.replicas[1]->last_executed_seq(3), 4u);
+  EXPECT_EQ(fleet.replicas[1]->log_digest(), to_hex(state.log_digest));
+}
+
+// ---- scenario-level crash-restart (simulated kill -9 + WAL rejoin) ----
+
+TEST(CheckpointScenario, KillRestartRecoversAndConverges) {
+  sim::ScenarioSpec spec = sim::conformance_base_spec();
+  spec.n = 4;
+  spec.f = 1;
+  spec.l = 1.5;
+  spec.workload = sim::Workload::kSmr;
+  spec.fault = sim::Fault::kKillRestart;
+  spec.smr.batch_max_commands = 1;
+  spec.smr_commands = 12;
+  spec.seeds = {1, 2};
+  ASSERT_TRUE(sim::fault_applicable(spec));
+  const sim::ScenarioResult result = sim::run_scenario(spec);
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_TRUE(outcome.agreement) << "seed " << outcome.seed;
+    EXPECT_TRUE(outcome.terminated) << "seed " << outcome.seed;
+  }
+}
+
+}  // namespace
+}  // namespace probft::smr

@@ -4,10 +4,17 @@
 // tcp-loopback` uses. All wall-clock bounded well below the ctest timeout.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "net/frame.hpp"
 #include "net/tcp_transport.hpp"
 #include "sim/tcp_runner.hpp"
 
@@ -137,6 +144,101 @@ TEST(TcpTransport, OversizePayloadIsDroppedAtTheSender) {
   EXPECT_EQ(node.stats().dropped, 1U);
   node.send(1, 2, 1, Bytes(512, 0xbb));  // within the cap: queues fine
   EXPECT_EQ(node.stats().dropped, 1U);
+}
+
+// ---- sender binding (anti-spoofing) ----
+
+// Dials the node's peer listener with a raw socket, as a hostile process
+// that is not a well-behaved TcpTransport would.
+int raw_dial(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+TEST(TcpTransport, InboundConnectionIsBoundToFirstClaimedSender) {
+  // One socket may not speak for several replica ids. Before the binding
+  // fix, a single Byzantine peer could stamp frames with every id over one
+  // connection and counterfeit "f+1 distinct senders" for unsigned
+  // traffic; now the first valid frame pins the connection and any later
+  // mismatch kills the stream.
+  auto node = make_node(1, 4);
+  std::vector<std::pair<ReplicaId, Bytes>> got;
+  node->register_handler(
+      1, [&](ReplicaId from, std::uint8_t, const Bytes& payload) {
+        got.emplace_back(from, payload);
+      });
+
+  const int fd = raw_dial(node->listen_port());
+  ASSERT_GE(fd, 0);
+
+  Bytes stream;
+  const auto push = [&](ReplicaId sender, const char* text) {
+    const Bytes payload = to_bytes(text);
+    const Bytes frame = net::encode_frame(
+        sender, 7, ByteSpan(payload.data(), payload.size()));
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  };
+  push(2, "voucher-a");      // first valid frame: binds the stream to 2
+  push(2, "voucher-b");      // same claimed sender: delivered
+  push(3, "forged");         // impersonates another replica: kills the stream
+  push(2, "after-forgery");  // even the bound id gets nothing afterwards
+  ASSERT_EQ(::send(fd, stream.data(), stream.size(), 0),
+            static_cast<ssize_t>(stream.size()));
+
+  node->run_until([&]() { return node->stats().dropped >= 1; }, 10'000'000);
+
+  ASSERT_EQ(got.size(), 2U);
+  EXPECT_EQ(got[0].first, 2U);
+  EXPECT_EQ(got[0].second, to_bytes("voucher-a"));
+  EXPECT_EQ(got[1].first, 2U);
+  EXPECT_EQ(got[1].second, to_bytes("voucher-b"));
+  EXPECT_EQ(node->stats().delivered, 2U);
+  EXPECT_EQ(node->stats().dropped, 1U);
+
+  // The transport hung up on the mismatch: the attacker sees EOF.
+  char buf[16];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+}
+
+TEST(TcpTransport, InboundFrameWithBogusSenderIsRejectedOutright) {
+  // A first frame claiming the receiver's own id, id 0, or an id beyond n
+  // never binds and never reaches the handler.
+  for (const std::uint32_t claimed : {1U, 0U, 9U}) {
+    auto node = make_node(1, 4);
+    std::atomic<int> delivered{0};
+    node->register_handler(
+        1, [&](ReplicaId, std::uint8_t, const Bytes&) { ++delivered; });
+
+    const int fd = raw_dial(node->listen_port());
+    ASSERT_GE(fd, 0);
+    const Bytes payload = to_bytes("spoof");
+    const Bytes frame = net::encode_frame(
+        claimed, 7, ByteSpan(payload.data(), payload.size()));
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+
+    node->run_until([&]() { return node->stats().dropped >= 1; },
+                    10'000'000);
+    EXPECT_EQ(delivered.load(), 0) << "claimed sender " << claimed;
+    EXPECT_EQ(node->stats().dropped, 1U) << "claimed sender " << claimed;
+
+    char buf[8];
+    EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0)
+        << "claimed sender " << claimed;
+    ::close(fd);
+  }
 }
 
 TEST(TcpTransport, TimersFireInOrder) {
