@@ -53,10 +53,13 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/verify_pool.hpp"
 #include "net/client.hpp"
 #include "net/tcp_transport.hpp"
 #include "sim/node_factory.hpp"
 #include "sim/scenario.hpp"
+#include "smr/executor.hpp"
+#include "smr/preverify.hpp"
 #include "store/wal.hpp"
 
 namespace {
@@ -86,6 +89,12 @@ struct Options {
   std::string wal_dir;                      // empty = no durability
   std::uint64_t checkpoint_interval = 16;   // slots; 0 disables
   bool fsync = true;                        // fsync WAL writes
+  // ---- multi-core replica (docs/ARCHITECTURE.md "Threading model") ----
+  /// Signature-verification worker threads feeding a shared verdict
+  /// cache; 0 = verify inline on the network thread (single-threaded).
+  std::uint32_t verify_threads = 0;
+  /// Move client-reply serialization onto a dedicated executor thread.
+  bool exec_offload = false;
 };
 
 // SIGTERM/SIGINT → stop the transport loop; the normal shutdown path
@@ -110,7 +119,8 @@ void usage() {
       "                   [--smr BOOL] [--client-port P] [--run-ms MS]\n"
       "                   [--expect-cmds N] [--window W] [--batch B]\n"
       "                   [--wal-dir DIR] [--checkpoint-interval SLOTS]\n"
-      "                   [--fsync BOOL]\n");
+      "                   [--fsync BOOL] [--verify-threads N]\n"
+      "                   [--exec-offload BOOL]\n");
 }
 
 std::uint64_t parse_u64(const std::string& text) {
@@ -204,6 +214,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.checkpoint_interval = parse_u64(value);
     } else if (key == "--fsync") {
       opt.fsync = parse_bool(value);
+    } else if (key == "--verify-threads") {
+      opt.verify_threads = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "--exec-offload") {
+      opt.exec_offload = parse_bool(value);
     } else {
       return false;
     }
@@ -228,11 +242,35 @@ void print_stats(const net::TransportStats& stats) {
   std::fflush(stdout);
 }
 
+/// The cluster facts a VerifyPool's workers need; sample_size is derived
+/// through ReplicaConfig so it cannot drift from what the replica computes.
+core::PreverifyContext make_preverify_context(const sim::NodeParams& params) {
+  core::ReplicaConfig rc;
+  rc.n = params.n;
+  rc.f = params.f;
+  rc.o = params.o;
+  rc.l = params.l;
+  core::PreverifyContext ctx;
+  ctx.n = params.n;
+  ctx.sample_size = rc.sample_size();
+  ctx.suite = params.suite;
+  ctx.public_keys = params.public_keys;
+  return ctx;
+}
+
 int run_smr_node(const Options& opt, net::TcpTransport& transport,
                  sim::NodeParams params) {
   params.smr.window = opt.window;
   params.smr.batch_max_commands = opt.batch;
   params.smr.checkpoint_interval = opt.checkpoint_interval;
+
+  // Multi-core front end (--verify-threads): workers pre-warm a shared
+  // thread-safe verdict cache that every per-slot instance then consumes.
+  std::shared_ptr<core::VerdictCache> verdicts;
+  if (opt.verify_threads > 0) {
+    verdicts = std::make_shared<core::VerdictCache>(/*thread_safe=*/true);
+    params.verdicts = verdicts;
+  }
 
   // Durability: the replica recovers from the WAL at construction and
   // appends decisions / stable checkpoints to it while running.
@@ -249,16 +287,23 @@ int run_smr_node(const Options& opt, net::TcpTransport& transport,
     params.wal = wal.get();
   }
 
+  // Reply-serialization offload (--exec-offload): the encode runs on the
+  // executor thread, and the resulting frame re-enters the loop thread
+  // via transport.post() — send_to_client itself is loop-thread-only.
+  std::unique_ptr<smr::AsyncExecutor> executor;
+  if (opt.exec_offload) executor = std::make_unique<smr::AsyncExecutor>();
+
   std::unique_ptr<smr::SmrReplica> node;
 
   // Reply routing: (client, seq) → the connection awaiting the reply,
   // plus a per-client last-reply cache so an already-executed retry is
-  // re-answered without re-execution.
+  // re-answered without re-execution. Both maps are loop-thread-only.
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> waiting;
   std::map<std::uint64_t, net::ClientReply> last_reply;
 
-  params.on_execute = [&transport, &waiting,
-                       &last_reply](const smr::ExecutedCommand& cmd) {
+  smr::AsyncExecutor* exec = executor.get();
+  params.on_execute = [&transport, &waiting, &last_reply,
+                       exec](const smr::ExecutedCommand& cmd) {
     net::ClientReply reply;
     reply.client_id = cmd.client;
     reply.seq = cmd.seq;
@@ -266,9 +311,18 @@ int run_smr_node(const Options& opt, net::TcpTransport& transport,
     reply.result = cmd.payload;
     const auto it = waiting.find({cmd.client, cmd.seq});
     if (it != waiting.end()) {
-      transport.send_to_client(it->second, net::kClientReplyTag,
-                               reply.encode());
+      const std::uint64_t conn = it->second;
       waiting.erase(it);
+      if (exec != nullptr) {
+        exec->run_or_submit([&transport, conn, reply] {
+          Bytes frame = reply.encode();
+          transport.post([&transport, conn, frame = std::move(frame)] {
+            transport.send_to_client(conn, net::kClientReplyTag, frame);
+          });
+        });
+      } else {
+        transport.send_to_client(conn, net::kClientReplyTag, reply.encode());
+      }
     }
     last_reply[cmd.client] = std::move(reply);
   };
@@ -276,10 +330,35 @@ int run_smr_node(const Options& opt, net::TcpTransport& transport,
   node = sim::make_smr_node(params, sim::transport_host(
                                         transport, opt.id,
                                         transport.timer_setter()));
-  transport.register_handler(
-      opt.id, [&node](ReplicaId from, std::uint8_t tag, const Bytes& m) {
-        node->on_message(from, tag, m);
+
+  // Inbound admission: with --verify-threads the expensive half of
+  // admission (decode + signature/VRF checks) runs on pool workers; the
+  // drain callback re-injects messages on the loop thread in submission
+  // order, so the replica sees the exact sequence it would have seen
+  // inline — just with its verdict cache already warm.
+  std::unique_ptr<core::VerifyPool> pool;
+  if (opt.verify_threads > 0) {
+    pool = std::make_unique<core::VerifyPool>(
+        make_preverify_context(params), verdicts, opt.verify_threads,
+        smr::preverify_tasks);
+    pool->set_ready_callback([&transport, &pool, &node] {
+      transport.post([&pool, &node] {
+        pool->drain(
+            [&node](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+              node->on_message(from, tag, m);
+            });
       });
+    });
+    transport.register_handler(
+        opt.id, [&pool](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+          pool->submit(from, tag, m);
+        });
+  } else {
+    transport.register_handler(
+        opt.id, [&node](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+          node->on_message(from, tag, m);
+        });
+  }
   transport.set_client_handler([&transport, &node, &waiting, &last_reply](
                                    std::uint64_t conn, std::uint8_t tag,
                                    const Bytes& payload) {
@@ -367,11 +446,39 @@ int run_single_shot(const Options& opt, net::TcpTransport& transport,
     std::fflush(stdout);
   };
 
+  // --verify-threads works here too, with the core-protocol extractor
+  // (no SMR slot envelope). PBFT/HotStuff tags extract zero tasks, so the
+  // pool degenerates to an ordered passthrough for those protocols.
+  std::shared_ptr<core::VerdictCache> verdicts;
+  if (opt.verify_threads > 0) {
+    verdicts = std::make_shared<core::VerdictCache>(/*thread_safe=*/true);
+    params.verdicts = verdicts;
+  }
+
   const auto node = sim::make_honest_node(params, std::move(host));
-  transport.register_handler(
-      opt.id, [&node](ReplicaId from, std::uint8_t tag, const Bytes& m) {
-        node->on_message(from, tag, m);
+
+  std::unique_ptr<core::VerifyPool> pool;
+  if (opt.verify_threads > 0) {
+    pool = std::make_unique<core::VerifyPool>(make_preverify_context(params),
+                                              verdicts, opt.verify_threads);
+    pool->set_ready_callback([&transport, &pool, &node] {
+      transport.post([&pool, &node] {
+        pool->drain(
+            [&node](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+              node->on_message(from, tag, m);
+            });
       });
+    });
+    transport.register_handler(
+        opt.id, [&pool](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+          pool->submit(from, tag, m);
+        });
+  } else {
+    transport.register_handler(
+        opt.id, [&node](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+          node->on_message(from, tag, m);
+        });
+  }
 
   node->start();
   transport.run_until([&decided]() { return decided; },

@@ -33,6 +33,10 @@
 # digests. All intentional stops elsewhere use SIGTERM: probft_node
 # flushes its WAL and prints its final SMRLOG/STATS lines on the way out.
 #
+# NODE_EXTRA_FLAGS appends extra probft_node flags to every node in any
+# mode — e.g. NODE_EXTRA_FLAGS="--verify-threads 2 --exec-offload 1" runs
+# the cluster multi-core (the TSan CI job does exactly that).
+#
 # This is the CI smoke test for the TCP backend (.github/workflows/ci.yml
 # job `tcp-smoke`, nightly `smr-smoke` and `restart-smoke`).
 set -u
@@ -45,6 +49,7 @@ CLIENT_BIN="$BUILD_DIR/examples/probft_client"
 DEADLINE_MS=${DEADLINE_MS:-30000}
 LINGER_MS=${LINGER_MS:-2000}
 REQUESTS=${REQUESTS:-16}
+NODE_EXTRA_FLAGS=${NODE_EXTRA_FLAGS:-}
 
 if [[ ! -x "$NODE_BIN" ]]; then
   echo "error: $NODE_BIN not found (build the examples first)" >&2
@@ -83,7 +88,7 @@ run_client_mode() {
       "$NODE_BIN" --id "$id" --peers "$peers" --smr 1 \
         --client-port $(( base_port + 100 + id - 1 )) \
         --expect-cmds "$REQUESTS" --run-ms "$DEADLINE_MS" \
-        --linger-ms "$LINGER_MS" --stats 1 \
+        --linger-ms "$LINGER_MS" --stats 1 $NODE_EXTRA_FLAGS \
         > "$workdir/node-$id.out" 2> "$workdir/node-$id.err" &
     pids+=($!)
   done
@@ -157,7 +162,7 @@ run_restart_mode() {
         --client-port $(( base_port + 100 + id - 1 )) \
         --wal-dir "$workdir/wal-$id" --checkpoint-interval 2 \
         --expect-cmds "$reqs" --run-ms "$DEADLINE_MS" \
-        --linger-ms "$linger" --stats 1 \
+        --linger-ms "$linger" --stats 1 $NODE_EXTRA_FLAGS \
         > "$workdir/$out" 2>> "$workdir/node-$id.err" &
     pids+=($!)
   }
@@ -250,6 +255,7 @@ run_single_shot_mode() {
     timeout $(( DEADLINE_MS / 1000 + LINGER_MS / 1000 + 15 )) \
       "$NODE_BIN" --id "$id" --peers "$peers" --protocol "$PROTOCOL" \
         --deadline-ms "$DEADLINE_MS" --linger-ms "$LINGER_MS" \
+        $NODE_EXTRA_FLAGS \
         > "$workdir/node-$id.out" 2> "$workdir/node-$id.err" &
     pids+=($!)
   done

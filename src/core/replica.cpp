@@ -53,39 +53,11 @@ std::optional<Bytes> choose_value(const std::vector<NewLeaderMsg>& m_set) {
   return *best;
 }
 
-/// Cache key for one verification verdict: kind byte ‖ message length ‖
-/// message ‖ signature, hashed. The length prefix removes any message/sig
-/// boundary ambiguity; the kind byte domain-separates leader-sig, phase and
-/// NewLeader verdicts.
-Bytes verdict_key(char kind, ByteSpan message, const Bytes& sig) {
-  crypto::Sha256 h;
-  std::uint8_t head[9];
-  head[0] = static_cast<std::uint8_t>(kind);
-  const std::uint64_t len = message.size();
-  for (int i = 0; i < 8; ++i) {
-    head[1 + i] = static_cast<std::uint8_t>(len >> (8 * i));
-  }
-  h.update(ByteSpan(head, sizeof(head)));
-  h.update(message);
-  h.update(ByteSpan(sig.data(), sig.size()));
-  const auto digest = h.finalize();
-  return Bytes(digest.begin(), digest.end());
-}
-
-/// Cache key from a message's memoized content digest (covers signature
-/// and all fields): digest ‖ kind ‖ tag. No hashing on this path — the hot
-/// loops reference the same few hundred distinct messages thousands of
-/// times, so the key must cost a lookup, not an encode.
-Bytes digest_key(const Bytes& digest, char kind, std::uint8_t tag) {
-  Bytes key = digest;
-  key.push_back(static_cast<std::uint8_t>(kind));
-  key.push_back(tag);
-  return key;
-}
-
-/// Verification-cache size bound; clearing wholesale keeps the fast path
-/// deterministic (an LRU's behavior would depend on hash iteration order).
-constexpr std::size_t kVerifyCacheCap = 1 << 20;
+// Verdict-key construction and the cache itself moved to
+// core/verdict_cache.{hpp,cpp} so the verification worker pool
+// (core/verify_pool.hpp) builds byte-identical keys; these aliases keep
+// the call sites readable.
+using VC = VerdictCache;
 
 }  // namespace
 
@@ -116,6 +88,9 @@ Replica::Replica(ReplicaConfig config, sync::SyncConfig sync_config,
   if (!cfg_.valid) {
     cfg_.valid = [](const Bytes& v) { return !v.empty(); };
   }
+  cache_ = cfg_.verdicts ? cfg_.verdicts
+                         : std::make_shared<VerdictCache>(
+                               /*thread_safe=*/false);
   sync_config.n = cfg_.n;
   sync_config.f = cfg_.f;
   synchronizer_ = std::make_unique<sync::Synchronizer>(
@@ -234,10 +209,7 @@ void Replica::handle_propose(const Bytes& raw) {
   // for a future view that shadows the honest leader's proposal out of the
   // buffer forever, stalling that view.
   if (msg.sender != leader_of(v, cfg_.n)) return;
-  if (!cfg_.suite->verify(cfg_.public_keys[msg.sender], msg.signing_bytes(),
-                          msg.sender_sig)) {
-    return;
-  }
+  if (!propose_sender_sig_ok(msg)) return;
   if (check_equivocation(msg.proposal, tag_byte(MsgTag::kPropose), raw)) {
     return;
   }
@@ -459,14 +431,30 @@ void Replica::handle_wish(ReplicaId from, const Bytes& raw) {
 // ---------------- Predicates ----------------
 
 std::optional<bool> Replica::cache_lookup(const Bytes& key) const {
-  const auto it = verify_cache_.find(key);
-  if (it == verify_cache_.end()) return std::nullopt;
-  return it->second;
+  return cache_->lookup(key);
 }
 
 void Replica::cache_store(Bytes key, bool ok) const {
-  if (verify_cache_.size() >= kVerifyCacheCap) verify_cache_.clear();
-  verify_cache_.emplace(std::move(key), ok);
+  cache_->store(std::move(key), ok);
+}
+
+bool Replica::propose_sender_sig_ok(const ProposeMsg& m) const {
+  const Bytes msg = m.signing_bytes();
+  if (!cfg_.fast_verify) {
+    return cfg_.suite->verify(cfg_.public_keys[m.sender],
+                              ByteSpan(msg.data(), msg.size()), m.sender_sig);
+  }
+  // Cached under 'R' so the verify pool can pre-warm it; the signing bytes
+  // are digest-based, so rebuilding them here is cheap even for a Propose
+  // carrying a large justification.
+  Bytes key = VC::signed_key('R', ByteSpan(msg.data(), msg.size()),
+                             m.sender_sig);
+  if (const auto hit = cache_lookup(key)) return *hit;
+  const bool ok = cfg_.suite->verify(
+      cfg_.public_keys[m.sender], ByteSpan(msg.data(), msg.size()),
+      m.sender_sig);
+  cache_store(std::move(key), ok);
+  return ok;
 }
 
 bool Replica::verify_leader_sig(const SignedProposal& p) const {
@@ -476,7 +464,8 @@ bool Replica::verify_leader_sig(const SignedProposal& p) const {
     return cfg_.suite->verify(cfg_.public_keys[leader],
                               ByteSpan(msg.data(), msg.size()), p.leader_sig);
   }
-  Bytes key = verdict_key('L', ByteSpan(msg.data(), msg.size()), p.leader_sig);
+  Bytes key = VC::signed_key('L', ByteSpan(msg.data(), msg.size()),
+                             p.leader_sig);
   if (const auto hit = cache_lookup(key)) return *hit;
   const bool ok = cfg_.suite->verify(
       cfg_.public_keys[leader], ByteSpan(msg.data(), msg.size()), p.leader_sig);
@@ -503,7 +492,7 @@ bool Replica::phase_full_ok(MsgTag tag, const PhaseMsg& m) const {
            phase_vrf_ok(tag, m);
   };
   if (!cfg_.fast_verify) return compute();
-  Bytes key = digest_key(m.content_digest(), 'P',
+  Bytes key = VC::digest_key(m.content_digest(), 'P',
                          static_cast<std::uint8_t>(tag));
   if (const auto hit = cache_lookup(key)) return *hit;
   const bool ok = compute();
@@ -517,7 +506,7 @@ bool Replica::new_leader_sig_ok(const NewLeaderMsg& m) const {
     return cfg_.suite->verify(cfg_.public_keys[m.sender],
                               ByteSpan(msg.data(), msg.size()), m.sender_sig);
   }
-  Bytes key = digest_key(m.content_digest(), 'N', 0);
+  Bytes key = VC::digest_key(m.content_digest(), 'N', 0);
   if (const auto hit = cache_lookup(key)) return *hit;
   const Bytes msg = m.signing_bytes();
   const bool ok = cfg_.suite->verify(
@@ -542,14 +531,14 @@ void Replica::prefetch_new_leaders(
   std::vector<Pending> pending;
   // Keys collected this round (the cache itself only fills after the
   // batch). Digest-keyed like the cache, so reuse its hash.
-  std::unordered_set<Bytes, DigestHash> queued;
+  std::unordered_set<Bytes, VC::DigestHash> queued;
   const auto uncached = [&](const Bytes& key) {
-    return !verify_cache_.contains(key) && queued.insert(key).second;
+    return !cache_->contains(key) && queued.insert(key).second;
   };
   for (const NewLeaderMsg* nl : msgs) {
     if (nl->sender == 0 || nl->sender > cfg_.n) continue;
     if (include_sender_sigs) {
-      Bytes key = digest_key(nl->content_digest(), 'N', 0);
+      Bytes key = VC::digest_key(nl->content_digest(), 'N', 0);
       if (uncached(key)) {
         pending.push_back({std::move(key), nl->sender, nl->signing_bytes(),
                            &nl->sender_sig, nullptr, MsgTag::kPrepare});
@@ -558,7 +547,7 @@ void Replica::prefetch_new_leaders(
     for (const PhaseMsgPtr& pmp : nl->cert) {
       const PhaseMsg& pm = *pmp;
       if (pm.sender == 0 || pm.sender > cfg_.n) continue;
-      Bytes key = digest_key(pm.content_digest(), 'P',
+      Bytes key = VC::digest_key(pm.content_digest(), 'P',
                              static_cast<std::uint8_t>(MsgTag::kPrepare));
       if (uncached(key)) {
         pending.push_back({std::move(key), pm.sender,

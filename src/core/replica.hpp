@@ -39,6 +39,7 @@
 #include "common/types.hpp"
 #include "core/messages.hpp"
 #include "core/protocol_host.hpp"
+#include "core/verdict_cache.hpp"
 #include "crypto/sampler.hpp"
 #include "crypto/suite.hpp"
 #include "sync/synchronizer.hpp"
@@ -75,6 +76,14 @@ struct ReplicaConfig {
   const crypto::CryptoSuite* suite = nullptr;
   Bytes secret_key;
   crypto::PublicKeyDir public_keys;  // 1-based; [0] unused; shared storage
+
+  /// Optional shared verdict cache. Null (the default, and what the
+  /// simulator always uses) gives the replica a private unsynchronized
+  /// cache — exactly the pre-sharing behavior. Hosts running a
+  /// core::VerifyPool pass the pool's thread-safe cache here so worker
+  /// threads pre-warm the verdicts this replica then hits; SMR fleets
+  /// additionally share one cache across all per-slot instances.
+  std::shared_ptr<VerdictCache> verdicts;
 
   [[nodiscard]] std::uint32_t q() const;           // probabilistic quorum
   [[nodiscard]] std::uint32_t sample_size() const; // s = ceil(o q), <= n
@@ -134,6 +143,9 @@ class Replica : public INode {
                           const Bytes& raw);
 
   [[nodiscard]] bool verify_leader_sig(const SignedProposal& p) const;
+  /// The Propose sender signature, memoized under 'R' when fast_verify is
+  /// on (lets the verify pool pre-warm it).
+  [[nodiscard]] bool propose_sender_sig_ok(const ProposeMsg& m) const;
   [[nodiscard]] bool verify_phase_msg(MsgTag tag, const PhaseMsg& m,
                                       ReplicaId addressee) const;
   /// The addressee-independent expensive part of verify_phase_msg (leader
@@ -184,20 +196,10 @@ class Replica : public INode {
   // Content-addressed verification cache (the O(n²√n) justification wall:
   // one multicast Prepare appears in ~q overlapping certificates, so the
   // same signature/VRF proof used to be re-verified once per referencing
-  // NewLeader message). Keys are SHA-256 digests over domain-separated
-  // content INCLUDING the signature bytes, so a Byzantine variant of an
-  // honest message can never alias an honest verdict; verdicts are
-  // content-deterministic, which makes negative caching sound too.
-  struct DigestHash {
-    std::size_t operator()(const Bytes& digest) const noexcept {
-      std::size_t h = 0;  // digests are uniform: fold the first 8 bytes
-      for (std::size_t i = 0; i < sizeof(h) && i < digest.size(); ++i) {
-        h = (h << 8) | digest[i];
-      }
-      return h;
-    }
-  };
-  mutable std::unordered_map<Bytes, bool, DigestHash> verify_cache_;
+  // NewLeader message). The cache class itself (keys, capacity, optional
+  // thread safety) lives in core/verdict_cache.hpp; this is either the
+  // injected shared instance (cfg_.verdicts) or a private one.
+  std::shared_ptr<VerdictCache> cache_;
 };
 
 /// Wire helper: MsgTag as the network tag byte.

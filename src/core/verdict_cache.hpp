@@ -1,0 +1,83 @@
+// Content-addressed signature/VRF verdict cache, extracted from
+// core::Replica so one cache can be shared between all per-slot SMR
+// replica instances AND a verification worker pool (core/verify_pool.hpp)
+// that pre-warms it off the protocol thread.
+//
+// Keys are SHA-256 digests over domain-separated content INCLUDING the
+// signature bytes, so a Byzantine variant of an honest message can never
+// alias an honest verdict; verdicts are content-deterministic, which makes
+// negative caching sound too. Key kinds:
+//   'L' — leader signature over a proposal tuple ⟨v,x⟩
+//   'R' — a Propose message's sender signature
+//   'P' — full phase-message verdict (leader sig && sender sig && VRF),
+//         tagged with the phase (Prepare vs Commit VRF domain)
+//   'N' — a NewLeader message's sender signature
+//
+// Thread safety is opt-in per instance: the default-constructed cache is
+// unsynchronized (zero overhead — what the single-threaded simulator and
+// plain replicas use), while `VerdictCache(/*thread_safe=*/true)` guards
+// the map with a shared_mutex so pool workers can store verdicts while the
+// protocol thread looks them up. The verdict VALUES are deterministic
+// functions of the key, so racing writers are benign: both store the same
+// bit and lookups never observe a wrong verdict, only a miss.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+
+namespace probft::core {
+
+class VerdictCache {
+ public:
+  /// Digests are uniform: fold the first 8 bytes. Exposed so callers
+  /// building "seen this round" sets can reuse the same hash.
+  struct DigestHash {
+    std::size_t operator()(const Bytes& digest) const noexcept {
+      std::size_t h = 0;
+      for (std::size_t i = 0; i < sizeof(h) && i < digest.size(); ++i) {
+        h = (h << 8) | digest[i];
+      }
+      return h;
+    }
+  };
+
+  explicit VerdictCache(bool thread_safe = false)
+      : thread_safe_(thread_safe) {}
+
+  [[nodiscard]] std::optional<bool> lookup(const Bytes& key) const;
+  [[nodiscard]] bool contains(const Bytes& key) const;
+  void store(Bytes key, bool ok);
+
+  /// Size bound; clearing wholesale keeps the fast path deterministic (an
+  /// LRU's behavior would depend on hash iteration order).
+  static constexpr std::size_t kCap = 1 << 20;
+
+  // ---- key construction (shared by Replica and VerifyPool — the two
+  // sides MUST agree byte-for-byte or pre-warmed verdicts never hit) ----
+
+  /// kind byte ‖ u64-LE message length ‖ message ‖ signature, hashed. The
+  /// length prefix removes any message/sig boundary ambiguity; the kind
+  /// byte domain-separates the verdict families.
+  [[nodiscard]] static Bytes signed_key(char kind, ByteSpan message,
+                                        const Bytes& sig);
+  /// Key from a message's memoized content digest (covers signature and
+  /// all fields): digest ‖ kind ‖ tag. No hashing on this path — the hot
+  /// loops reference the same few hundred distinct messages thousands of
+  /// times, so the key must cost a lookup, not an encode.
+  [[nodiscard]] static Bytes digest_key(const Bytes& digest, char kind,
+                                        std::uint8_t tag);
+
+ private:
+  const bool thread_safe_;
+  mutable std::shared_mutex mu_;  // used only when thread_safe_
+  std::unordered_map<Bytes, bool, DigestHash> map_;
+};
+
+using VerdictCachePtr = std::shared_ptr<VerdictCache>;
+
+}  // namespace probft::core

@@ -34,6 +34,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <string>
 #include <vector>
@@ -67,6 +68,15 @@ struct TcpTransportConfig {
   /// Per-peer cap on bytes queued while the peer is unreachable; messages
   /// beyond it are counted as dropped (backpressure, not unbounded memory).
   std::size_t max_pending_bytes = 64u << 20;
+
+  /// Write batching: frames queued by send()/broadcast() during one loop
+  /// iteration are coalesced into a single sendmsg(iovec) per connection
+  /// when the iteration ends (instead of one send(2) per frame as they
+  /// arrive). A connection whose queue crosses this watermark is flushed
+  /// immediately so a burst inside one protocol callback cannot grow the
+  /// queue unboundedly before the loop turns. 0 = flush every send
+  /// eagerly (the historical behavior).
+  std::size_t flush_watermark = 256u << 10;
 
   /// Optional client-facing listener (the SMR service port). When
   /// enabled, the transport also accepts connections on this address;
@@ -149,6 +159,23 @@ class TcpTransport final : public ITransport {
   /// Asynchronously stops a run_until() in progress (thread-safe).
   void stop() { stop_.store(true, std::memory_order_relaxed); }
 
+  /// Thread-safe: schedules `fn` to run on the loop thread at the top of
+  /// its next iteration and wakes the loop if it is parked in poll(2).
+  /// This is how worker threads (verify pool, executor) re-enter the
+  /// single-threaded protocol world; everything else on this class stays
+  /// loop-thread-only.
+  void post(std::function<void()> fn);
+
+  /// Observability for the write-batching path (tests/benches):
+  /// cumulative sendmsg(2) calls and frames they carried. Coalescing =
+  /// frames_flushed() >> flush_syscalls() under load.
+  [[nodiscard]] std::uint64_t flush_syscalls() const {
+    return flush_syscalls_;
+  }
+  [[nodiscard]] std::uint64_t frames_flushed() const {
+    return frames_flushed_;
+  }
+
   /// Completed dials so far (first connects count too); used by tests to
   /// observe reconnect behavior.
   [[nodiscard]] std::uint64_t connects() const { return connects_; }
@@ -169,6 +196,7 @@ class TcpTransport final : public ITransport {
     std::deque<std::shared_ptr<const Bytes>> pending;
     std::size_t front_off = 0;      // sent prefix of pending.front()
     std::size_t pending_bytes = 0;  // sum of pending sizes
+    bool dirty = false;  // queued frames await the end-of-iteration flush
     FrameDecoder decoder;  // peers normally never write here; tolerate
   };
   struct InboundConn {
@@ -205,6 +233,10 @@ class TcpTransport final : public ITransport {
   void finish_dial(OutboundConn& conn);
   void fail_dial(OutboundConn& conn);
   void flush(OutboundConn& conn);
+  /// End-of-iteration pass over connections send_one() marked dirty.
+  void flush_dirty();
+  /// Runs callbacks queued by post() (loop thread, top of iteration).
+  void run_posted();
   /// One recipient of a (possibly fanned-out) send: stats, self-delivery,
   /// oversize drop, lazy shared encoding, queueing. `frame` caches the
   /// encoded bytes across a broadcast/multicast loop.
@@ -241,6 +273,16 @@ class TcpTransport final : public ITransport {
 
   std::atomic<bool> stop_{false};
   std::uint64_t connects_ = 0;
+
+  std::vector<ReplicaId> dirty_;  // peers with frames awaiting flush_dirty()
+  std::uint64_t flush_syscalls_ = 0;
+  std::uint64_t frames_flushed_ = 0;
+
+  // post() handoff: tasks land here from any thread; a byte through the
+  // self-pipe knocks the loop out of poll(2).
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+  int wake_pipe_[2] = {-1, -1};
 };
 
 }  // namespace probft::net

@@ -1,0 +1,79 @@
+#include "smr/executor.hpp"
+
+#include <utility>
+
+namespace probft::smr {
+
+AsyncExecutor::AsyncExecutor(std::size_t max_queue)
+    : max_queue_(max_queue == 0 ? 1 : max_queue),
+      worker_([this] { worker_loop(); }) {}
+
+AsyncExecutor::~AsyncExecutor() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  worker_.join();  // the loop finishes every queued job before exiting
+}
+
+bool AsyncExecutor::submit(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mu_);
+    if (stop_ || queue_.size() >= max_queue_) return false;
+    queue_.push_back(std::move(fn));
+  }
+  cv_work_.notify_one();
+  return true;
+}
+
+void AsyncExecutor::run_or_submit(std::function<void()> fn) {
+  {
+    std::unique_lock lock(mu_);
+    cv_space_.wait(lock,
+                   [this] { return stop_ || queue_.size() < max_queue_; });
+    if (!stop_) {
+      queue_.push_back(std::move(fn));
+      fn = nullptr;
+    }
+  }
+  if (fn) {
+    fn();  // executor shut down: run on the caller (nothing else queued ahead
+           // can exist — the worker drained everything before stopping)
+    return;
+  }
+  cv_work_.notify_one();
+}
+
+void AsyncExecutor::drain() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && !running_job_; });
+}
+
+std::size_t AsyncExecutor::queued() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+void AsyncExecutor::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      running_job_ = true;
+    }
+    cv_space_.notify_one();
+    job();
+    {
+      std::lock_guard lock(mu_);
+      running_job_ = false;
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+}  // namespace probft::smr

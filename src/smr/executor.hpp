@@ -1,0 +1,64 @@
+// Single-worker bounded executor: moves SMR command execution and
+// client-reply serialization off the network thread (probft_node
+// --exec-offload) while trivially preserving execution order — one worker
+// draining one FIFO is an ordered pipeline stage, not a thread pool.
+//
+// Backpressure instead of unbounded queueing: submit() refuses when the
+// queue is full and the caller runs the job inline on its own thread.
+// That keeps the decide path loss-free (a reply is never dropped, only
+// occasionally serialized on the network thread again) and bounds memory
+// under a flood of decides.
+//
+// WAL ordering note: the SmrReplica fsyncs the decide record BEFORE
+// on_execute fires, so everything this executor runs is already durable;
+// offloading cannot reorder execution against the WAL.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace probft::smr {
+
+class AsyncExecutor {
+ public:
+  explicit AsyncExecutor(std::size_t max_queue = 4096);
+  ~AsyncExecutor();  // drains the queue, then joins
+
+  AsyncExecutor(const AsyncExecutor&) = delete;
+  AsyncExecutor& operator=(const AsyncExecutor&) = delete;
+
+  /// Enqueues `fn` for in-order execution on the worker. Returns false
+  /// (without running or keeping fn) when the queue is full. Note that a
+  /// caller must NOT react to `false` by running fn inline — that would
+  /// reorder it ahead of the jobs still queued; use run_or_submit().
+  [[nodiscard]] bool submit(std::function<void()> fn);
+
+  /// The recommended entry point: submit, or — when the queue is full —
+  /// block until there is room. Blocking (rather than running inline)
+  /// preserves the strict FIFO order between this job and the queued ones.
+  void run_or_submit(std::function<void()> fn);
+
+  /// Blocks until every queued job has finished. Shutdown/linger barrier.
+  void drain();
+
+  [[nodiscard]] std::size_t queued() const;
+
+ private:
+  void worker_loop();
+
+  const std::size_t max_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // worker: jobs or stop
+  std::condition_variable cv_space_;  // producers: queue has room
+  std::condition_variable cv_idle_;   // drain(): queue empty + worker idle
+  std::deque<std::function<void()>> queue_;
+  bool running_job_ = false;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace probft::smr

@@ -1,0 +1,23 @@
+#include "smr/preverify.hpp"
+
+#include "common/codec.hpp"
+#include "smr/smr_replica.hpp"
+
+namespace probft::smr {
+
+std::vector<core::VerifyTask> preverify_tasks(
+    const core::PreverifyContext& ctx, std::uint8_t tag,
+    const Bytes& payload) {
+  if (tag != kSmrTag) return {};
+  try {
+    Reader r{ByteSpan(payload.data(), payload.size())};
+    (void)r.u64();  // slot — content-keyed verdicts don't depend on it
+    const std::uint8_t inner_tag = r.u8();
+    const Bytes inner = r.raw(r.remaining());
+    return core::preverify_tasks(ctx, inner_tag, inner);
+  } catch (const CodecError&) {
+    return {};  // malformed envelope: the replica drops it
+  }
+}
+
+}  // namespace probft::smr

@@ -1,0 +1,26 @@
+// SMR-aware preverification extractor for core::VerifyPool.
+//
+// SMR consensus traffic travels as kSmrTag envelopes: u64 slot ‖ inner tag
+// ‖ inner core-protocol message. The verdict cache keys on message CONTENT
+// (which already differs per slot through the proposed batch), so the pool
+// just strips the envelope and recurses into the core extractor — one
+// shared cache serves every slot. Everything else (forwards, hints, pulls,
+// checkpoint votes, state transfer) carries either no signatures or
+// signatures the SMR layer verifies inline and uncached today; those
+// messages produce no tasks and flow straight through the pool's FIFO.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/verify_pool.hpp"
+
+namespace probft::smr {
+
+/// Drop-in PreverifyFn for a pool sitting in front of an SmrReplica.
+[[nodiscard]] std::vector<core::VerifyTask> preverify_tasks(
+    const core::PreverifyContext& ctx, std::uint8_t tag,
+    const Bytes& payload);
+
+}  // namespace probft::smr
