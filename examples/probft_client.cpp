@@ -21,6 +21,22 @@
 // every request got a reply. Summary lines:
 //   CLIENT ok requests=N replies=N retries=R duplicates=D wall_ms=...
 //   LATENCY p50_us=... p90_us=... p99_us=...
+//
+// --shards S enables client-side routing against a sharded cluster
+// (probft_node --shards S): the client computes each payload's owning
+// group through the same placement hash the replicas use and targets
+// that group's view-1 leader (lead_replica(s, n)) instead of server 1 —
+// --servers must then list every replica's client port in replica
+// order. Per-shard accounting is printed in stable ascending shard
+// order, one line per shard:
+//   SHARD s=<s> requests=... replies=... retries=... p50_us=...
+//
+// --dtx D appends D cross-shard transactions after the ordinary
+// requests: each is a "DTX1" request carrying one key per shard (keys
+// are mined so placement scatters them across ALL S groups), sent to
+// the coordinator shard's leader, and counts as completed when the
+// cluster answers dtx-committed or dtx-aborted. Summary:
+//   DTXCLIENT requests=D committed=C aborted=A
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -37,8 +53,10 @@
 #include <string>
 #include <vector>
 
+#include "common/codec.hpp"
 #include "net/client.hpp"
 #include "net/frame.hpp"
+#include "shard/placement.hpp"
 
 namespace {
 
@@ -52,6 +70,8 @@ struct Options {
   std::uint64_t retry_ms = 2'000;
   std::uint64_t timeout_ms = 30'000;
   bool force_retry = false;
+  std::uint32_t shards = 1;  // > 1 = route by placement hash
+  std::uint64_t dtx = 0;     // cross-shard transactions to append
 };
 
 std::uint64_t now_us() {
@@ -107,11 +127,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.timeout_ms = parse_u64(value);
     } else if (key == "--force-retry") {
       opt.force_retry = value == "1" || value == "true";
+    } else if (key == "--shards") {
+      const std::uint64_t shards = parse_u64(value);
+      if (shards < 1 || shards > probft::shard::kMaxShards) return false;
+      opt.shards = static_cast<std::uint32_t>(shards);
+    } else if (key == "--dtx") {
+      opt.dtx = parse_u64(value);
     } else {
       return false;
     }
   }
-  return !opt.servers.empty() && opt.requests >= 1;
+  return !opt.servers.empty() && opt.requests + opt.dtx >= 1;
 }
 
 /// One connection per server; a dead connection stays closed (fd < 0) and
@@ -155,7 +181,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: probft_client --servers host:port,... "
                    "[--requests N] [--client-id C] [--mode closed|open] "
-                   "[--retry-ms R] [--timeout-ms T] [--force-retry 1]\n");
+                   "[--retry-ms R] [--timeout-ms T] [--force-retry 1] "
+                   "[--shards S] [--dtx D]\n");
       return 2;
     }
   } catch (const std::exception& e) {
@@ -179,10 +206,57 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto payload_for = [&opt](std::uint64_t seq) {
-    return to_bytes("req-" + std::to_string(opt.client_id) + "-" +
-                    std::to_string(seq));
+  // Per-seq payload / routing tables. Ordinary requests (1..requests)
+  // hash to their owning shard via the placement layer; seqs past that
+  // are cross-shard dtx requests carrying one mined key per shard, sent
+  // to their coordinator shard's leader. With --shards 1 every primary
+  // is server 0 (the historical single-group behavior).
+  const std::uint64_t n_requests = opt.requests;
+  const std::uint64_t total = opt.requests + opt.dtx;
+  const auto n_replicas = static_cast<std::uint32_t>(servers.size());
+  shard::ShardMap map;
+  map.shard_count = opt.shards;
+  const auto span = [](const Bytes& b) {
+    return ByteSpan(b.data(), b.size());
   };
+  std::vector<Bytes> payloads(total + 1);
+  std::vector<shard::ShardId> shard_for(total + 1, 0);
+  std::vector<std::size_t> primary(total + 1, 0);
+  for (std::uint64_t seq = 1; seq <= n_requests; ++seq) {
+    payloads[seq] = to_bytes("req-" + std::to_string(opt.client_id) + "-" +
+                             std::to_string(seq));
+    if (opt.shards > 1) {
+      shard_for[seq] = shard::shard_of(map, span(payloads[seq]));
+      primary[seq] = shard::lead_replica(shard_for[seq], n_replicas) - 1;
+    }
+  }
+  for (std::uint64_t j = 0; j < opt.dtx; ++j) {
+    const std::uint64_t seq = n_requests + 1 + j;
+    // One key per shard, mined by nonce, so every group participates and
+    // the transaction is genuinely cross-shard.
+    std::vector<Bytes> keys;
+    for (shard::ShardId s = 0; s < opt.shards; ++s) {
+      for (std::uint64_t nonce = 0;; ++nonce) {
+        Bytes key = to_bytes("dtx-" + std::to_string(opt.client_id) + "-" +
+                             std::to_string(j) + "-" + std::to_string(nonce));
+        if (shard::shard_of(map, span(key)) == s) {
+          keys.push_back(std::move(key));
+          break;
+        }
+      }
+    }
+    Writer w;
+    w.raw(ByteSpan(reinterpret_cast<const std::uint8_t*>("DTX1"), 4));
+    w.vec(keys, [](Writer& wr, const Bytes& key) {
+      wr.bytes(ByteSpan(key.data(), key.size()));
+    });
+    shard_for[seq] = shard::shard_of(map, span(keys.front()));
+    if (opt.shards > 1) {
+      primary[seq] = shard::lead_replica(shard_for[seq], n_replicas) - 1;
+    }
+    payloads[seq] = std::move(w).take();
+  }
+
   const auto send_request = [&opt, &servers](std::size_t server,
                                              std::uint64_t seq,
                                              const Bytes& payload) {
@@ -207,11 +281,16 @@ int main(int argc, char** argv) {
     }
   };
 
-  const std::uint64_t n_requests = opt.requests;
-  std::vector<bool> completed(n_requests + 1, false);
-  std::vector<std::uint64_t> sent_at(n_requests + 1, 0);
+  std::vector<bool> completed(total + 1, false);
+  std::vector<std::uint64_t> sent_at(total + 1, 0);
   std::vector<std::uint64_t> latencies;
   std::uint64_t replies = 0, retries = 0, duplicates = 0;
+  std::uint64_t dtx_committed = 0, dtx_aborted = 0;
+  struct ShardStats {
+    std::uint64_t requests = 0, replies = 0, retries = 0;
+    std::vector<std::uint64_t> latencies;
+  };
+  std::vector<ShardStats> per_shard(opt.shards);
   const std::uint64_t started = now_us();
 
   const auto drain_replies = [&](int wait_ms) {
@@ -244,7 +323,7 @@ int main(int argc, char** argv) {
           const auto reply = net::ClientReply::decode(
               ByteSpan(frame.payload.data(), frame.payload.size()));
           if (reply.client_id != opt.client_id || reply.seq == 0 ||
-              reply.seq > n_requests) {
+              reply.seq > total) {
             continue;
           }
           if (completed[reply.seq]) {
@@ -253,7 +332,20 @@ int main(int argc, char** argv) {
           }
           completed[reply.seq] = true;
           ++replies;
-          latencies.push_back(now_us() - sent_at[reply.seq]);
+          const std::uint64_t latency = now_us() - sent_at[reply.seq];
+          latencies.push_back(latency);
+          ShardStats& shard_stats = per_shard[shard_for[reply.seq]];
+          ++shard_stats.replies;
+          shard_stats.latencies.push_back(latency);
+          if (reply.seq > n_requests) {
+            const std::string outcome(reply.result.begin(),
+                                      reply.result.end());
+            if (outcome == "dtx-committed") {
+              ++dtx_committed;
+            } else {
+              ++dtx_aborted;
+            }
+          }
         } catch (const CodecError&) {
           // Hostile/garbled reply: ignore.
         }
@@ -269,37 +361,43 @@ int main(int argc, char** argv) {
     for (std::uint64_t seq = 1; seq <= upto; ++seq) {
       if (completed[seq]) continue;
       ++retries;
+      ++per_shard[shard_for[seq]].retries;
       for (std::size_t s = 0; s < servers.size(); ++s) {
-        send_request(s, seq, payload_for(seq));
+        send_request(s, seq, payloads[seq]);
       }
     }
   };
+  const auto first_send = [&](std::uint64_t seq) {
+    sent_at[seq] = now_us();
+    ++per_shard[shard_for[seq]].requests;
+    send_request(primary[seq], seq, payloads[seq]);
+  };
 
   if (opt.open_loop) {
-    for (std::uint64_t seq = 1; seq <= n_requests; ++seq) {
-      sent_at[seq] = now_us();
-      send_request(0, seq, payload_for(seq));
-    }
+    for (std::uint64_t seq = 1; seq <= total; ++seq) first_send(seq);
     if (opt.force_retry) {
       ++retries;
-      send_request(servers.size() > 1 ? 1 : 0, 1, payload_for(1));
+      ++per_shard[shard_for[1]].retries;
+      send_request(servers.size() > 1 ? (primary[1] + 1) % servers.size() : 0,
+                   1, payloads[1]);
     }
     std::uint64_t next_retry = now_us() + opt.retry_ms * 1000;
-    while (replies < n_requests && now_us() < deadline) {
+    while (replies < total && now_us() < deadline) {
       drain_replies(/*wait_ms=*/20);
       if (now_us() >= next_retry) {
-        retry_incomplete(n_requests);
+        retry_incomplete(total);
         next_retry = now_us() + opt.retry_ms * 1000;
       }
     }
   } else {
-    for (std::uint64_t seq = 1; seq <= n_requests && now_us() < deadline;
-         ++seq) {
-      sent_at[seq] = now_us();
-      send_request(0, seq, payload_for(seq));
+    for (std::uint64_t seq = 1; seq <= total && now_us() < deadline; ++seq) {
+      first_send(seq);
       if (seq == 1 && opt.force_retry) {
         ++retries;
-        send_request(servers.size() > 1 ? 1 : 0, 1, payload_for(1));
+        ++per_shard[shard_for[1]].retries;
+        send_request(
+            servers.size() > 1 ? (primary[1] + 1) % servers.size() : 0, 1,
+            payloads[1]);
       }
       std::uint64_t next_retry = now_us() + opt.retry_ms * 1000;
       while (!completed[seq] && now_us() < deadline) {
@@ -314,24 +412,46 @@ int main(int argc, char** argv) {
   const double wall_ms =
       static_cast<double>(now_us() - started) / 1000.0;
 
-  const bool ok = replies == n_requests;
+  const bool ok = replies == total;
   std::printf("CLIENT %s requests=%llu replies=%llu retries=%llu "
               "duplicates=%llu wall_ms=%.1f\n",
               ok ? "ok" : "FAIL",
-              static_cast<unsigned long long>(n_requests),
+              static_cast<unsigned long long>(total),
               static_cast<unsigned long long>(replies),
               static_cast<unsigned long long>(retries),
               static_cast<unsigned long long>(duplicates), wall_ms);
+  const auto quantile_of = [](std::vector<std::uint64_t>& sorted, double q) {
+    if (sorted.empty()) return 0ULL;
+    const std::size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+    return static_cast<unsigned long long>(sorted[idx]);
+  };
   if (!latencies.empty()) {
     std::sort(latencies.begin(), latencies.end());
-    const auto quantile = [&latencies](double q) {
-      const std::size_t idx = std::min(
-          latencies.size() - 1,
-          static_cast<std::size_t>(q * static_cast<double>(latencies.size())));
-      return static_cast<unsigned long long>(latencies[idx]);
-    };
     std::printf("LATENCY p50_us=%llu p90_us=%llu p99_us=%llu\n",
-                quantile(0.50), quantile(0.90), quantile(0.99));
+                quantile_of(latencies, 0.50), quantile_of(latencies, 0.90),
+                quantile_of(latencies, 0.99));
+  }
+  if (opt.shards > 1) {
+    // Stable ascending shard order, one line per shard (empty included),
+    // so harnesses can diff runs textually.
+    for (std::uint32_t s = 0; s < opt.shards; ++s) {
+      ShardStats& shard_stats = per_shard[s];
+      std::sort(shard_stats.latencies.begin(), shard_stats.latencies.end());
+      std::printf("SHARD s=%u requests=%llu replies=%llu retries=%llu "
+                  "p50_us=%llu\n",
+                  s, static_cast<unsigned long long>(shard_stats.requests),
+                  static_cast<unsigned long long>(shard_stats.replies),
+                  static_cast<unsigned long long>(shard_stats.retries),
+                  quantile_of(shard_stats.latencies, 0.50));
+    }
+  }
+  if (opt.dtx > 0) {
+    std::printf("DTXCLIENT requests=%llu committed=%llu aborted=%llu\n",
+                static_cast<unsigned long long>(opt.dtx),
+                static_cast<unsigned long long>(dtx_committed),
+                static_cast<unsigned long long>(dtx_aborted));
   }
   for (auto& conn : servers) {
     if (conn.fd >= 0) ::close(conn.fd);

@@ -36,6 +36,18 @@
 //    found state). kill -9 + restart must converge to the same digest as
 //    the peers — scripts/run_tcp_cluster.sh's restart mode asserts it.
 //
+//  - Sharded SMR (--shards S, implies --smr): the process serves S
+//    independent consensus groups (src/shard) over the same sockets.
+//    Client requests route to the group owning their payload hash; a
+//    "DTX1"-prefixed request runs the cross-shard 2PC coordinator and is
+//    answered with dtx-committed / dtx-aborted. --wal-dir splits into
+//    per-group directories (DIR/shard-<s>), SMRLOG/RECOVERED lines gain
+//    a shard=<s> field (one line per group), and a final
+//      DTX id=<id> committed=<c> aborted=<a> in_flight=<i>
+//    line reports transaction outcomes. --expect-cmds counts total
+//    executed entries across all groups, dtx bookkeeping entries
+//    included (a D-participant tx commits exactly 2 + 2D entries).
+//
 // SIGTERM/SIGINT stop the event loop gracefully in both modes: the WAL
 // is flushed and the final SMRLOG/--stats lines are still printed.
 // --stats prints per-tag TransportStats on shutdown in both modes.
@@ -56,6 +68,9 @@
 #include "core/verify_pool.hpp"
 #include "net/client.hpp"
 #include "net/tcp_transport.hpp"
+#include "shard/dtx.hpp"
+#include "shard/preverify.hpp"
+#include "shard/sharded_smr.hpp"
 #include "sim/node_factory.hpp"
 #include "sim/scenario.hpp"
 #include "smr/executor.hpp"
@@ -89,6 +104,12 @@ struct Options {
   std::string wal_dir;                      // empty = no durability
   std::uint64_t checkpoint_interval = 16;   // slots; 0 disables
   bool fsync = true;                        // fsync WAL writes
+  /// Consensus groups (src/shard). 1 = the plain single-group log; > 1
+  /// runs a shard::ShardedSmr fleet — S groups multiplexed over this
+  /// process's one transport, requests routed by payload hash, per-shard
+  /// WAL namespaces under --wal-dir/shard-<s>, and a cross-shard 2PC
+  /// coordinator serving "DTX1" client requests.
+  std::uint32_t shards = 1;
   // ---- multi-core replica (docs/ARCHITECTURE.md "Threading model") ----
   /// Signature-verification worker threads feeding a shared verdict
   /// cache; 0 = verify inline on the network thread (single-threaded).
@@ -120,7 +141,7 @@ void usage() {
       "                   [--expect-cmds N] [--window W] [--batch B]\n"
       "                   [--wal-dir DIR] [--checkpoint-interval SLOTS]\n"
       "                   [--fsync BOOL] [--verify-threads N]\n"
-      "                   [--exec-offload BOOL]\n");
+      "                   [--exec-offload BOOL] [--shards S]\n");
 }
 
 std::uint64_t parse_u64(const std::string& text) {
@@ -218,6 +239,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.verify_threads = static_cast<std::uint32_t>(parse_u64(value));
     } else if (key == "--exec-offload") {
       opt.exec_offload = parse_bool(value);
+    } else if (key == "--shards") {
+      const std::uint64_t shards = parse_u64(value);
+      if (shards < 1 || shards > shard::kMaxShards) return false;
+      opt.shards = static_cast<std::uint32_t>(shards);
+      opt.smr = true;  // groups are replicated logs
     } else {
       return false;
     }
@@ -432,6 +458,259 @@ int run_smr_node(const Options& opt, net::TcpTransport& transport,
   return 0;
 }
 
+/// --shards S: one process serves S consensus groups (shard::ShardedSmr)
+/// over the same transport. Mirrors run_smr_node's wiring — verdict
+/// cache, verify pool (shard::preverify_tasks, so signature batches span
+/// all groups), WAL durability, client reply routing — plus the dtx
+/// coordinator for cross-shard "DTX1" transactions. Prints one SMRLOG
+/// line per shard so harnesses assert per-shard digest agreement.
+int run_sharded_node(const Options& opt, net::TcpTransport& transport,
+                     sim::NodeParams params) {
+  params.smr.window = opt.window;
+  params.smr.batch_max_commands = opt.batch;
+  params.smr.checkpoint_interval = opt.checkpoint_interval;
+
+  std::shared_ptr<core::VerdictCache> verdicts;
+  if (opt.verify_threads > 0) {
+    verdicts = std::make_shared<core::VerdictCache>(/*thread_safe=*/true);
+  }
+
+  // Durability: one WAL per group under its own directory, so each
+  // group's decide/checkpoint stream has a private segment namespace.
+  std::vector<std::unique_ptr<store::Wal>> wals;
+  std::vector<store::Wal*> wal_ptrs;
+  if (!opt.wal_dir.empty()) {
+    for (shard::ShardId s = 0; s < opt.shards; ++s) {
+      try {
+        wals.push_back(std::make_unique<store::Wal>(store::WalOptions{
+            opt.wal_dir + "/shard-" + std::to_string(s), opt.fsync}));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "cannot open WAL for shard %u under %s: %s\n",
+                     s, opt.wal_dir.c_str(), e.what());
+        return 1;
+      }
+      wal_ptrs.push_back(wals.back().get());
+    }
+  }
+
+  std::unique_ptr<smr::AsyncExecutor> executor;
+  if (opt.exec_offload) executor = std::make_unique<smr::AsyncExecutor>();
+
+  std::unique_ptr<shard::ShardedSmr> node;
+  std::unique_ptr<shard::DtxCoordinator> dtx;
+
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> waiting;
+  std::map<std::uint64_t, net::ClientReply> last_reply;
+
+  smr::AsyncExecutor* exec = executor.get();
+  const auto route_reply = [&transport, &waiting, &last_reply,
+                            exec](const net::ClientReply& reply) {
+    const auto it = waiting.find({reply.client_id, reply.seq});
+    if (it != waiting.end()) {
+      const std::uint64_t conn = it->second;
+      waiting.erase(it);
+      if (exec != nullptr) {
+        exec->run_or_submit([&transport, conn, reply] {
+          Bytes frame = reply.encode();
+          transport.post([&transport, conn, frame = std::move(frame)] {
+            transport.send_to_client(conn, net::kClientReplyTag, frame);
+          });
+        });
+      } else {
+        transport.send_to_client(conn, net::kClientReplyTag, reply.encode());
+      }
+    }
+    last_reply[reply.client_id] = reply;
+  };
+
+  shard::ShardedSmrConfig sc;
+  sc.base.id = params.id;
+  sc.base.n = params.n;
+  sc.base.f = params.f;
+  sc.base.o = params.o;
+  sc.base.l = params.l;
+  sc.base.pipeline = params.smr;
+  sc.base.fast_verify = params.fast_verify;
+  sc.base.suite = params.suite;
+  sc.base.secret_key = params.secret_key;
+  sc.base.public_keys = params.public_keys;
+  sc.base.verdicts = verdicts;
+  sc.base.sync = params.sync;
+  sc.map.version = 1;
+  sc.map.shard_count = opt.shards;
+  sc.wals = wal_ptrs;
+  sc.on_execute = [&dtx, &route_reply](shard::ShardId s,
+                                       const smr::ExecutedCommand& cmd) {
+    if (dtx) dtx->on_execute(s, cmd);
+    // Dtx-internal entries (DXB1/DXP1/DXD1/DXA1 under synthetic per-tx
+    // clients) are protocol bookkeeping, not client commands — the
+    // client's reply comes from the coordinator's on_complete instead.
+    if (cmd.payload.size() >= 4 && cmd.payload[0] == 'D' &&
+        cmd.payload[1] == 'X') {
+      return;
+    }
+    net::ClientReply reply;
+    reply.client_id = cmd.client;
+    reply.seq = cmd.seq;
+    reply.slot = cmd.slot;
+    reply.result = cmd.payload;
+    route_reply(reply);
+  };
+
+  try {
+    node = std::make_unique<shard::ShardedSmr>(
+        std::move(sc), sim::transport_host(transport, opt.id,
+                                           transport.timer_setter()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot start sharded service: %s\n", e.what());
+    return 1;
+  }
+  dtx = std::make_unique<shard::DtxCoordinator>(*node,
+                                                transport.timer_setter());
+  dtx->set_on_complete([&route_reply](std::uint64_t /*txid*/, bool committed,
+                                      std::uint64_t origin_client,
+                                      std::uint64_t origin_seq) {
+    if (origin_client == 0) return;  // learned via BEGIN, no local client
+    net::ClientReply reply;
+    reply.client_id = origin_client;
+    reply.seq = origin_seq;
+    reply.result = to_bytes(committed ? "dtx-committed" : "dtx-aborted");
+    route_reply(reply);
+  });
+
+  std::unique_ptr<core::VerifyPool> pool;
+  if (opt.verify_threads > 0) {
+    pool = std::make_unique<core::VerifyPool>(
+        make_preverify_context(params), verdicts, opt.verify_threads,
+        shard::preverify_tasks);
+    pool->set_ready_callback([&transport, &pool, &node] {
+      transport.post([&pool, &node] {
+        pool->drain(
+            [&node](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+              node->on_message(from, tag, m);
+            });
+      });
+    });
+    transport.register_handler(
+        opt.id, [&pool](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+          pool->submit(from, tag, m);
+        });
+  } else {
+    transport.register_handler(
+        opt.id, [&node](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+          node->on_message(from, tag, m);
+        });
+  }
+  transport.set_client_handler([&transport, &node, &dtx, &waiting,
+                                &last_reply](std::uint64_t conn,
+                                             std::uint8_t tag,
+                                             const Bytes& payload) {
+    if (tag != net::kClientRequestTag) return;
+    try {
+      const auto request =
+          net::ClientRequest::decode(ByteSpan(payload.data(), payload.size()));
+      if (shard::DtxCoordinator::is_dtx_request(request.payload)) {
+        // Cross-shard transaction. A retry of a finished tx is answered
+        // from the coordinator's outcome table (the origin (client, seq)
+        // never enters any group's log, so the dedup tables can't).
+        const std::uint64_t txid = shard::DtxCoordinator::txid_of(
+            request.client_id, request.seq, request.payload);
+        if (const auto done = dtx->completed_status(txid)) {
+          net::ClientReply reply;
+          reply.client_id = request.client_id;
+          reply.seq = request.seq;
+          reply.result = to_bytes(*done ? "dtx-committed" : "dtx-aborted");
+          transport.send_to_client(conn, net::kClientReplyTag,
+                                   reply.encode());
+          return;
+        }
+        if (dtx->submit(request.client_id, request.seq, request.payload)) {
+          waiting[{request.client_id, request.seq}] = conn;
+        }
+        return;
+      }
+      // Ordinary request: dedup against the OWNING group's tables (each
+      // group has its own per-client last-executed map).
+      const shard::ShardId s = node->placement().shard_of(
+          ByteSpan(request.payload.data(), request.payload.size()));
+      const smr::SmrReplica& group = node->group(s);
+      if (request.seq <= group.last_executed_seq(request.client_id)) {
+        const auto cached = last_reply.find(request.client_id);
+        if (cached != last_reply.end() &&
+            cached->second.seq == request.seq) {
+          transport.send_to_client(conn, net::kClientReplyTag,
+                                   cached->second.encode());
+        }
+        return;
+      }
+      const bool accepted = node->submit_request(
+          request.client_id, request.seq, request.payload);
+      if (accepted || group.has_pending(request.client_id, request.seq)) {
+        waiting[{request.client_id, request.seq}] = conn;
+      }
+    } catch (const CodecError&) {
+      // Malformed client request: drop.
+    }
+  });
+
+  bool recovered = false;
+  for (shard::ShardId s = 0; s < node->shard_count(); ++s) {
+    if (node->group(s).recovered_slots() == 0) continue;
+    recovered = true;
+    std::printf("RECOVERED id=%u shard=%u base=%llu slots=%llu\n", opt.id, s,
+                static_cast<unsigned long long>(node->group(s).log_base()),
+                static_cast<unsigned long long>(
+                    node->group(s).recovered_slots()));
+  }
+  std::fflush(stdout);
+
+  node->start();
+  // After the groups are live: re-derive in-flight dtx state from the
+  // recovered logs and resume driving (idempotent — the engines dedup
+  // re-submitted transitions).
+  if (recovered) dtx->rebuild_from_logs();
+
+  // --expect-cmds counts TOTAL executed entries across all groups,
+  // dtx bookkeeping included (every entry count is deterministic: a
+  // D-participant tx commits exactly 2 + 2D entries), because the
+  // aggregate survives recovery where a client-only counter would not.
+  const std::uint64_t expect = opt.expect_cmds;
+  const auto caught_up = [&node, expect] {
+    return expect > 0 && node->executed_commands() >= expect;
+  };
+  const std::function<bool()> done =
+      expect > 0 ? std::function<bool()>(caught_up) : nullptr;
+  const bool reached = transport.run_until(done, opt.run_ms * 1000);
+  transport.run_until(nullptr, opt.linger_ms * 1000);
+
+  for (const auto& wal : wals) wal->sync();
+  for (shard::ShardId s = 0; s < node->shard_count(); ++s) {
+    const smr::SmrReplica& group = node->group(s);
+    std::printf("SMRLOG id=%u shard=%u slots=%llu base=%llu cmds=%llu "
+                "digest=%s\n",
+                opt.id, s,
+                static_cast<unsigned long long>(group.committed_slots()),
+                static_cast<unsigned long long>(group.log_base()),
+                static_cast<unsigned long long>(group.executed_commands()),
+                group.log_digest().c_str());
+  }
+  std::printf("DTX id=%u committed=%llu aborted=%llu in_flight=%llu\n",
+              opt.id, static_cast<unsigned long long>(dtx->committed()),
+              static_cast<unsigned long long>(dtx->aborted()),
+              static_cast<unsigned long long>(dtx->in_flight()));
+  std::fflush(stdout);
+  if (opt.stats) print_stats(transport.stats());
+  if (g_signaled) return 0;
+  if (expect > 0 && !reached) {
+    std::fprintf(stderr, "executed %llu/%llu entries within %llu ms\n",
+                 static_cast<unsigned long long>(node->executed_commands()),
+                 static_cast<unsigned long long>(expect),
+                 static_cast<unsigned long long>(opt.run_ms));
+    return 1;
+  }
+  return 0;
+}
+
 int run_single_shot(const Options& opt, net::TcpTransport& transport,
                     sim::NodeParams params) {
   bool decided = false;
@@ -568,6 +847,9 @@ int main(int argc, char** argv) {
   // timer is generous compared to the simulator's 100 ms default.
   params.sync.base_timeout = 1'000'000;  // 1 s
 
+  if (opt.smr && opt.shards > 1) {
+    return run_sharded_node(opt, *transport, std::move(params));
+  }
   return opt.smr ? run_smr_node(opt, *transport, std::move(params))
                  : run_single_shot(opt, *transport, std::move(params));
 }

@@ -11,7 +11,9 @@
 # The manifest picks up every bench/bench_*.cpp binary automatically;
 # that includes bench_smr_throughput (SMR window × batch sweep — its
 # default run prints the table and JSON; the nightly smr-smoke job runs
-# it separately with --smoke-bound-x=5 as a regression gate).
+# it separately with --smoke-bound-x=5 as a regression gate) and
+# bench_sharding (S-group scaling sweep; CI's shard-smoke job runs it
+# with --smoke as the S=4 >= 2.5x S=1 regression gate).
 #
 # usage: scripts/run_benches.sh [outdir] [build-dir]
 set -euo pipefail
@@ -78,8 +80,29 @@ if [ -x "${builddir}/bench/bench_smr_throughput" ]; then
   fi
 fi
 
+# Machine-readable sharding summary: aggregate throughput for S in
+# {1,2,4,8} consensus groups plus cross-shard tx latency. The repo keeps
+# a committed copy (BENCH_sharding.json at the repo root) as the scaling
+# baseline; CI gates on S=4 >= 2.5x S=1 via --smoke.
+if [ -x "${builddir}/bench/bench_sharding" ]; then
+  echo "== BENCH_sharding.json (shard scaling + dtx latency)"
+  if ! "${builddir}/bench/bench_sharding" \
+      --emit-json="${outdir}/BENCH_sharding.json"; then
+    echo "   FAILED: bench_sharding --emit-json" >&2
+    status=1
+    failed=$((failed + 1))
+  fi
+fi
+
+# Provenance: pin the manifest to the exact tree and wall-clock moment
+# the numbers came from, so archived bench-results stay comparable.
+git_sha="$(git -C "$(dirname "$0")/.." rev-parse HEAD 2>/dev/null || echo unknown)"
+generated_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
 cat >"${manifest}" <<EOF
 {
+  "git_sha": "${git_sha}",
+  "generated_utc": "${generated_utc}",
   "benches_run": ${ran},
   "benches_failed": ${failed},
   "ok": $([ "${status}" -eq 0 ] && echo true || echo false),

@@ -95,7 +95,7 @@ std::vector<VerifyTask> preverify_tasks(const PreverifyContext& ctx,
           t.key = VerdictCache::signed_key(
               'L', ByteSpan(t.message.data(), t.message.size()),
               m.proposal.leader_sig);
-          t.signer = leader_of(m.proposal.view, ctx.n);
+          t.signer = leader_of(m.proposal.view + ctx.leader_offset, ctx.n);
           t.signature = m.proposal.leader_sig;
           out.push_back(std::move(t));
         }
@@ -331,7 +331,8 @@ void VerifyPool::evaluate(const std::vector<Entry*>& batch) {
                    slot != leader_slots.end()) {
           w.leader_check = slot->second;
         } else {
-          const ReplicaId leader = leader_of(m.proposal.view, ctx_.n);
+          const ReplicaId leader =
+              leader_of(m.proposal.view + ctx_.leader_offset, ctx_.n);
           w.leader_check = add_check(leader, w.leader_msg,
                                      m.proposal.leader_sig);
           leader_slots.emplace(w.leader_key, w.leader_check);

@@ -53,6 +53,10 @@ namespace probft::core {
 struct PreverifyContext {
   std::uint32_t n = 0;
   std::uint32_t sample_size = 0;
+  /// Must mirror ReplicaConfig::leader_offset or leader-signature ('L')
+  /// verdicts would be computed against the wrong key and poison the
+  /// shared cache. Sharded SMR rewrites this per shard before recursing.
+  View leader_offset = 0;
   const crypto::CryptoSuite* suite = nullptr;
   crypto::PublicKeyDir public_keys;  // 1-based; [0] unused; shared storage
 };

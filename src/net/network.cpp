@@ -72,6 +72,10 @@ void Network::send_shared(ReplicaId from, ReplicaId to, std::uint8_t tag,
     ++stats_.dropped;
     return;
   }
+  if (payload_filter_ && payload_filter_(from, to, tag, *payload)) {
+    ++stats_.dropped;
+    return;
+  }
 
   const bool duplicate = config_.duplicate_prob > 0.0 &&
                          rng_.uniform01() < config_.duplicate_prob;

@@ -51,6 +51,12 @@ class Network final : public ITransport {
   /// Returns true to drop the message (fault injection).
   using Filter =
       std::function<bool(ReplicaId from, ReplicaId to, std::uint8_t tag)>;
+  /// Payload-aware variant for faults that target a slice of one tag's
+  /// traffic — e.g. silencing one shard's leader means dropping only the
+  /// kShardTag frames whose envelope names that shard. Checked after
+  /// `Filter`; either one returning true drops the message.
+  using PayloadFilter = std::function<bool(
+      ReplicaId from, ReplicaId to, std::uint8_t tag, const Bytes& payload)>;
 
   /// Historical alias — the shared stats type now lives at the transport
   /// boundary so every backend reports the same shape.
@@ -80,6 +86,10 @@ class Network final : public ITransport {
 
   void set_filter(Filter filter) { filter_ = std::move(filter); }
   void clear_filter() { filter_ = nullptr; }
+  void set_payload_filter(PayloadFilter filter) {
+    payload_filter_ = std::move(filter);
+  }
+  void clear_payload_filter() { payload_filter_ = nullptr; }
 
   [[nodiscard]] std::uint32_t size() const override { return n_; }
   [[nodiscard]] const LatencyConfig& config() const { return config_; }
@@ -100,6 +110,7 @@ class Network final : public ITransport {
   Xoshiro256StarStar rng_;
   std::vector<Handler> handlers_;  // index 0 unused
   Filter filter_;
+  PayloadFilter payload_filter_;
   Stats stats_;
 };
 

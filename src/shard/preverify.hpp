@@ -1,0 +1,25 @@
+// Shard-aware preverification extractor for core::VerifyPool.
+//
+// Sharded consensus traffic is the SMR wire format wrapped once more:
+// kShardTag ‖ u32 shard ‖ inner SMR frame. The extractor peels the shard
+// envelope, rewrites the context's leader_offset to the shard id (leader
+// signatures verify against leader_of(view + shard, n) — the group's
+// rotated schedule), and recurses into smr::preverify_tasks. One pool and
+// one verdict cache therefore serve every group: signatures from ALL
+// shards land in the same verify_batch MSM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/verify_pool.hpp"
+
+namespace probft::shard {
+
+/// Drop-in PreverifyFn for a pool sitting in front of a ShardedSmr.
+[[nodiscard]] std::vector<core::VerifyTask> preverify_tasks(
+    const core::PreverifyContext& ctx, std::uint8_t tag,
+    const Bytes& payload);
+
+}  // namespace probft::shard

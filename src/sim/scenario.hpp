@@ -37,6 +37,10 @@ enum class Fault {
   kAdaptiveLeader,     // adversary corrupts each new view's leader (budget f)
   kKillRestart,        // SMR only: kill one replica mid-run, restart it from
                        // its write-ahead log (crash-restart durability)
+  kShardSilentLeader,  // sharded SMR only: shard 0's view-1 leader goes
+                       // silent for shard-0 traffic (its kShardTag frames
+                       // naming shard 0 are dropped); sibling shards must
+                       // keep committing while group 0 view-changes past it
 };
 
 /// Latency presets over net::LatencyConfig.
@@ -69,6 +73,11 @@ struct ScenarioSpec {
   /// partition or churn outage see fresh traffic after healing).
   smr::SmrOptions smr;
   std::uint64_t smr_commands = 12;
+  /// Consensus groups for the SMR workload. 1 = the plain SmrReplica
+  /// fleet (the historical shape every pinned transcript was captured
+  /// against); > 1 = a shard::ShardedSmr fleet with requests routed by
+  /// the placement layer and per-shard log agreement asserted.
+  std::uint32_t shards = 1;
   std::vector<std::uint64_t> seeds = {1};
   TimePoint deadline = 120'000'000;      // virtual μs
   std::size_t max_events = 50'000'000;

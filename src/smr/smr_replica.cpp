@@ -75,9 +75,9 @@ void SmrReplica::submit(Bytes command) {
     throw std::invalid_argument("submit: command exceeds the batch byte cap");
   }
   ++local_seq_;
-  const ReplicaId leader = leader_of(1, cfg_.n);
+  const ReplicaId leader = leader_of(1 + cfg_.leader_offset, cfg_.n);
   Bytes forward;
-  if (leader != cfg_.id) {
+  if (cfg_.forward_submissions && leader != cfg_.id) {
     Writer w;
     req.encode(w);
     forward = std::move(w).take();
@@ -92,9 +92,9 @@ void SmrReplica::submit(Bytes command) {
 bool SmrReplica::submit_request(std::uint64_t client, std::uint64_t seq,
                                 Bytes payload) {
   Request req{client, seq, std::move(payload)};
-  const ReplicaId leader = leader_of(1, cfg_.n);
+  const ReplicaId leader = leader_of(1 + cfg_.leader_offset, cfg_.n);
   Bytes forward;
-  if (leader != cfg_.id) {
+  if (cfg_.forward_submissions && leader != cfg_.id) {
     Writer w;
     req.encode(w);
     forward = std::move(w).take();
@@ -239,6 +239,7 @@ void SmrReplica::open_next_slot() {
   rc.f = cfg_.f;
   rc.o = cfg_.o;
   rc.l = cfg_.l;
+  rc.leader_offset = cfg_.leader_offset;
   rc.my_value = encode_batch(batch);
   rc.valid = [limits = limits_](const Bytes& value) {
     return is_valid_batch(value, limits);

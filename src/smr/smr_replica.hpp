@@ -140,6 +140,18 @@ struct SmrConfig {
   /// ProBFT verification fast path for the per-slot instances.
   bool fast_verify = true;
 
+  /// Leader-rotation offset for every per-slot instance (see
+  /// core::ReplicaConfig::leader_offset). Sharded SMR runs S engines with
+  /// offsets 0..S-1 so their view-1 leaders spread across the fleet.
+  View leader_offset = 0;
+
+  /// Forward submissions at a non-leader to the view-1 leader over
+  /// kSmrForwardTag (the single-group default). shard::ShardedSmr turns
+  /// this off and forwards at its own layer (kShardForwardTag, which
+  /// carries the ShardMap version); the local enqueue stays either way
+  /// as the liveness fallback.
+  bool forward_submissions = true;
+
   const crypto::CryptoSuite* suite = nullptr;
   Bytes secret_key;
   crypto::PublicKeyDir public_keys;
