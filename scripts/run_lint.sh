@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Protocol lint driver: self-test the lint against its golden fixtures,
+# then lint the real tree. Mirrors the CI static-analysis job; run before
+# sending any change that touches wire formats, tags, or syscall sites.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PYTHON="${PYTHON:-python3}"
+if ! command -v "$PYTHON" >/dev/null 2>&1; then
+  echo "run_lint.sh: $PYTHON not found" >&2
+  exit 1
+fi
+
+echo "== lint_protocol --self-test (golden fixtures)"
+"$PYTHON" tools/lint_protocol.py --self-test
+
+echo "== lint_protocol (real tree)"
+"$PYTHON" tools/lint_protocol.py --root .

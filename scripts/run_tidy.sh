@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# clang-tidy driver over src/ using the repo's curated .clang-tidy profile.
+#
+# Needs: clang-tidy on PATH and a build tree with compile_commands.json
+# (CMake exports it unconditionally; any configured build dir works).
+# Degrades to a skip — not a failure — when clang-tidy is unavailable, so
+# gcc-only environments can still run the full local gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_tidy.sh: $TIDY not found — skipping (install clang-tidy or set CLANG_TIDY)" >&2
+  exit 0
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy.sh: $BUILD_DIR/compile_commands.json missing — configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S ." >&2
+  exit 1
+fi
+
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+echo "== clang-tidy over ${#sources[@]} files ($JOBS jobs)"
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" -j "$JOBS" \
+    -quiet "${sources[@]}"
+else
+  fail=0
+  for f in "${sources[@]}"; do
+    "$TIDY" -p "$BUILD_DIR" --quiet "$f" || fail=1
+  done
+  exit "$fail"
+fi

@@ -23,15 +23,16 @@
 #include "common/bytes.hpp"
 #include "common/codec.hpp"
 #include "common/types.hpp"
+#include "net/tags.hpp"
 
 namespace probft::core {
 
 enum class MsgTag : std::uint8_t {
-  kPropose = 1,
-  kPrepare = 2,
-  kCommit = 3,
-  kNewLeader = 4,
-  kWish = 5,
+  kPropose = net::tags::kPropose,
+  kPrepare = net::tags::kPrepare,
+  kCommit = net::tags::kCommit,
+  kNewLeader = net::tags::kNewLeader,
+  kWish = net::tags::kWish,
 };
 
 /// The leader-signed proposal tuple ⟨v, x⟩_leader.

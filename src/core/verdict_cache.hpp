@@ -25,10 +25,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
+#include "common/mutex.hpp"
 
 namespace probft::core {
 
@@ -48,6 +49,10 @@ class VerdictCache {
 
   explicit VerdictCache(bool thread_safe = false)
       : thread_safe_(thread_safe) {}
+
+  /// True when this instance synchronizes map access internally and may
+  /// safely be shared across threads (e.g. handed to a VerifyPool).
+  [[nodiscard]] bool thread_safe() const noexcept { return thread_safe_; }
 
   [[nodiscard]] std::optional<bool> lookup(const Bytes& key) const;
   [[nodiscard]] bool contains(const Bytes& key) const;
@@ -73,9 +78,19 @@ class VerdictCache {
                                         std::uint8_t tag);
 
  private:
+  // The map is touched only through these; the public entry points either
+  // really take mu_ (thread_safe_) or assert it (single-owner mode, where
+  // the sole owning thread IS the mutual exclusion — the one construct the
+  // thread-safety analysis cannot prove; see docs/STATIC_ANALYSIS.md).
+  [[nodiscard]] std::optional<bool> lookup_locked(const Bytes& key) const
+      PROBFT_REQUIRES_SHARED(mu_);
+  [[nodiscard]] bool contains_locked(const Bytes& key) const
+      PROBFT_REQUIRES_SHARED(mu_);
+  void store_locked(Bytes key, bool ok) PROBFT_REQUIRES(mu_);
+
   const bool thread_safe_;
-  mutable std::shared_mutex mu_;  // used only when thread_safe_
-  std::unordered_map<Bytes, bool, DigestHash> map_;
+  mutable SharedMutex mu_;  // really locked only when thread_safe_
+  std::unordered_map<Bytes, bool, DigestHash> map_ PROBFT_GUARDED_BY(mu_);
 };
 
 using VerdictCachePtr = std::shared_ptr<VerdictCache>;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -140,6 +141,14 @@ VerifyPool::VerifyPool(PreverifyContext ctx, VerdictCachePtr cache,
       cache_(std::move(cache)),
       threads_(threads),
       extract_(extract ? std::move(extract) : PreverifyFn(&preverify_tasks)) {
+  if (threads_ > 0 && (!cache_ || !cache_->thread_safe())) {
+    // Workers store verdicts while the protocol thread looks them up; an
+    // unsynchronized cache here is a data race that happens to pass most
+    // schedules. Refuse loudly instead.
+    throw std::invalid_argument(
+        "VerifyPool: threads > 0 requires a thread-safe VerdictCache "
+        "(construct it with VerdictCache(/*thread_safe=*/true))");
+  }
   workers_.reserve(threads_);
   for (unsigned i = 0; i < threads_; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -148,7 +157,7 @@ VerifyPool::VerifyPool(PreverifyContext ctx, VerdictCachePtr cache,
 
 VerifyPool::~VerifyPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -166,7 +175,7 @@ void VerifyPool::submit(ReplicaId from, std::uint8_t tag, Bytes payload) {
     e.submitted = std::chrono::steady_clock::now();
     evaluate({&e});
     e.done = true;
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (record_latencies_) {
       latencies_us_.push_back(
           std::chrono::duration<double, std::micro>(
@@ -177,7 +186,7 @@ void VerifyPool::submit(ReplicaId from, std::uint8_t tag, Bytes payload) {
     return;
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     fifo_.push_back(Entry{from, tag, std::move(payload), false,
                           std::chrono::steady_clock::now()});
     unclaimed_.push_back(&fifo_.back());
@@ -190,7 +199,7 @@ std::size_t VerifyPool::drain(const Deliver& deliver) {
   for (;;) {
     Entry entry;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (fifo_.empty() || !fifo_.front().done) break;
       entry = std::move(fifo_.front());
       fifo_.pop_front();
@@ -202,29 +211,27 @@ std::size_t VerifyPool::drain(const Deliver& deliver) {
 }
 
 void VerifyPool::wait_ready() {
-  std::unique_lock lock(mu_);
-  cv_ready_.wait(lock, [this] {
-    return fifo_.empty() || fifo_.front().done;
-  });
+  MutexLock lock(mu_);
+  while (!fifo_.empty() && !fifo_.front().done) cv_ready_.wait(mu_);
 }
 
 bool VerifyPool::idle() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return fifo_.empty();
 }
 
 void VerifyPool::set_ready_callback(std::function<void()> cb) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ready_cb_ = std::move(cb);
 }
 
 void VerifyPool::record_latencies(bool on) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   record_latencies_ = on;
 }
 
 std::vector<double> VerifyPool::take_latencies_us() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return std::exchange(latencies_us_, {});
 }
 
@@ -232,8 +239,8 @@ void VerifyPool::worker_loop() {
   for (;;) {
     std::vector<Entry*> batch;
     {
-      std::unique_lock lock(mu_);
-      cv_work_.wait(lock, [this] { return stop_ || !unclaimed_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && unclaimed_.empty()) cv_work_.wait(mu_);
       if (stop_) return;
       const std::size_t take = std::min(kClaimBatch, unclaimed_.size());
       batch.assign(unclaimed_.begin(),
@@ -250,7 +257,7 @@ void VerifyPool::mark_done(const std::vector<Entry*>& batch) {
   bool head_ready = false;
   std::function<void()> cb;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const auto now = std::chrono::steady_clock::now();
     for (Entry* e : batch) {
       e->done = true;

@@ -30,15 +30,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
+#include "common/mutex.hpp"
 #include "common/types.hpp"
 #include "core/messages.hpp"
 #include "core/verdict_cache.hpp"
@@ -93,7 +93,9 @@ using PreverifyFn = std::function<std::vector<VerifyTask>(
 class VerifyPool {
  public:
   /// `cache` must be thread-safe when threads > 0 (it is shared with the
-  /// consuming replica on the protocol thread). Null extract = core
+  /// consuming replica on the protocol thread); passing an unsynchronized
+  /// cache with workers throws std::invalid_argument — that combination is
+  /// a silent data race, not a configuration. Null extract = core
   /// protocol messages (preverify_tasks above).
   VerifyPool(PreverifyContext ctx, VerdictCachePtr cache, unsigned threads,
              PreverifyFn extract = {});
@@ -104,31 +106,32 @@ class VerifyPool {
 
   /// Enqueues one inbound message for preverification. Cheap (no crypto,
   /// no decode) when threads > 0; evaluates inline when threads == 0.
-  void submit(ReplicaId from, std::uint8_t tag, Bytes payload);
+  void submit(ReplicaId from, std::uint8_t tag, Bytes payload)
+      PROBFT_EXCLUDES(mu_);
 
   using Deliver =
       std::function<void(ReplicaId, std::uint8_t, const Bytes&)>;
   /// Delivers every message whose preverification has finished, strictly
   /// in submission order (a finished message behind an unfinished one
   /// waits). Returns the number delivered. Call from the protocol thread.
-  std::size_t drain(const Deliver& deliver);
+  std::size_t drain(const Deliver& deliver) PROBFT_EXCLUDES(mu_);
 
   /// Blocks until drain() would deliver at least one message, or every
   /// submitted message has been delivered already. For benches/tests and
   /// shutdown linger; the node path uses the ready callback instead.
-  void wait_ready();
+  void wait_ready() PROBFT_EXCLUDES(mu_);
 
   /// True when every submitted message has been delivered.
-  [[nodiscard]] bool idle() const;
+  [[nodiscard]] bool idle() const PROBFT_EXCLUDES(mu_);
 
   /// Invoked FROM A WORKER THREAD whenever the head of the queue becomes
   /// deliverable; wire it to something like TcpTransport::post so the
   /// protocol thread wakes up and drains. May fire spuriously.
-  void set_ready_callback(std::function<void()> cb);
+  void set_ready_callback(std::function<void()> cb) PROBFT_EXCLUDES(mu_);
 
   /// When enabled, records submit→ready latency per message (µs).
-  void record_latencies(bool on);
-  [[nodiscard]] std::vector<double> take_latencies_us();
+  void record_latencies(bool on) PROBFT_EXCLUDES(mu_);
+  [[nodiscard]] std::vector<double> take_latencies_us() PROBFT_EXCLUDES(mu_);
 
   [[nodiscard]] unsigned threads() const { return threads_; }
   [[nodiscard]] const PreverifyContext& context() const { return ctx_; }
@@ -143,25 +146,29 @@ class VerifyPool {
     std::chrono::steady_clock::time_point submitted;
   };
 
-  void worker_loop();
+  void worker_loop() PROBFT_EXCLUDES(mu_);
   /// Decodes + batch-verifies a claimed run of entries; stores verdicts.
-  void evaluate(const std::vector<Entry*>& batch);
-  void mark_done(const std::vector<Entry*>& batch);
+  /// Lock-free: the entries in `batch` are claimed-exclusive (removed from
+  /// unclaimed_ under mu_, untouched by anyone else until marked done).
+  void evaluate(const std::vector<Entry*>& batch) PROBFT_EXCLUDES(mu_);
+  void mark_done(const std::vector<Entry*>& batch) PROBFT_EXCLUDES(mu_);
 
   const PreverifyContext ctx_;
   const VerdictCachePtr cache_;
   const unsigned threads_;
   const PreverifyFn extract_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_work_;   // workers: unclaimed work arrived
-  std::condition_variable cv_ready_;  // owner: head became deliverable
-  std::deque<Entry> fifo_;            // submission order; popped by drain
-  std::deque<Entry*> unclaimed_;      // suffix of fifo_ not yet claimed
-  std::function<void()> ready_cb_;
-  bool record_latencies_ = false;
-  std::vector<double> latencies_us_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_work_;   // workers: unclaimed work arrived
+  CondVar cv_ready_;  // owner: head became deliverable
+  // submission order; popped by drain (deque: push_back/pop_front never
+  // move surviving elements, so the Entry* in unclaimed_ stay valid)
+  std::deque<Entry> fifo_ PROBFT_GUARDED_BY(mu_);
+  std::deque<Entry*> unclaimed_ PROBFT_GUARDED_BY(mu_);  // suffix of fifo_
+  std::function<void()> ready_cb_ PROBFT_GUARDED_BY(mu_);
+  bool record_latencies_ PROBFT_GUARDED_BY(mu_) = false;
+  std::vector<double> latencies_us_ PROBFT_GUARDED_BY(mu_);
+  bool stop_ PROBFT_GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> workers_;
 };

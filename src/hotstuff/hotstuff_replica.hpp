@@ -23,16 +23,17 @@
 #include "core/protocol_host.hpp"
 #include "core/replica.hpp"
 #include "crypto/suite.hpp"
+#include "net/tags.hpp"
 #include "sync/synchronizer.hpp"
 
 namespace probft::hotstuff {
 
 enum class HsTag : std::uint8_t {
-  kNewView = 11,
-  kProposal = 12,
-  kVote = 13,
-  kQc = 14,
-  kWish = 15,
+  kNewView = net::tags::kHsNewView,
+  kProposal = net::tags::kHsProposal,
+  kVote = net::tags::kHsVote,
+  kQc = net::tags::kHsQc,
+  kWish = net::tags::kHsWish,
 };
 
 enum class HsPhase : std::uint8_t {

@@ -25,14 +25,16 @@
 
 #include "common/bytes.hpp"
 #include "common/codec.hpp"
+#include "net/tags.hpp"
 
 namespace probft::net {
 
 inline constexpr std::uint8_t kClientWireVersion = 1;
 
-/// Frame tags carrying client-protocol payloads.
-inline constexpr std::uint8_t kClientRequestTag = 0x30;
-inline constexpr std::uint8_t kClientReplyTag = 0x31;
+/// Frame tags carrying client-protocol payloads; values live in the
+/// central registry (net/tags.hpp), these are local re-exports.
+inline constexpr std::uint8_t kClientRequestTag = tags::kClientRequest;
+inline constexpr std::uint8_t kClientReplyTag = tags::kClientReply;
 
 /// Cap on a single request payload / reply result. Requests also have to
 /// fit the SMR batch byte cap; this bound is what the codec enforces

@@ -150,6 +150,7 @@ void TcpTransport::open_client_listener() {
 }
 
 void TcpTransport::register_handler(ReplicaId id, Handler handler) {
+  loop_thread_.assert_held();
   if (id != cfg_.self) {
     throw std::out_of_range("TcpTransport hosts only its own replica");
   }
@@ -157,11 +158,13 @@ void TcpTransport::register_handler(ReplicaId id, Handler handler) {
 }
 
 void TcpTransport::set_peer(ReplicaId id, PeerAddress address) {
+  loop_thread_.assert_held();
   if (id == 0 || id > cfg_.n) throw std::out_of_range("set_peer: bad id");
   cfg_.peers[id] = std::move(address);
 }
 
 void TcpTransport::set_timer(Duration delay, std::function<void()> fn) {
+  loop_thread_.assert_held();
   timers_.push(Timer{now_us() + delay, timer_seq_++, std::move(fn)});
 }
 
@@ -187,6 +190,7 @@ void TcpTransport::send_one(ReplicaId to, std::uint8_t tag,
     // deliver on the next loop iteration, never reentrantly.
     auto copy = std::make_shared<Bytes>(payload);
     set_timer(0, [this, tag, copy]() {
+      loop_thread_.assert_held();  // timers fire on the loop thread
       if (handler_) {
         ++stats_.delivered;
         handler_(cfg_.self, tag, *copy);
@@ -226,6 +230,7 @@ void TcpTransport::send_one(ReplicaId to, std::uint8_t tag,
 
 void TcpTransport::send(ReplicaId from, ReplicaId to, std::uint8_t tag,
                         Bytes payload) {
+  loop_thread_.assert_held();
   if (from != cfg_.self) {
     throw std::invalid_argument("TcpTransport: send from foreign id");
   }
@@ -235,6 +240,7 @@ void TcpTransport::send(ReplicaId from, ReplicaId to, std::uint8_t tag,
 
 void TcpTransport::broadcast(ReplicaId from, std::uint8_t tag,
                              const Bytes& payload, bool include_self) {
+  loop_thread_.assert_held();
   if (from != cfg_.self) {
     throw std::invalid_argument("TcpTransport: send from foreign id");
   }
@@ -248,6 +254,7 @@ void TcpTransport::broadcast(ReplicaId from, std::uint8_t tag,
 void TcpTransport::multicast(ReplicaId from,
                              const std::vector<ReplicaId>& recipients,
                              std::uint8_t tag, const Bytes& payload) {
+  loop_thread_.assert_held();
   if (from != cfg_.self) {
     throw std::invalid_argument("TcpTransport: send from foreign id");
   }
@@ -312,6 +319,7 @@ void TcpTransport::fail_dial(OutboundConn& conn) {
   conn.retry_armed = true;
   const ReplicaId peer = conn.peer;
   set_timer(cfg_.reconnect_delay, [this, peer]() {
+    loop_thread_.assert_held();  // timers fire on the loop thread
     OutboundConn& c = *outbound_[peer];
     c.retry_armed = false;
     if (c.fd < 0 && !c.connecting && !c.pending.empty()) {
@@ -402,7 +410,7 @@ void TcpTransport::flush_dirty() {
 
 void TcpTransport::post(std::function<void()> fn) {
   {
-    std::lock_guard lock(posted_mu_);
+    MutexLock lock(posted_mu_);
     posted_.push_back(std::move(fn));
   }
   const std::uint8_t byte = 0;
@@ -411,10 +419,18 @@ void TcpTransport::post(std::function<void()> fn) {
   [[maybe_unused]] const ssize_t rc = ::write(wake_pipe_[1], &byte, 1);
 }
 
+void TcpTransport::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  // Wake a loop parked in poll(2): without this byte a cross-thread stop()
+  // only took effect once the idle poll timeout (up to 50 ms) expired.
+  const std::uint8_t byte = 0;
+  [[maybe_unused]] const ssize_t rc = ::write(wake_pipe_[1], &byte, 1);
+}
+
 void TcpTransport::run_posted() {
   std::vector<std::function<void()>> tasks;
   {
-    std::lock_guard lock(posted_mu_);
+    MutexLock lock(posted_mu_);
     tasks.swap(posted_);
   }
   for (auto& fn : tasks) {
@@ -424,6 +440,7 @@ void TcpTransport::run_posted() {
 
 void TcpTransport::send_to_client(std::uint64_t conn, std::uint8_t tag,
                                   const Bytes& payload) {
+  loop_thread_.assert_held();
   ++stats_.sends;
   ++stats_.sends_by_tag[tag];
   stats_.bytes_sent += payload.size();
@@ -590,6 +607,7 @@ int TcpTransport::poll_timeout_ms() const {
 
 bool TcpTransport::run_until(const std::function<bool()>& done,
                              Duration max_wall) {
+  ThreadRoleGuard role(loop_thread_);  // this thread IS the loop thread now
   const TimePoint deadline = now_us() + max_wall;
   while (!stop_.load(std::memory_order_relaxed)) {
     fire_due_timers();

@@ -34,12 +34,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
+#include "common/mutex.hpp"
 #include "common/types.hpp"
 #include "net/frame.hpp"
 #include "net/transport.hpp"
@@ -106,6 +107,9 @@ class TcpTransport final : public ITransport {
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   // ---- ITransport ----
+  // Loop-thread-only (like everything except post()/stop()): each entry
+  // point asserts the loop_thread_ capability, which also arms a runtime
+  // thread-id check in debug builds.
   /// Only this node's own id is hosted here.
   void register_handler(ReplicaId id, Handler handler) override;
   void send(ReplicaId from, ReplicaId to, std::uint8_t tag,
@@ -115,6 +119,7 @@ class TcpTransport final : public ITransport {
   void multicast(ReplicaId from, const std::vector<ReplicaId>& recipients,
                  std::uint8_t tag, const Bytes& payload) override;
   [[nodiscard]] const TransportStats& stats() const override {
+    loop_thread_.assert_held();
     return stats_;
   }
   [[nodiscard]] std::uint32_t size() const override { return cfg_.n; }
@@ -131,6 +136,7 @@ class TcpTransport final : public ITransport {
   using ClientHandler = std::function<void(
       std::uint64_t conn, std::uint8_t tag, const Bytes& payload)>;
   void set_client_handler(ClientHandler handler) {
+    loop_thread_.assert_held();
     client_handler_ = std::move(handler);
   }
   /// Queues one frame to a client connection; silently drops if the
@@ -154,31 +160,39 @@ class TcpTransport final : public ITransport {
 
   // ---- event loop ----
   /// Runs until `done()` returns true, `max_wall` µs elapsed, or stop().
-  /// Returns the final done() value.
+  /// Returns the final done() value. Acquires the loop_thread_ role for
+  /// the duration of the run.
   bool run_until(const std::function<bool()>& done, Duration max_wall);
-  /// Asynchronously stops a run_until() in progress (thread-safe).
-  void stop() { stop_.store(true, std::memory_order_relaxed); }
+  /// Asynchronously stops a run_until() in progress (thread-safe). Writes
+  /// the wake pipe so a loop parked in poll(2) notices immediately rather
+  /// than after the idle poll timeout.
+  void stop();
 
   /// Thread-safe: schedules `fn` to run on the loop thread at the top of
   /// its next iteration and wakes the loop if it is parked in poll(2).
   /// This is how worker threads (verify pool, executor) re-enter the
   /// single-threaded protocol world; everything else on this class stays
   /// loop-thread-only.
-  void post(std::function<void()> fn);
+  void post(std::function<void()> fn) PROBFT_EXCLUDES(posted_mu_);
 
   /// Observability for the write-batching path (tests/benches):
   /// cumulative sendmsg(2) calls and frames they carried. Coalescing =
   /// frames_flushed() >> flush_syscalls() under load.
   [[nodiscard]] std::uint64_t flush_syscalls() const {
+    loop_thread_.assert_held();
     return flush_syscalls_;
   }
   [[nodiscard]] std::uint64_t frames_flushed() const {
+    loop_thread_.assert_held();
     return frames_flushed_;
   }
 
   /// Completed dials so far (first connects count too); used by tests to
   /// observe reconnect behavior.
-  [[nodiscard]] std::uint64_t connects() const { return connects_; }
+  [[nodiscard]] std::uint64_t connects() const {
+    loop_thread_.assert_held();
+    return connects_;
+  }
 
  private:
   struct OutboundConn {
@@ -224,64 +238,80 @@ class TcpTransport final : public ITransport {
   };
 
   [[nodiscard]] static TimePoint now_us();
-  void open_listener();
-  void open_client_listener();
-  void accept_clients();
-  void read_client_ready(ClientConn& conn, bool& close_me);
-  void flush_client(ClientConn& conn, bool& close_me);
-  void start_dial(OutboundConn& conn);
-  void finish_dial(OutboundConn& conn);
-  void fail_dial(OutboundConn& conn);
-  void flush(OutboundConn& conn);
+  // All of these run with the loop_thread_ role held (clang enforces it;
+  // the constructor is the one unchecked caller, which is fine — nothing
+  // else can reach the object during construction).
+  void open_listener() PROBFT_REQUIRES(loop_thread_);
+  void open_client_listener() PROBFT_REQUIRES(loop_thread_);
+  void accept_clients() PROBFT_REQUIRES(loop_thread_);
+  void read_client_ready(ClientConn& conn, bool& close_me)
+      PROBFT_REQUIRES(loop_thread_);
+  void flush_client(ClientConn& conn, bool& close_me)
+      PROBFT_REQUIRES(loop_thread_);
+  void start_dial(OutboundConn& conn) PROBFT_REQUIRES(loop_thread_);
+  void finish_dial(OutboundConn& conn) PROBFT_REQUIRES(loop_thread_);
+  void fail_dial(OutboundConn& conn) PROBFT_REQUIRES(loop_thread_);
+  void flush(OutboundConn& conn) PROBFT_REQUIRES(loop_thread_);
   /// End-of-iteration pass over connections send_one() marked dirty.
-  void flush_dirty();
+  void flush_dirty() PROBFT_REQUIRES(loop_thread_);
   /// Runs callbacks queued by post() (loop thread, top of iteration).
-  void run_posted();
+  void run_posted() PROBFT_REQUIRES(loop_thread_) PROBFT_EXCLUDES(posted_mu_);
   /// One recipient of a (possibly fanned-out) send: stats, self-delivery,
   /// oversize drop, lazy shared encoding, queueing. `frame` caches the
   /// encoded bytes across a broadcast/multicast loop.
   void send_one(ReplicaId to, std::uint8_t tag, const Bytes& payload,
-                std::shared_ptr<const Bytes>& frame);
+                std::shared_ptr<const Bytes>& frame)
+      PROBFT_REQUIRES(loop_thread_);
   /// Drains `fd` into `decoder` and dispatches complete frames. `bound`
   /// pins the connection's sender id: 0 means unbound (an accepted
   /// connection before its first frame) and is set from the first valid
   /// frame; any frame whose sender mismatches a nonzero binding — or
   /// claims an out-of-range id or this node's own id — sets `close_me`.
   void read_ready(int fd, FrameDecoder& decoder, ReplicaId& bound,
-                  bool& close_me);
-  void dispatch(const Frame& frame);
-  void fire_due_timers();
-  [[nodiscard]] int poll_timeout_ms() const;
+                  bool& close_me) PROBFT_REQUIRES(loop_thread_);
+  void dispatch(const Frame& frame) PROBFT_REQUIRES(loop_thread_);
+  void fire_due_timers() PROBFT_REQUIRES(loop_thread_);
+  [[nodiscard]] int poll_timeout_ms() const PROBFT_REQUIRES(loop_thread_);
+
+  /// The "loop thread only" invariant, as a capability: held by
+  /// run_until(), asserted by every confined entry point. cfg_ and the
+  /// listener fds/ports are set at construction (set_peer before the loop
+  /// runs) and left unguarded as effectively immutable.
+  ThreadRole loop_thread_;
 
   TcpTransportConfig cfg_;
-  Handler handler_;
-  TransportStats stats_;
+  Handler handler_ PROBFT_GUARDED_BY(loop_thread_);
+  TransportStats stats_ PROBFT_GUARDED_BY(loop_thread_);
 
   int listen_fd_ = -1;
   std::uint16_t listen_port_ = 0;
-  std::vector<std::unique_ptr<OutboundConn>> outbound_;  // index 0 unused
-  std::vector<InboundConn> inbound_;
+  std::vector<std::unique_ptr<OutboundConn>> outbound_
+      PROBFT_GUARDED_BY(loop_thread_);  // index 0 unused
+  std::vector<InboundConn> inbound_ PROBFT_GUARDED_BY(loop_thread_);
 
   int client_listen_fd_ = -1;
   std::uint16_t client_port_ = 0;
-  std::vector<ClientConn> clients_;
-  std::uint64_t next_client_conn_ = 1;
-  ClientHandler client_handler_;
+  std::vector<ClientConn> clients_ PROBFT_GUARDED_BY(loop_thread_);
+  std::uint64_t next_client_conn_ PROBFT_GUARDED_BY(loop_thread_) = 1;
+  ClientHandler client_handler_ PROBFT_GUARDED_BY(loop_thread_);
 
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
-  std::uint64_t timer_seq_ = 0;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_
+      PROBFT_GUARDED_BY(loop_thread_);
+  std::uint64_t timer_seq_ PROBFT_GUARDED_BY(loop_thread_) = 0;
 
   std::atomic<bool> stop_{false};
-  std::uint64_t connects_ = 0;
+  std::uint64_t connects_ PROBFT_GUARDED_BY(loop_thread_) = 0;
 
-  std::vector<ReplicaId> dirty_;  // peers with frames awaiting flush_dirty()
-  std::uint64_t flush_syscalls_ = 0;
-  std::uint64_t frames_flushed_ = 0;
+  // peers with frames awaiting flush_dirty()
+  std::vector<ReplicaId> dirty_ PROBFT_GUARDED_BY(loop_thread_);
+  std::uint64_t flush_syscalls_ PROBFT_GUARDED_BY(loop_thread_) = 0;
+  std::uint64_t frames_flushed_ PROBFT_GUARDED_BY(loop_thread_) = 0;
 
-  // post() handoff: tasks land here from any thread; a byte through the
-  // self-pipe knocks the loop out of poll(2).
-  std::mutex posted_mu_;
-  std::vector<std::function<void()>> posted_;
+  // post()/stop() handoff — the only cross-thread door: tasks land here
+  // from any thread; a byte through the self-pipe knocks the loop out of
+  // poll(2). The pipe fds themselves are set at construction, immutable.
+  Mutex posted_mu_;
+  std::vector<std::function<void()>> posted_ PROBFT_GUARDED_BY(posted_mu_);
   int wake_pipe_[2] = {-1, -1};
 };
 

@@ -44,16 +44,17 @@
 #include "common/types.hpp"
 #include "core/protocol_host.hpp"
 #include "core/replica.hpp"
+#include "net/tags.hpp"
 #include "shard/placement.hpp"
 #include "smr/smr_replica.hpp"
 #include "store/wal.hpp"
 
 namespace probft::shard {
 
-/// Outer wire tags (0x20-0x27 belong to the single-group SMR layer,
-/// 0x30-0x31 to the client path).
-inline constexpr std::uint8_t kShardTag = 0x28;
-inline constexpr std::uint8_t kShardForwardTag = 0x29;
+/// Outer wire tags; values live in the central registry (net/tags.hpp),
+/// these are local re-exports.
+inline constexpr std::uint8_t kShardTag = net::tags::kShard;
+inline constexpr std::uint8_t kShardForwardTag = net::tags::kShardForward;
 
 struct ShardedSmrConfig {
   /// Template for every group: id/n/f/o/l, pipeline shape, crypto, sync,

@@ -94,8 +94,13 @@ SweepReport run_sweep(const std::vector<ScenarioSpec>& specs,
   const std::vector<WorkItem> items = build_items(specs);
   report.items_total = items.size();
 
-  // One pre-sized slot per item; each is written by exactly one worker and
-  // read only after join, so no locking is needed anywhere in the sweep.
+  // One pre-sized slot per item; each is written by exactly one worker
+  // (slot i belongs to whichever worker claimed i off the atomic counter)
+  // and read only after join, so no locking is needed anywhere in the
+  // sweep — deliberately no Mutex/GUARDED_BY here: the thread-safety
+  // capability layer (docs/STATIC_ANALYSIS.md) annotates shared mutable
+  // state, and the sweep has none. The join is the only synchronization
+  // point, and it is a full happens-before barrier.
   std::vector<ScenarioOutcome> slots(items.size());
   std::vector<std::uint8_t> done(items.size(), 0);
   std::atomic<std::size_t> next{0};

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "net/tcp_transport.hpp"
 #include "sim/node_factory.hpp"
@@ -75,11 +76,20 @@ ScenarioOutcome run_scenario_tcp(const ScenarioSpec& spec,
     if (behavior_of(id) == Behavior::kHonest) ++correct_total;
   }
 
-  // Shared decision book-keeping (node threads write under the mutex).
-  std::mutex mu;
-  std::vector<DecisionRecord> decisions;
-  std::vector<bool> decided(n + 1, false);
-  std::size_t correct_decided = 0;
+  // Shared decision book: every node loop thread writes it under mu; the
+  // harness thread reads it back after the joins — still under mu, which
+  // is how the thread-safety analysis knows both sides are covered.
+  struct DecisionBook {
+    Mutex mu;
+    std::vector<DecisionRecord> decisions PROBFT_GUARDED_BY(mu);
+    std::vector<bool> decided PROBFT_GUARDED_BY(mu);
+    std::size_t correct_decided PROBFT_GUARDED_BY(mu) = 0;
+  };
+  DecisionBook book;
+  {
+    MutexLock lock(book.mu);
+    book.decided.assign(n + 1, false);
+  }
   std::atomic<bool> all_done{false};
   const auto start = std::chrono::steady_clock::now();
   const auto wall_us_since_start = [start]() {
@@ -114,12 +124,12 @@ ScenarioOutcome run_scenario_tcp(const ScenarioSpec& spec,
     core::ProtocolHost host = transport_host(
         *transports[id], id, transports[id]->timer_setter());
     host.on_decide = [&, id](View view, const Bytes& value) {
-      const std::lock_guard<std::mutex> lock(mu);
-      if (decided[id]) return;
-      decided[id] = true;
-      decisions.push_back(
+      MutexLock lock(book.mu);
+      if (book.decided[id]) return;
+      book.decided[id] = true;
+      book.decisions.push_back(
           DecisionRecord{id, view, value, wall_us_since_start()});
-      if (++correct_decided == correct_total) {
+      if (++book.correct_decided == correct_total) {
         all_done.store(true, std::memory_order_release);
       }
     };
@@ -153,17 +163,20 @@ ScenarioOutcome run_scenario_tcp(const ScenarioSpec& spec,
 
   ScenarioOutcome outcome;
   outcome.seed = seed;
-  outcome.terminated = correct_decided == correct_total;
-  outcome.decided = correct_decided;
   outcome.correct = correct_total;
   std::set<Bytes> values;
   std::ostringstream transcript;
-  for (const auto& d : decisions) {
-    values.insert(d.value);
-    outcome.max_view = std::max(outcome.max_view, d.view);
-    outcome.last_decision_at = std::max(outcome.last_decision_at, d.at);
-    transcript << d.replica << " " << d.view << " " << to_hex(d.value) << " "
-               << d.at << "\n";
+  {
+    MutexLock lock(book.mu);
+    outcome.terminated = book.correct_decided == correct_total;
+    outcome.decided = book.correct_decided;
+    for (const auto& d : book.decisions) {
+      values.insert(d.value);
+      outcome.max_view = std::max(outcome.max_view, d.view);
+      outcome.last_decision_at = std::max(outcome.last_decision_at, d.at);
+      transcript << d.replica << " " << d.view << " " << to_hex(d.value)
+                 << " " << d.at << "\n";
+    }
   }
   outcome.agreement = values.size() <= 1;
   outcome.transcript = transcript.str();

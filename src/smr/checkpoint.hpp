@@ -34,13 +34,14 @@
 #include "common/codec.hpp"
 #include "common/types.hpp"
 #include "crypto/suite.hpp"
+#include "net/tags.hpp"
 
 namespace probft::smr {
 
-/// Wire tags for the certified catch-up path (shared network, see
-/// smr_replica.hpp for the 0x20-0x23 block).
-inline constexpr std::uint8_t kSmrCkptTag = 0x24;   // checkpoint vote
-inline constexpr std::uint8_t kSmrStateTag = 0x25;  // certified state transfer
+/// Wire tags for the certified catch-up path; values live in the central
+/// registry (net/tags.hpp), these are local re-exports.
+inline constexpr std::uint8_t kSmrCkptTag = net::tags::kSmrCkpt;
+inline constexpr std::uint8_t kSmrStateTag = net::tags::kSmrState;
 
 /// The chain's genesis digest: 32 zero bytes.
 [[nodiscard]] Bytes zero_digest();

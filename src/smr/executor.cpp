@@ -10,7 +10,7 @@ AsyncExecutor::AsyncExecutor(std::size_t max_queue)
 
 AsyncExecutor::~AsyncExecutor() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -19,7 +19,7 @@ AsyncExecutor::~AsyncExecutor() {
 
 bool AsyncExecutor::submit(std::function<void()> fn) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stop_ || queue_.size() >= max_queue_) return false;
     queue_.push_back(std::move(fn));
   }
@@ -29,9 +29,8 @@ bool AsyncExecutor::submit(std::function<void()> fn) {
 
 void AsyncExecutor::run_or_submit(std::function<void()> fn) {
   {
-    std::unique_lock lock(mu_);
-    cv_space_.wait(lock,
-                   [this] { return stop_ || queue_.size() < max_queue_; });
+    MutexLock lock(mu_);
+    while (!stop_ && queue_.size() >= max_queue_) cv_space_.wait(mu_);
     if (!stop_) {
       queue_.push_back(std::move(fn));
       fn = nullptr;
@@ -46,12 +45,12 @@ void AsyncExecutor::run_or_submit(std::function<void()> fn) {
 }
 
 void AsyncExecutor::drain() {
-  std::unique_lock lock(mu_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && !running_job_; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || running_job_) cv_idle_.wait(mu_);
 }
 
 std::size_t AsyncExecutor::queued() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -59,8 +58,8 @@ void AsyncExecutor::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock lock(mu_);
-      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_work_.wait(mu_);
       if (queue_.empty()) return;  // stop_ and fully drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -69,7 +68,7 @@ void AsyncExecutor::worker_loop() {
     cv_space_.notify_one();
     job();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       running_job_ = false;
     }
     cv_idle_.notify_all();

@@ -14,12 +14,13 @@
 // offloading cannot reorder execution against the WAL.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace probft::smr {
 
@@ -35,29 +36,29 @@ class AsyncExecutor {
   /// (without running or keeping fn) when the queue is full. Note that a
   /// caller must NOT react to `false` by running fn inline — that would
   /// reorder it ahead of the jobs still queued; use run_or_submit().
-  [[nodiscard]] bool submit(std::function<void()> fn);
+  [[nodiscard]] bool submit(std::function<void()> fn) PROBFT_EXCLUDES(mu_);
 
   /// The recommended entry point: submit, or — when the queue is full —
   /// block until there is room. Blocking (rather than running inline)
   /// preserves the strict FIFO order between this job and the queued ones.
-  void run_or_submit(std::function<void()> fn);
+  void run_or_submit(std::function<void()> fn) PROBFT_EXCLUDES(mu_);
 
   /// Blocks until every queued job has finished. Shutdown/linger barrier.
-  void drain();
+  void drain() PROBFT_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] std::size_t queued() const PROBFT_EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() PROBFT_EXCLUDES(mu_);
 
   const std::size_t max_queue_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_work_;   // worker: jobs or stop
-  std::condition_variable cv_space_;  // producers: queue has room
-  std::condition_variable cv_idle_;   // drain(): queue empty + worker idle
-  std::deque<std::function<void()>> queue_;
-  bool running_job_ = false;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_work_;   // worker: jobs or stop
+  CondVar cv_space_;  // producers: queue has room
+  CondVar cv_idle_;   // drain(): queue empty + worker idle
+  std::deque<std::function<void()>> queue_ PROBFT_GUARDED_BY(mu_);
+  bool running_job_ PROBFT_GUARDED_BY(mu_) = false;
+  bool stop_ PROBFT_GUARDED_BY(mu_) = false;
   std::thread worker_;
 };
 

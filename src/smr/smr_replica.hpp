@@ -67,6 +67,7 @@
 #include "common/types.hpp"
 #include "core/protocol_host.hpp"
 #include "core/replica.hpp"
+#include "net/tags.hpp"
 #include "smr/batch.hpp"
 #include "smr/checkpoint.hpp"
 #include "store/wal.hpp"
@@ -74,11 +75,13 @@
 namespace probft::smr {
 
 /// Outer wire tags, so SMR traffic can share a network with other tags.
-inline constexpr std::uint8_t kSmrTag = 0x20;      // slot-prefixed consensus
-inline constexpr std::uint8_t kSmrForwardTag = 0x21;  // request → leader
-inline constexpr std::uint8_t kSmrHintTag = 0x22;  // signed decided-value hint
-inline constexpr std::uint8_t kSmrPullTag = 0x23;  // straggler asks for hints
-// kSmrCkptTag = 0x24 and kSmrStateTag = 0x25 live in smr/checkpoint.hpp.
+/// Values live in the central registry (net/tags.hpp); these are local
+/// re-exports so call sites keep their historical names.
+inline constexpr std::uint8_t kSmrTag = net::tags::kSmr;
+inline constexpr std::uint8_t kSmrForwardTag = net::tags::kSmrForward;
+inline constexpr std::uint8_t kSmrHintTag = net::tags::kSmrHint;
+inline constexpr std::uint8_t kSmrPullTag = net::tags::kSmrPull;
+// kSmrCkptTag and kSmrStateTag live in smr/checkpoint.hpp.
 
 /// Pipeline shape: how many instances run in flight, how requests batch,
 /// and how long executed instances linger. Plumbed through

@@ -203,12 +203,19 @@ void Wal::open_segment_for_append() {
   if (log_fd_ < 0) fail("open " + path.string());
 }
 
-void Wal::append(const Bytes& record) { write_record(log_fd_, record); }
+void Wal::append(const Bytes& record) {
+  owner_.assert_held_or_adopt();
+  write_record(log_fd_, record);
+}
 
-void Wal::sync() { maybe_fsync(log_fd_); }
+void Wal::sync() {
+  owner_.assert_held_or_adopt();
+  maybe_fsync(log_fd_);
+}
 
 void Wal::checkpoint(std::uint64_t mark, const Bytes& snapshot,
                      const std::vector<Bytes>& tail_records) {
+  owner_.assert_held_or_adopt();
   const fs::path dir(opts_.dir);
 
   // Step 1: the new segment's tail, complete before it becomes visible.

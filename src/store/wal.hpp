@@ -27,7 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
+#include "common/mutex.hpp"
 
 namespace probft::store {
 
@@ -53,12 +55,19 @@ class Wal {
   // ---- recovery views (state as of open; not updated by writes) ----
   /// Snapshot payload of the newest valid checkpoint, if any.
   [[nodiscard]] const std::optional<Bytes>& snapshot() const {
+    owner_.assert_held_or_adopt();
     return snapshot_;
   }
   /// Mark of the recovered checkpoint (0 when none).
-  [[nodiscard]] std::uint64_t mark() const { return mark_; }
+  [[nodiscard]] std::uint64_t mark() const {
+    owner_.assert_held_or_adopt();
+    return mark_;
+  }
   /// Records appended after the recovered checkpoint, in append order.
-  [[nodiscard]] const std::vector<Bytes>& records() const { return records_; }
+  [[nodiscard]] const std::vector<Bytes>& records() const {
+    owner_.assert_held_or_adopt();
+    return records_;
+  }
 
   // ---- writes ----
   /// Appends one record to the current log segment (no fsync).
@@ -72,15 +81,23 @@ class Wal {
                   const std::vector<Bytes>& tail_records);
 
  private:
-  void recover();
-  void open_segment_for_append();
-  void maybe_fsync(int fd) const;
+  void recover() PROBFT_REQUIRES(owner_);
+  void open_segment_for_append() PROBFT_REQUIRES(owner_);
+  /// The ONLY fsync(2) call sites in the tree live in wal.cpp (enforced by
+  /// tools/lint_protocol.py) and run with the owner role held — the WAL's
+  /// durability ordering depends on one thread driving it.
+  void maybe_fsync(int fd) const PROBFT_REQUIRES(owner_);
+
+  /// Single-owner discipline as a capability: the WAL belongs to whichever
+  /// thread drives the replica's decide path; the first caller adopts the
+  /// role and a debug assert fires if a second thread ever touches it.
+  mutable ThreadRole owner_;
 
   WalOptions opts_;
-  int log_fd_ = -1;          // current log segment, append mode
-  std::uint64_t mark_ = 0;   // current segment's mark
-  std::optional<Bytes> snapshot_;
-  std::vector<Bytes> records_;
+  int log_fd_ PROBFT_GUARDED_BY(owner_) = -1;  // current log segment
+  std::uint64_t mark_ PROBFT_GUARDED_BY(owner_) = 0;  // segment's mark
+  std::optional<Bytes> snapshot_ PROBFT_GUARDED_BY(owner_);
+  std::vector<Bytes> records_ PROBFT_GUARDED_BY(owner_);
 };
 
 }  // namespace probft::store

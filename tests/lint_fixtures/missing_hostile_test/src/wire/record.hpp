@@ -1,0 +1,17 @@
+// Fixture defect: WireRecord decodes attacker-controlled bytes but the
+// fixture's only test is an honest round-trip — nothing ever feeds it a
+// truncated or padded buffer.
+#pragma once
+
+#include <cstdint>
+
+namespace probft::wire {
+
+struct WireRecord {
+  std::uint64_t id = 0;
+
+  void encode(Writer& w) const;
+  static WireRecord decode(Reader& r);
+};
+
+}  // namespace probft::wire

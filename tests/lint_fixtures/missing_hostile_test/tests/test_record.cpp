@@ -1,0 +1,17 @@
+// Fixture: honest round-trip only — no hostile-buffer coverage, which is
+// exactly what the DECODE rule must flag.
+#include "wire/record.hpp"
+
+namespace probft::wire {
+
+void test_roundtrip() {
+  WireRecord rec;
+  rec.id = 7;
+  Writer w;
+  rec.encode(w);
+  Reader r(w.take());
+  const WireRecord back = WireRecord::decode(r);
+  (void)back;
+}
+
+}  // namespace probft::wire

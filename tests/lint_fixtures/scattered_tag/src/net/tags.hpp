@@ -1,0 +1,18 @@
+// Fixture: a perfectly healthy registry — the defect lives in
+// src/rogue/rogue.hpp, which mints its own numeric tag.
+#pragma once
+
+#include <cstdint>
+
+namespace probft::net::tags {
+
+inline constexpr std::uint8_t kAlpha = 0x01;
+inline constexpr std::uint8_t kBeta = 0x02;
+
+namespace detail {
+
+inline constexpr std::uint8_t kAll[] = {kAlpha, kBeta};
+
+}  // namespace detail
+
+}  // namespace probft::net::tags

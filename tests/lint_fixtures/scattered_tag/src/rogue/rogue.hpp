@@ -1,0 +1,12 @@
+// Fixture defect: a module minting its own wire tag value instead of
+// declaring it in the registry and re-exporting. This is how silent tag
+// collisions between subsystems are born.
+#pragma once
+
+#include <cstdint>
+
+namespace probft::rogue {
+
+inline constexpr std::uint8_t kRogueTag = 0x42;
+
+}  // namespace probft::rogue

@@ -1,0 +1,16 @@
+// Fixture: healthy registry; the defect is THREAD-side (see cache.cpp).
+#pragma once
+
+#include <cstdint>
+
+namespace probft::net::tags {
+
+inline constexpr std::uint8_t kAlpha = 0x01;
+
+namespace detail {
+
+inline constexpr std::uint8_t kAll[] = {kAlpha};
+
+}  // namespace detail
+
+}  // namespace probft::net::tags

@@ -1,0 +1,11 @@
+// Fixture defect: an fsync(2) call site outside src/store/wal.cpp. Durable
+// writes must flow through the WAL so sync ordering stays in one place.
+#include <unistd.h>
+
+namespace probft::store {
+
+void flush_cache(int fd) {
+  ::fsync(fd);
+}
+
+}  // namespace probft::store

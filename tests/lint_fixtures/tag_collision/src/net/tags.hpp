@@ -1,0 +1,19 @@
+// Fixture: kBeta collides with kAlpha, and kGamma is declared but missing
+// from detail::kAll (so the C++ static_assert would never see it).
+#pragma once
+
+#include <cstdint>
+
+namespace probft::net::tags {
+
+inline constexpr std::uint8_t kAlpha = 0x01;
+inline constexpr std::uint8_t kBeta = 0x01;
+inline constexpr std::uint8_t kGamma = 0x03;
+
+namespace detail {
+
+inline constexpr std::uint8_t kAll[] = {kAlpha, kBeta};
+
+}  // namespace detail
+
+}  // namespace probft::net::tags

@@ -73,6 +73,31 @@ TEST(Checkpoint, StateDecodeRejectsUnsortedDedupTable) {
   EXPECT_THROW(CheckpointState::decode(r), CodecError);
 }
 
+TEST(Checkpoint, VoteRoundTripsAndRejectsTruncatedBuffers) {
+  CheckpointVote vote;
+  vote.slot = 12;
+  vote.state_digest = chain_digest(zero_digest(), to_bytes("prefix"));
+  vote.signer = 3;
+  vote.signature = to_bytes("sig-bytes");
+  Writer w;
+  vote.encode(w);
+  const Bytes encoded = std::move(w).take();
+
+  Reader r(span(encoded));
+  const CheckpointVote back = CheckpointVote::decode(r);
+  EXPECT_EQ(back.slot, vote.slot);
+  EXPECT_EQ(back.state_digest, vote.state_digest);
+  EXPECT_EQ(back.signer, vote.signer);
+  EXPECT_EQ(back.signature, vote.signature);
+
+  // A hostile peer truncating the vote at ANY byte boundary must get a
+  // CodecError, never a partially-initialized vote.
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    Reader hostile(ByteSpan(encoded.data(), cut));
+    EXPECT_THROW(CheckpointVote::decode(hostile), CodecError) << cut;
+  }
+}
+
 class CertTest : public ::testing::Test {
  protected:
   void SetUp() override {

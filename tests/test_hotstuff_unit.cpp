@@ -274,6 +274,37 @@ TEST(HotStuffUnit, GarbageDropped) {
   EXPECT_FALSE(follower->decided());
 }
 
+TEST(HotStuffUnit, NewViewCodecRejectsTruncationAndTrailingBytes) {
+  Bed bed;
+  HsNewView nv;
+  nv.view = 2;
+  nv.prepare_qc = bed.make_qc(HsPhase::kPrepare, 1, to_bytes("value"), 5);
+  nv.sender = 3;
+  nv.sender_sig = to_bytes("sig");
+  const Bytes encoded = nv.to_bytes();
+
+  const HsNewView back = HsNewView::from_bytes(
+      ByteSpan(encoded.data(), encoded.size()));
+  EXPECT_EQ(back.view, nv.view);
+  EXPECT_EQ(back.prepare_qc.view, nv.prepare_qc.view);
+  EXPECT_EQ(back.prepare_qc.signers, nv.prepare_qc.signers);
+  EXPECT_EQ(back.sender, nv.sender);
+  EXPECT_EQ(back.sender_sig, nv.sender_sig);
+
+  // Hostile buffers: truncation at every byte boundary throws, and so do
+  // trailing garbage bytes (from_bytes demands exact consumption).
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    EXPECT_THROW(HsNewView::from_bytes(ByteSpan(encoded.data(), cut)),
+                 CodecError)
+        << cut;
+  }
+  Bytes padded = encoded;
+  padded.push_back(0x00);
+  EXPECT_THROW(
+      HsNewView::from_bytes(ByteSpan(padded.data(), padded.size())),
+      CodecError);
+}
+
 TEST(HotStuffUnit, QuorumCertCodecRoundtrip) {
   Bed bed;
   const auto qc = bed.make_qc(HsPhase::kCommit, 3, to_bytes("value"), 5);

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -72,6 +73,33 @@ TEST(TcpTransport, PairDelivery) {
   EXPECT_EQ(seen, to_bytes("over-the-wire"));
   EXPECT_EQ(nodes[1]->stats().sends, 1U);
   EXPECT_EQ(nodes[2]->stats().delivered, 1U);
+}
+
+// Regression (lock-discipline audit): stop() used to only flip the atomic,
+// so a loop parked in poll(2) with no timers kept sleeping until the 50 ms
+// idle timeout expired. stop() now also writes the wake pipe; a freshly
+// parked loop must return well before that timeout. Best-of-N guards
+// against a scheduler hiccup failing the test spuriously.
+TEST(TcpTransport, CrossThreadStopWakesParkedLoop) {
+  using Clock = std::chrono::steady_clock;
+  auto best = std::chrono::milliseconds(1000);
+  for (int run = 0; run < 3; ++run) {
+    auto node = make_node(1, 1);
+    std::thread loop([&]() {
+      node->run_until([]() { return false; }, /*max_wall=*/5'000'000);
+    });
+    // Let the loop enter poll(2); with no timers its idle timeout is 50 ms,
+    // so after 10 ms it still has ~40 ms of sleep left ahead of it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const auto t0 = Clock::now();
+    node->stop();
+    loop.join();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              t0);
+    best = std::min(best, elapsed);
+  }
+  EXPECT_LT(best.count(), 25);
 }
 
 TEST(TcpTransport, SelfSendIsAsynchronousButDelivered) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -99,6 +100,22 @@ std::vector<Inbound> pump(VerifyPool& pool, const std::vector<Inbound>& in) {
   }
   EXPECT_TRUE(pool.idle());
   return out;
+}
+
+// Regression (lock-discipline audit): a threaded pool used to silently
+// accept a single-owner VerdictCache, handing an unsynchronized map to N
+// worker threads — a data race TSan flagged only under the right
+// interleaving. The constructor now refuses outright.
+TEST(VerifyPoolGuards, ThreadedPoolRejectsUnsynchronizedCache) {
+  TestBed bed(9, 2, 1.7, 3.0);
+  auto unsafe = std::make_shared<VerdictCache>(/*thread_safe=*/false);
+  EXPECT_THROW(VerifyPool(context_for(bed), unsafe, /*threads=*/2),
+               std::invalid_argument);
+  EXPECT_THROW(VerifyPool(context_for(bed), nullptr, /*threads=*/2),
+               std::invalid_argument);
+  // threads == 0 is the inline path: any cache (or none) stays legal.
+  VerifyPool inline_pool(context_for(bed), unsafe, /*threads=*/0);
+  EXPECT_TRUE(inline_pool.idle());
 }
 
 class VerifyPoolTest : public ::testing::TestWithParam<unsigned> {};

@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Protocol lint: wire-invariant checks the type system cannot express.
+
+Three rules, each scoped to the directories named below:
+
+  TAGS    Every `k*Tag` constant in src/ is either declared in the central
+          registry (src/net/tags.hpp) or is a re-export of a registry
+          constant. Inside the registry: no two constants share a value,
+          and every constant is listed in detail::kAll (so the C++
+          static_assert actually covers it).
+
+  DECODE  Every codec entry point in src/ (a struct with a
+          `static T decode(...)` or `static T from_bytes(...)`) has a
+          hostile-buffer test: some tests/*.cpp mentions the type AND
+          exercises a hostile keyword (truncation, corruption, trailing
+          bytes, oversize, CodecError, ...). Honest-roundtrip-only
+          coverage does not count.
+
+  THREAD  Durability and batched-write syscalls stay confined to their
+          owning modules: fsync(2) call sites only in src/store/wal.cpp,
+          sendmsg(2) call sites only in src/net/tcp_transport.cpp. A
+          stray fsync is a fsync-ordering bug waiting to happen; a stray
+          sendmsg bypasses the transport's write batching and frame
+          accounting.
+
+Exit status: 0 when clean, 1 when any rule fired (findings on stdout),
+2 on usage/internal errors.
+
+`--self-test` runs the lint against the golden fixtures in
+tests/lint_fixtures/ and verifies each seeded defect is caught (and
+nothing else fires), so the lint itself is regression-tested.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+HOSTILE_KEYWORDS = re.compile(
+    r"truncat|corrupt|garbage|trailing|oversiz|malform|hostile|CodecError",
+    re.IGNORECASE,
+)
+
+TAG_CONST_RE = re.compile(
+    r"\bk\w*Tag\s*=\s*(?:0[xX][0-9a-fA-F]+|\d+)\b"
+)
+REGISTRY_CONST_RE = re.compile(
+    r"inline\s+constexpr\s+std::uint8_t\s+(k\w+)\s*=\s*(0[xX][0-9a-fA-F]+|\d+)\s*;"
+)
+KALL_BLOCK_RE = re.compile(r"kAll\[\]\s*=\s*\{(.*?)\}\s*;", re.DOTALL)
+DECODE_RE = re.compile(r"static\s+(\w+)\s+(?:decode|from_bytes)\s*\(")
+
+REGISTRY_REL = Path("src/net/tags.hpp")
+FSYNC_OWNER = Path("src/store/wal.cpp")
+SENDMSG_OWNER = Path("src/net/tcp_transport.cpp")
+
+
+def strip_comments(text: str) -> str:
+    """Remove // and /* */ comments and string literals, preserving line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:end]))
+            i = end
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = min(j + 1, n)
+            out.append(quote + quote)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_sources(root: Path, subdir: str, suffixes=(".hpp", ".cpp", ".h", ".cc")):
+    base = root / subdir
+    if not base.is_dir():
+        return
+    for path in sorted(base.rglob("*")):
+        if path.is_file() and path.suffix in suffixes:
+            yield path
+
+
+def finding(findings, rule, path, line, message):
+    findings.append(f"{rule} {path}:{line}: {message}")
+
+
+def check_tags(root: Path, findings: list):
+    registry = root / REGISTRY_REL
+    registry_names = {}
+    if registry.is_file():
+        text = strip_comments(registry.read_text())
+        for m in REGISTRY_CONST_RE.finditer(text):
+            name, value = m.group(1), int(m.group(2), 0)
+            line = text[: m.start()].count("\n") + 1
+            if name in registry_names:
+                finding(findings, "TAGS", registry, line,
+                        f"duplicate registry constant {name}")
+            registry_names[name] = (value, line)
+        by_value = {}
+        for name, (value, line) in registry_names.items():
+            if value in by_value:
+                finding(findings, "TAGS", registry, line,
+                        f"tag collision: {name} = {value:#04x} duplicates "
+                        f"{by_value[value]}")
+            else:
+                by_value[value] = name
+        kall = KALL_BLOCK_RE.search(text)
+        if kall is None:
+            finding(findings, "TAGS", registry, 1,
+                    "registry has no detail::kAll coverage list")
+        else:
+            listed = set(re.findall(r"k\w+", kall.group(1)))
+            for name, (_, line) in sorted(registry_names.items()):
+                if name not in listed:
+                    finding(findings, "TAGS", registry, line,
+                            f"{name} missing from detail::kAll — the "
+                            "uniqueness static_assert does not cover it")
+    else:
+        finding(findings, "TAGS", registry, 1, "central tag registry missing")
+
+    for path in iter_sources(root, "src"):
+        if path == registry:
+            continue
+        text = strip_comments(path.read_text())
+        for m in TAG_CONST_RE.finditer(text):
+            line = text[: m.start()].count("\n") + 1
+            finding(findings, "TAGS", path, line,
+                    "k*Tag bound to a numeric literal outside the registry "
+                    "— declare the value in src/net/tags.hpp and re-export")
+
+
+def check_decode(root: Path, findings: list):
+    # type name -> (file, line) of first decode/from_bytes declaration
+    entry_points = {}
+    for path in iter_sources(root, "src", suffixes=(".hpp", ".h")):
+        text = strip_comments(path.read_text())
+        for m in DECODE_RE.finditer(text):
+            type_name = m.group(1)
+            line = text[: m.start()].count("\n") + 1
+            entry_points.setdefault(type_name, (path, line))
+
+    tests = []
+    for path in iter_sources(root, "tests", suffixes=(".cpp", ".cc")):
+        # Comments are stripped so prose ABOUT hostile buffers does not
+        # count as coverage — only code (test names, CodecError asserts).
+        text = strip_comments(path.read_text())
+        tests.append((path, text, bool(HOSTILE_KEYWORDS.search(text))))
+
+    for type_name, (path, line) in sorted(entry_points.items()):
+        covered = any(hostile and re.search(rf"\b{type_name}\b", text)
+                      for _, text, hostile in tests)
+        if not covered:
+            finding(findings, "DECODE", path, line,
+                    f"{type_name} has a decode entry point but no "
+                    "hostile-buffer test in tests/ (need the type name in a "
+                    "test file that exercises truncation/corruption/"
+                    "trailing-bytes/CodecError)")
+
+
+def check_thread(root: Path, findings: list):
+    confined = [
+        (re.compile(r"\bfsync\s*\("), FSYNC_OWNER, "fsync(2)"),
+        (re.compile(r"\bsendmsg\s*\("), SENDMSG_OWNER, "sendmsg(2)"),
+    ]
+    for path in iter_sources(root, "src"):
+        rel = path.relative_to(root)
+        text = strip_comments(path.read_text())
+        for pattern, owner, what in confined:
+            if rel == owner:
+                continue
+            for m in pattern.finditer(text):
+                line = text[: m.start()].count("\n") + 1
+                finding(findings, "THREAD", path, line,
+                        f"{what} call site outside its owning module "
+                        f"({owner})")
+
+
+def run_lint(root: Path) -> list:
+    findings = []
+    check_tags(root, findings)
+    check_decode(root, findings)
+    check_thread(root, findings)
+    return findings
+
+
+def self_test(repo_root: Path) -> int:
+    """Each fixture seeds exactly one class of defect; the lint must catch
+    it, attribute it to the right rule, and stay quiet otherwise."""
+    fixtures = repo_root / "tests" / "lint_fixtures"
+    expectations = {
+        "tag_collision": "TAGS",
+        "scattered_tag": "TAGS",
+        "missing_hostile_test": "DECODE",
+        "stray_fsync": "THREAD",
+    }
+    failures = 0
+    for name, rule in sorted(expectations.items()):
+        fixture = fixtures / name
+        if not fixture.is_dir():
+            print(f"SELF-TEST FAIL: fixture {fixture} missing")
+            failures += 1
+            continue
+        findings = run_lint(fixture)
+        hits = [f for f in findings if f.startswith(rule + " ")]
+        strays = [f for f in findings if not f.startswith(rule + " ")]
+        if not hits:
+            print(f"SELF-TEST FAIL: {name}: expected a {rule} finding, got "
+                  f"{findings or 'nothing'}")
+            failures += 1
+        elif strays:
+            print(f"SELF-TEST FAIL: {name}: unexpected extra findings "
+                  f"{strays}")
+            failures += 1
+        else:
+            print(f"self-test ok: {name}: {len(hits)} {rule} finding(s)")
+    if failures:
+        return 1
+    print("self-test: all fixtures behave")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root to lint (default: repo root)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint the golden fixtures instead of --root")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(Path(__file__).resolve().parent.parent)
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"error: {root} has no src/ directory", file=sys.stderr)
+        return 2
+    findings = run_lint(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_protocol: {len(findings)} finding(s)")
+        return 1
+    print("lint_protocol: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
