@@ -37,6 +37,26 @@
 // the coordinator shard's leader, and counts as completed when the
 // cluster answers dtx-committed or dtx-aborted. Summary:
 //   DTXCLIENT requests=D committed=C aborted=A
+//
+// --read-ratio R (0 ≤ R < 1, against probft_node --reads) interleaves
+// reads so that reads make up fraction R of all operations: after each
+// completed write the client accrues R/(1-R) of read debt (Bresenham —
+// deterministic, no RNG) and issues one closed-loop read per whole unit,
+// keyed by that write's own payload, so every read has a known expected
+// value. --consistency picks the mode (linearizable | sequential |
+// stale-ok); sequential reads carry min_index = the write's reply slot
+// + 1, which is exactly the client's read-your-writes bound. A read is
+// retried against the next server on an explicit kRejected/kRedirect
+// reply or after --retry-ms of silence. In open-loop mode the reads
+// trail the write burst (a read's key must have executed) but follow the
+// same debt schedule. Summary line:
+//   READS ok consistency=... attempted=A executed=E rejected=J
+//       retries=T p50_us=...
+//
+// Replies carry an explicit status byte (client wire v2): a write
+// answered kRejected/kRejected-redirect is NOT completed — it pulls the
+// retry timer forward (floored at 100 ms so a rejecting server cannot
+// make the client spin) and the request is re-sent to every server.
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -72,7 +92,21 @@ struct Options {
   bool force_retry = false;
   std::uint32_t shards = 1;  // > 1 = route by placement hash
   std::uint64_t dtx = 0;     // cross-shard transactions to append
+  double read_ratio = 0.0;   // fraction of ops that are reads
+  net::ReadConsistency consistency = net::ReadConsistency::kLinearizable;
 };
+
+const char* consistency_name(net::ReadConsistency mode) {
+  switch (mode) {
+    case net::ReadConsistency::kLinearizable:
+      return "linearizable";
+    case net::ReadConsistency::kSequential:
+      return "sequential";
+    case net::ReadConsistency::kStaleOk:
+      return "stale-ok";
+  }
+  return "?";
+}
 
 std::uint64_t now_us() {
   timespec ts{};
@@ -133,6 +167,23 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.shards = static_cast<std::uint32_t>(shards);
     } else if (key == "--dtx") {
       opt.dtx = parse_u64(value);
+    } else if (key == "--read-ratio") {
+      std::size_t consumed = 0;
+      const double ratio = std::stod(value, &consumed);
+      if (consumed != value.size() || ratio < 0.0 || ratio >= 1.0) {
+        return false;
+      }
+      opt.read_ratio = ratio;
+    } else if (key == "--consistency") {
+      if (value == "linearizable") {
+        opt.consistency = net::ReadConsistency::kLinearizable;
+      } else if (value == "sequential") {
+        opt.consistency = net::ReadConsistency::kSequential;
+      } else if (value == "stale-ok") {
+        opt.consistency = net::ReadConsistency::kStaleOk;
+      } else {
+        return false;
+      }
     } else {
       return false;
     }
@@ -182,7 +233,8 @@ int main(int argc, char** argv) {
                    "usage: probft_client --servers host:port,... "
                    "[--requests N] [--client-id C] [--mode closed|open] "
                    "[--retry-ms R] [--timeout-ms T] [--force-retry 1] "
-                   "[--shards S] [--dtx D]\n");
+                   "[--shards S] [--dtx D] [--read-ratio R] "
+                   "[--consistency linearizable|sequential|stale-ok]\n");
       return 2;
     }
   } catch (const std::exception& e) {
@@ -257,17 +309,11 @@ int main(int argc, char** argv) {
     payloads[seq] = std::move(w).take();
   }
 
-  const auto send_request = [&opt, &servers](std::size_t server,
-                                             std::uint64_t seq,
-                                             const Bytes& payload) {
+  const auto send_frame = [&servers](std::size_t server, std::uint8_t tag,
+                                     const Bytes& body) {
     if (servers[server].fd < 0) return;
-    net::ClientRequest request;
-    request.client_id = opt.client_id;
-    request.seq = seq;
-    request.payload = payload;
-    const Bytes body = request.encode();
-    const Bytes frame = net::encode_frame(
-        0, net::kClientRequestTag, ByteSpan(body.data(), body.size()));
+    const Bytes frame =
+        net::encode_frame(0, tag, ByteSpan(body.data(), body.size()));
     std::size_t off = 0;
     while (off < frame.size()) {
       const ssize_t wrote = ::send(servers[server].fd, frame.data() + off,
@@ -280,12 +326,49 @@ int main(int argc, char** argv) {
       off += static_cast<std::size_t>(wrote);
     }
   };
+  const auto send_request = [&opt, &send_frame](std::size_t server,
+                                                std::uint64_t seq,
+                                                const Bytes& payload) {
+    net::ClientRequest request;
+    request.client_id = opt.client_id;
+    request.seq = seq;
+    request.payload = payload;
+    send_frame(server, net::kClientRequestTag, request.encode());
+  };
+  const auto send_read = [&opt, &send_frame](std::size_t server,
+                                             std::uint64_t read_id,
+                                             const Bytes& key,
+                                             std::uint64_t min_index) {
+    net::ReadRequest request;
+    request.client_id = opt.client_id;
+    request.read_id = read_id;
+    request.consistency = opt.consistency;
+    request.min_index = min_index;
+    request.key = key;
+    send_frame(server, net::kClientReadTag, request.encode());
+  };
 
   std::vector<bool> completed(total + 1, false);
   std::vector<std::uint64_t> sent_at(total + 1, 0);
+  // Reply slot of each completed write — the read path's min_index bound
+  // for sequential (read-your-writes) reads is slot + 1.
+  std::vector<std::uint64_t> write_slot(total + 1, 0);
   std::vector<std::uint64_t> latencies;
   std::uint64_t replies = 0, retries = 0, duplicates = 0;
   std::uint64_t dtx_committed = 0, dtx_aborted = 0;
+  // An explicit kRejected/kRedirect write reply pulls the retry timer
+  // forward instead of waiting out --retry-ms; earliest_retry floors the
+  // hinted retries at 100 ms so a rejecting server cannot spin the client.
+  bool retry_hint = false;
+  std::uint64_t earliest_retry = 0;
+  // In-flight read state (reads are closed-loop: at most one pending).
+  std::uint64_t reads_attempted = 0, reads_ok = 0, reads_rejected = 0,
+                reads_stale = 0, read_retries = 0, next_read_id = 0;
+  std::uint64_t pending_read_id = 0, read_sent_at = 0;
+  const Bytes* pending_read_expect = nullptr;
+  bool pending_read_done = false, pending_read_bounced = false;
+  std::vector<std::uint64_t> read_latencies;
+  double read_debt = 0.0;
   struct ShardStats {
     std::uint64_t requests = 0, replies = 0, retries = 0;
     std::vector<std::uint64_t> latencies;
@@ -318,6 +401,36 @@ int main(int argc, char** argv) {
       conn.decoder.feed(ByteSpan(buf, static_cast<std::size_t>(got)));
       net::Frame frame;
       while (conn.decoder.next(frame) == net::FrameDecoder::Status::kFrame) {
+        if (frame.tag == net::kClientReadReplyTag) {
+          try {
+            const auto reply = net::ReadReply::decode(
+                ByteSpan(frame.payload.data(), frame.payload.size()));
+            if (reply.client_id != opt.client_id ||
+                reply.read_id != pending_read_id || pending_read_done) {
+              continue;
+            }
+            if (reply.status == net::ReplyStatus::kExecuted) {
+              pending_read_done = true;
+              // Each key is written exactly once with value == key, so a
+              // non-stale executed answer must echo the expected bytes.
+              if (pending_read_expect != nullptr &&
+                  reply.value != *pending_read_expect) {
+                ++reads_stale;
+              } else {
+                ++reads_ok;
+                read_latencies.push_back(now_us() - read_sent_at);
+              }
+            } else {
+              // Explicit refusal (no lease / no quorum / wrong shard):
+              // bounce to the next server right away.
+              ++reads_rejected;
+              pending_read_bounced = true;
+            }
+          } catch (const CodecError&) {
+            // Hostile/garbled read reply: ignore.
+          }
+          continue;
+        }
         if (frame.tag != net::kClientReplyTag) continue;
         try {
           const auto reply = net::ClientReply::decode(
@@ -330,7 +443,14 @@ int main(int argc, char** argv) {
             ++duplicates;
             continue;
           }
+          if (reply.status != net::ReplyStatus::kExecuted) {
+            // Backpressure or redirect: the request did NOT execute.
+            // Leave it incomplete and hint the retry loop.
+            retry_hint = true;
+            continue;
+          }
           completed[reply.seq] = true;
+          write_slot[reply.seq] = reply.slot;
           ++replies;
           const std::uint64_t latency = now_us() - sent_at[reply.seq];
           latencies.push_back(latency);
@@ -373,6 +493,51 @@ int main(int argc, char** argv) {
     send_request(primary[seq], seq, payloads[seq]);
   };
 
+  // One closed-loop read keyed by completed write `seq` — its payload is
+  // the key and its own bytes are the expected value, so any server that
+  // answers with something else would be visibly stale. Starts at the
+  // write's primary (the lease holder for linearizable reads in a fresh
+  // cluster) and rotates to the next server on an explicit rejection or
+  // after --retry-ms of silence.
+  const auto run_read = [&](std::uint64_t seq) {
+    const std::uint64_t read_id = ++next_read_id;
+    const std::uint64_t min_index =
+        write_slot[seq] > 0 ? write_slot[seq] + 1 : 0;
+    pending_read_id = read_id;
+    // stale-ok explicitly tolerates old views, so only the two
+    // consistent modes assert the expected value.
+    pending_read_expect =
+        opt.consistency == net::ReadConsistency::kStaleOk ? nullptr
+                                                          : &payloads[seq];
+    pending_read_done = false;
+    pending_read_bounced = false;
+    ++reads_attempted;
+    std::size_t target = primary[seq];
+    read_sent_at = now_us();
+    send_read(target, read_id, payloads[seq], min_index);
+    std::uint64_t next_retry = now_us() + opt.retry_ms * 1000;
+    while (!pending_read_done && now_us() < deadline) {
+      drain_replies(/*wait_ms=*/5);
+      if (pending_read_bounced || now_us() >= next_retry) {
+        pending_read_bounced = false;
+        target = (target + 1) % servers.size();
+        ++read_retries;
+        send_read(target, read_id, payloads[seq], min_index);
+        next_retry = now_us() + opt.retry_ms * 1000;
+      }
+    }
+  };
+  // Bresenham read schedule: each completed write accrues R/(1-R) of
+  // read debt; whole units become reads keyed by that write.
+  const auto reads_after_write = [&](std::uint64_t seq) {
+    if (opt.read_ratio <= 0.0 || seq > n_requests) return;
+    read_debt += opt.read_ratio / (1.0 - opt.read_ratio);
+    while (read_debt >= 1.0 && now_us() < deadline) {
+      read_debt -= 1.0;
+      run_read(seq);
+    }
+  };
+
   if (opt.open_loop) {
     for (std::uint64_t seq = 1; seq <= total; ++seq) first_send(seq);
     if (opt.force_retry) {
@@ -384,10 +549,18 @@ int main(int argc, char** argv) {
     std::uint64_t next_retry = now_us() + opt.retry_ms * 1000;
     while (replies < total && now_us() < deadline) {
       drain_replies(/*wait_ms=*/20);
-      if (now_us() >= next_retry) {
+      if ((retry_hint && now_us() >= earliest_retry) ||
+          now_us() >= next_retry) {
+        retry_hint = false;
+        earliest_retry = now_us() + 100'000;
         retry_incomplete(total);
         next_retry = now_us() + opt.retry_ms * 1000;
       }
+    }
+    // Open loop cannot interleave (a read's key must have executed), so
+    // the read schedule trails the whole burst.
+    for (std::uint64_t seq = 1; seq <= n_requests; ++seq) {
+      if (completed[seq]) reads_after_write(seq);
     }
   } else {
     for (std::uint64_t seq = 1; seq <= total && now_us() < deadline; ++seq) {
@@ -402,17 +575,21 @@ int main(int argc, char** argv) {
       std::uint64_t next_retry = now_us() + opt.retry_ms * 1000;
       while (!completed[seq] && now_us() < deadline) {
         drain_replies(/*wait_ms=*/20);
-        if (now_us() >= next_retry) {
+        if ((retry_hint && now_us() >= earliest_retry) ||
+            now_us() >= next_retry) {
+          retry_hint = false;
+          earliest_retry = now_us() + 100'000;
           retry_incomplete(seq);
           next_retry = now_us() + opt.retry_ms * 1000;
         }
       }
+      if (completed[seq]) reads_after_write(seq);
     }
   }
   const double wall_ms =
       static_cast<double>(now_us() - started) / 1000.0;
 
-  const bool ok = replies == total;
+  const bool ok = replies == total && reads_ok == reads_attempted;
   std::printf("CLIENT %s requests=%llu replies=%llu retries=%llu "
               "duplicates=%llu wall_ms=%.1f\n",
               ok ? "ok" : "FAIL",
@@ -446,6 +623,19 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(shard_stats.retries),
                   quantile_of(shard_stats.latencies, 0.50));
     }
+  }
+  if (opt.read_ratio > 0.0) {
+    std::sort(read_latencies.begin(), read_latencies.end());
+    std::printf("READS %s consistency=%s attempted=%llu executed=%llu "
+                "stale=%llu rejected=%llu retries=%llu p50_us=%llu\n",
+                reads_ok == reads_attempted ? "ok" : "FAIL",
+                consistency_name(opt.consistency),
+                static_cast<unsigned long long>(reads_attempted),
+                static_cast<unsigned long long>(reads_ok),
+                static_cast<unsigned long long>(reads_stale),
+                static_cast<unsigned long long>(reads_rejected),
+                static_cast<unsigned long long>(read_retries),
+                quantile_of(read_latencies, 0.50));
   }
   if (opt.dtx > 0) {
     std::printf("DTXCLIENT requests=%llu committed=%llu aborted=%llu\n",

@@ -116,6 +116,10 @@ struct Options {
   std::uint32_t verify_threads = 0;
   /// Move client-reply serialization onto a dedicated executor thread.
   bool exec_offload = false;
+  /// Serve the linearizable read fast path (leader leases + quorum
+  /// read-index, src/smr/reads.hpp) and answer kClientRead frames on the
+  /// client port. Off by default: reads cost lease renewal broadcasts.
+  bool reads = false;
 };
 
 // SIGTERM/SIGINT → stop the transport loop; the normal shutdown path
@@ -141,7 +145,8 @@ void usage() {
       "                   [--expect-cmds N] [--window W] [--batch B]\n"
       "                   [--wal-dir DIR] [--checkpoint-interval SLOTS]\n"
       "                   [--fsync BOOL] [--verify-threads N]\n"
-      "                   [--exec-offload BOOL] [--shards S]\n");
+      "                   [--exec-offload BOOL] [--shards S]\n"
+      "                   [--reads BOOL]\n");
 }
 
 std::uint64_t parse_u64(const std::string& text) {
@@ -239,6 +244,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.verify_threads = static_cast<std::uint32_t>(parse_u64(value));
     } else if (key == "--exec-offload") {
       opt.exec_offload = parse_bool(value);
+    } else if (key == "--reads") {
+      opt.reads = parse_bool(value);
+      opt.smr = true;  // the read path answers against the replicated log
     } else if (key == "--shards") {
       const std::uint64_t shards = parse_u64(value);
       if (shards < 1 || shards > shard::kMaxShards) return false;
@@ -289,6 +297,7 @@ int run_smr_node(const Options& opt, net::TcpTransport& transport,
   params.smr.window = opt.window;
   params.smr.batch_max_commands = opt.batch;
   params.smr.checkpoint_interval = opt.checkpoint_interval;
+  params.smr.serve_reads = opt.reads;
 
   // Multi-core front end (--verify-threads): workers pre-warm a shared
   // thread-safe verdict cache that every per-slot instance then consumes.
@@ -388,6 +397,34 @@ int run_smr_node(const Options& opt, net::TcpTransport& transport,
   transport.set_client_handler([&transport, &node, &waiting, &last_reply](
                                    std::uint64_t conn, std::uint8_t tag,
                                    const Bytes& payload) {
+    if (tag == net::kClientReadTag) {
+      // Read path: the engine answers through its own state machine
+      // (lease / read-index / parked min_index waits) and calls back on
+      // the loop thread; with --reads off every mode answers kRejected,
+      // which the reply carries back instead of leaving the client to
+      // infer from a timeout.
+      try {
+        const auto read =
+            net::ReadRequest::decode(ByteSpan(payload.data(), payload.size()));
+        node->submit_read(
+            read.key, read.consistency, read.min_index,
+            [&transport, conn, client_id = read.client_id,
+             read_id = read.read_id](const smr::SmrReplica::ReadResult& r) {
+              net::ReadReply reply;
+              reply.client_id = client_id;
+              reply.read_id = read_id;
+              reply.status = r.status;
+              reply.slot = r.slot;
+              reply.index = r.index;
+              reply.value = r.value;
+              transport.send_to_client(conn, net::kClientReadReplyTag,
+                                       reply.encode());
+            });
+      } catch (const CodecError&) {
+        // Malformed read: drop.
+      }
+      return;
+    }
     if (tag != net::kClientRequestTag) return;
     try {
       const auto request =
@@ -406,12 +443,21 @@ int run_smr_node(const Options& opt, net::TcpTransport& transport,
       // Enqueue, then route the reply. A false return is either a retry
       // of still-pending work (keep/redirect the route to the fresh
       // connection) or an outright rejection (oversized payload, intake
-      // backpressure) — the latter must not leave a route behind: the
-      // request will never execute, so its waiting entry would leak.
+      // backpressure) — the latter answers an explicit kRejected so the
+      // client backs off instead of waiting out its timeout, and must
+      // not leave a route behind (the request will never execute, so a
+      // waiting entry would leak).
       const bool accepted = node->submit_request(
           request.client_id, request.seq, request.payload);
       if (accepted || node->has_pending(request.client_id, request.seq)) {
         waiting[{request.client_id, request.seq}] = conn;
+      } else {
+        net::ClientReply reject;
+        reject.client_id = request.client_id;
+        reject.seq = request.seq;
+        reject.status = net::ReplyStatus::kRejected;
+        transport.send_to_client(conn, net::kClientReplyTag,
+                                 reject.encode());
       }
     } catch (const CodecError&) {
       // Malformed client request: drop (the framing layer already
@@ -469,6 +515,7 @@ int run_sharded_node(const Options& opt, net::TcpTransport& transport,
   params.smr.window = opt.window;
   params.smr.batch_max_commands = opt.batch;
   params.smr.checkpoint_interval = opt.checkpoint_interval;
+  params.smr.serve_reads = opt.reads;
 
   std::shared_ptr<core::VerdictCache> verdicts;
   if (opt.verify_threads > 0) {
@@ -605,6 +652,31 @@ int run_sharded_node(const Options& opt, net::TcpTransport& transport,
                                 &last_reply](std::uint64_t conn,
                                              std::uint8_t tag,
                                              const Bytes& payload) {
+    if (tag == net::kClientReadTag) {
+      // Reads route to the group owning the key — writes place by
+      // read_view_key(payload), so key and writes meet the same group.
+      try {
+        const auto read =
+            net::ReadRequest::decode(ByteSpan(payload.data(), payload.size()));
+        node->submit_read(
+            read.key, read.consistency, read.min_index,
+            [&transport, conn, client_id = read.client_id,
+             read_id = read.read_id](const smr::SmrReplica::ReadResult& r) {
+              net::ReadReply reply;
+              reply.client_id = client_id;
+              reply.read_id = read_id;
+              reply.status = r.status;
+              reply.slot = r.slot;
+              reply.index = r.index;
+              reply.value = r.value;
+              transport.send_to_client(conn, net::kClientReadReplyTag,
+                                       reply.encode());
+            });
+      } catch (const CodecError&) {
+        // Malformed read: drop.
+      }
+      return;
+    }
     if (tag != net::kClientRequestTag) return;
     try {
       const auto request =
@@ -647,6 +719,13 @@ int run_sharded_node(const Options& opt, net::TcpTransport& transport,
           request.client_id, request.seq, request.payload);
       if (accepted || group.has_pending(request.client_id, request.seq)) {
         waiting[{request.client_id, request.seq}] = conn;
+      } else {
+        net::ClientReply reject;
+        reject.client_id = request.client_id;
+        reject.seq = request.seq;
+        reject.status = net::ReplyStatus::kRejected;
+        transport.send_to_client(conn, net::kClientReplyTag,
+                                 reject.encode());
       }
     } catch (const CodecError&) {
       // Malformed client request: drop.

@@ -94,6 +94,21 @@ if [ -x "${builddir}/bench/bench_sharding" ]; then
   fi
 fi
 
+# Machine-readable read-path summary: served ops/sec across read ratio x
+# consistency for the n=4 and n=32 fleets, plus the write-path digest
+# pin. The repo keeps a committed copy (BENCH_reads.json at the repo
+# root) as the read fast-path baseline; CI gates on linearizable reads
+# at ratio 0.99 >= 5x all-writes via --smoke.
+if [ -x "${builddir}/bench/bench_reads" ]; then
+  echo "== BENCH_reads.json (read ratio x consistency sweep)"
+  if ! "${builddir}/bench/bench_reads" \
+      --emit-json="${outdir}/BENCH_reads.json"; then
+    echo "   FAILED: bench_reads --emit-json" >&2
+    status=1
+    failed=$((failed + 1))
+  fi
+fi
+
 # Provenance: pin the manifest to the exact tree and wall-clock moment
 # the numbers came from, so archived bench-results stay comparable.
 git_sha="$(git -C "$(dirname "$0")/.." rev-parse HEAD 2>/dev/null || echo unknown)"

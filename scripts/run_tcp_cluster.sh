@@ -5,7 +5,7 @@
 #   usage: scripts/run_tcp_cluster.sh [BUILD_DIR] [PROTOCOL] [N] [--shards S]
 #
 #   BUILD_DIR  directory containing examples/probft_node (default: build)
-#   PROTOCOL   probft | pbft | hotstuff | client | restart | shard
+#   PROTOCOL   probft | pbft | hotstuff | client | restart | shard | reads
 #              (default: probft)
 #   N          cluster size                                (default: 4)
 #   --shards S consensus groups per node; anywhere on the command line.
@@ -46,6 +46,17 @@
 # replicas agree per shard: for each s, the N "SMRLOG ... shard=s"
 # digests are identical, and (d) every replica's dtx tracker converged
 # to the same committed/aborted counts with nothing in flight.
+#
+# PROTOCOL=reads runs the linearizable-read smoke: an SMR cluster with
+# the read fast path on (--reads 1, f=1 / l=1.5 so the leader needs real
+# lease grants from 2f other replicas), and the client interleaves reads
+# at READ_RATIO (default 0.9) under READ_CONSISTENCY (default
+# linearizable). The script asserts every write AND every read completed
+# (READS ok — a read only counts as executed when a replica answered it
+# with a non-rejected reply), that read values were never stale (the
+# client keys each read by its own completed write, so probft_client
+# exits nonzero on a mismatch), and that all replicas ended with
+# identical log digests.
 #
 # NODE_EXTRA_FLAGS appends extra probft_node flags to every node in any
 # mode — e.g. NODE_EXTRA_FLAGS="--verify-threads 2 --exec-offload 1" runs
@@ -88,7 +99,8 @@ if [[ ! -x "$NODE_BIN" ]]; then
   exit 2
 fi
 if [[ ( "$PROTOCOL" == client || "$PROTOCOL" == restart \
-        || "$PROTOCOL" == shard ) && ! -x "$CLIENT_BIN" ]]; then
+        || "$PROTOCOL" == shard || "$PROTOCOL" == reads ) \
+      && ! -x "$CLIENT_BIN" ]]; then
   echo "error: $CLIENT_BIN not found (build the examples first)" >&2
   exit 2
 fi
@@ -166,6 +178,80 @@ run_client_mode() {
     return 1
   fi
   echo "OK: $N/$N replicas executed $REQUESTS client commands with identical logs"
+  return 0
+}
+
+run_reads_mode() {
+  local base_port=$1
+  local peers=$2
+  local ratio=${READ_RATIO:-0.9}
+  local consistency=${READ_CONSISTENCY:-linearizable}
+  local client_servers=""
+  for (( i = 0; i < N; i++ )); do
+    client_servers+="${client_servers:+,}127.0.0.1:$(( base_port + 100 + i ))"
+  done
+  rm -rf "$workdir"/node-*.out "$workdir"/node-*.err
+
+  pids=()
+  for (( id = 1; id <= N; id++ )); do
+    timeout $(( DEADLINE_MS / 1000 + LINGER_MS / 1000 + 15 )) \
+      "$NODE_BIN" --id "$id" --peers "$peers" --smr 1 --f 1 --l 1.5 \
+        --reads 1 \
+        --client-port $(( base_port + 100 + id - 1 )) \
+        --expect-cmds "$REQUESTS" --run-ms "$DEADLINE_MS" \
+        --linger-ms "$LINGER_MS" --stats 1 $NODE_EXTRA_FLAGS \
+        > "$workdir/node-$id.out" 2> "$workdir/node-$id.err" &
+    pids+=($!)
+  done
+
+  sleep 1
+  if ! timeout $(( DEADLINE_MS / 1000 + 10 )) \
+      "$CLIENT_BIN" --servers "$client_servers" --requests "$REQUESTS" \
+        --mode closed --read-ratio "$ratio" --consistency "$consistency" \
+        --retry-ms 3000 --timeout-ms "$DEADLINE_MS" \
+        > "$workdir/client.out" 2>&1; then
+    echo "FAIL: client did not complete its writes and reads" >&2
+    cat "$workdir/client.out" >&2
+    return 1
+  fi
+
+  local failures=0
+  for (( id = 1; id <= N; id++ )); do
+    wait "${pids[$((id - 1))]}" || failures=$((failures + 1))
+  done
+  pids=()
+  if (( failures > 0 )); then
+    if grep -lq "cannot start transport" "$workdir"/node-*.err 2>/dev/null; then
+      return 2  # retryable port clash
+    fi
+    echo "FAIL: $failures/$N SMR nodes did not reach $REQUESTS commands" >&2
+    cat "$workdir"/node-*.err >&2
+    return 1
+  fi
+
+  cat "$workdir/client.out"
+  grep -h "^SMRLOG" "$workdir"/node-*.out
+  local digests cmds
+  digests=$(grep -h "^SMRLOG" "$workdir"/node-*.out \
+              | sed 's/.*digest=//' | sort -u | wc -l)
+  cmds=$(grep -h "^SMRLOG" "$workdir"/node-*.out \
+           | grep -c "cmds=$REQUESTS ")
+  if [[ "$digests" -ne 1 || "$cmds" -ne "$N" ]]; then
+    echo "FAIL: logs diverged under the read workload" >&2
+    return 1
+  fi
+  if ! grep -q "^CLIENT ok requests=$REQUESTS replies=$REQUESTS" \
+      "$workdir/client.out"; then
+    echo "FAIL: client reply accounting is off" >&2
+    return 1
+  fi
+  if ! grep -q "^READS ok consistency=$consistency .*stale=0 " \
+      "$workdir/client.out"; then
+    echo "FAIL: reads incomplete or stale" >&2
+    return 1
+  fi
+  echo "OK: $N/$N replicas executed $REQUESTS writes with identical logs;" \
+       "$consistency reads at ratio $ratio all answered, none stale"
   return 0
 }
 
@@ -478,6 +564,8 @@ while (( attempt < 3 )); do
 
   if [[ "$PROTOCOL" == client ]]; then
     run_client_mode "$base_port" "$peers"
+  elif [[ "$PROTOCOL" == reads ]]; then
+    run_reads_mode "$base_port" "$peers"
   elif [[ "$PROTOCOL" == restart ]]; then
     run_restart_mode "$base_port" "$peers"
   elif [[ "$PROTOCOL" == shard ]]; then

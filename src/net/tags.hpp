@@ -16,9 +16,9 @@
 //   0x01-0x0f  core consensus (ProBFT; PBFT reuses the same envelope)
 //   0x0b-0x0f  HotStuff (decimal 11-15, the historical values)
 //   0x20-0x27  single-group SMR (slot consensus, forwards, catch-up,
-//              checkpoints/state transfer; 0x26-0x27 reserved)
+//              checkpoints/state transfer, leases, read-index)
 //   0x28-0x2f  sharded service layer (0x2a-0x2f reserved)
-//   0x30-0x3f  client path (0x32-0x3f reserved)
+//   0x30-0x3f  client path (0x34-0x3f reserved)
 #pragma once
 
 #include <cstddef>
@@ -47,6 +47,8 @@ inline constexpr std::uint8_t kSmrHint = 0x22;     // signed decided-value hint
 inline constexpr std::uint8_t kSmrPull = 0x23;     // straggler asks for hints
 inline constexpr std::uint8_t kSmrCkpt = 0x24;     // checkpoint vote
 inline constexpr std::uint8_t kSmrState = 0x25;    // certified state transfer
+inline constexpr std::uint8_t kSmrLease = 0x26;    // read-lease request/grant
+inline constexpr std::uint8_t kSmrReadIndex = 0x27;  // watermark attestation
 
 // ---- sharded service layer (shard::) ----
 inline constexpr std::uint8_t kShard = 0x28;         // shard-prefixed consensus
@@ -55,6 +57,8 @@ inline constexpr std::uint8_t kShardForward = 0x29;  // cross-shard forward
 // ---- client path (net::) ----
 inline constexpr std::uint8_t kClientRequest = 0x30;
 inline constexpr std::uint8_t kClientReply = 0x31;
+inline constexpr std::uint8_t kClientRead = 0x32;
+inline constexpr std::uint8_t kClientReadReply = 0x33;
 
 namespace detail {
 
@@ -62,8 +66,9 @@ inline constexpr std::uint8_t kAll[] = {
     kPropose,   kPrepare,     kCommit,    kNewLeader,     kWish,
     kHsNewView, kHsProposal,  kHsVote,    kHsQc,          kHsWish,
     kSmr,       kSmrForward,  kSmrHint,   kSmrPull,       kSmrCkpt,
-    kSmrState,  kShard,       kShardForward,
-    kClientRequest, kClientReply,
+    kSmrState,  kSmrLease,    kSmrReadIndex,
+    kShard,     kShardForward,
+    kClientRequest, kClientReply, kClientRead, kClientReadReply,
 };
 
 constexpr bool all_unique() {

@@ -5,6 +5,7 @@
 
 #include "common/codec.hpp"
 #include "smr/batch.hpp"
+#include "smr/read_view.hpp"
 
 namespace probft::shard {
 
@@ -67,8 +68,20 @@ void ShardedSmr::start() {
 
 bool ShardedSmr::submit_request(std::uint64_t client, std::uint64_t seq,
                                 Bytes payload) {
-  const ShardId s = placement_.shard_of(span(payload));
+  // Place by the payload's KEY (the bytes before the first '='), not the
+  // raw bytes, so a read of that key routes to the shard that owns its
+  // writes. Payloads without '=' key as the whole payload — placement for
+  // every historical opaque workload (and its pinned digests) unchanged.
+  const ShardId s = placement_.shard_of(smr::read_view_key(span(payload)));
   return submit_to_shard(s, client, seq, std::move(payload));
+}
+
+void ShardedSmr::submit_read(Bytes key, net::ReadConsistency consistency,
+                             std::uint64_t min_index,
+                             smr::SmrReplica::ReadCallback cb) {
+  const ShardId s = placement_.shard_of(span(key));
+  groups_[s]->submit_read(std::move(key), consistency, min_index,
+                          std::move(cb));
 }
 
 bool ShardedSmr::submit_to_shard(ShardId s, std::uint64_t client,

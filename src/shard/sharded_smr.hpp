@@ -101,6 +101,13 @@ class ShardedSmr : public core::INode {
   bool submit_to_shard(ShardId s, std::uint64_t client, std::uint64_t seq,
                        Bytes payload);
 
+  /// Read-path entry: routes `key` to the group that owns it — writes
+  /// place by read_view_key(payload), so key and writes land on the same
+  /// group — and answers there at the requested consistency (see
+  /// smr::SmrReplica::submit_read).
+  void submit_read(Bytes key, net::ReadConsistency consistency,
+                   std::uint64_t min_index, smr::SmrReplica::ReadCallback cb);
+
   // ---- inspection ----
   [[nodiscard]] const Placement& placement() const { return placement_; }
   [[nodiscard]] std::uint32_t shard_count() const {

@@ -62,18 +62,18 @@ const char* to_string(Workload workload) {
   switch (workload) {
     case Workload::kSingleShot: return "single-shot";
     case Workload::kSmr: return "smr";
+    case Workload::kSmrReads: return "smr-reads";
   }
   return "?";
 }
 
 bool workload_from_string(const std::string& text, Workload& out) {
-  if (text == to_string(Workload::kSingleShot)) {
-    out = Workload::kSingleShot;
-    return true;
-  }
-  if (text == to_string(Workload::kSmr)) {
-    out = Workload::kSmr;
-    return true;
+  for (const Workload w :
+       {Workload::kSingleShot, Workload::kSmr, Workload::kSmrReads}) {
+    if (text == to_string(w)) {
+      out = w;
+      return true;
+    }
   }
   return false;
 }
@@ -160,7 +160,8 @@ bool smr_fault_supported(Fault fault) {
 }
 
 bool fault_applicable(const ScenarioSpec& spec) {
-  if (spec.workload == Workload::kSmr && !smr_fault_supported(spec.fault)) {
+  if (spec.workload != Workload::kSingleShot &&
+      !smr_fault_supported(spec.fault)) {
     return false;
   }
   switch (spec.fault) {
@@ -195,7 +196,7 @@ bool fault_applicable(const ScenarioSpec& spec) {
       // Crash-restart durability only exists at the SMR layer (the WAL
       // lives under the replicated log); single-shot runs have no
       // persistent state to recover.
-      return spec.workload == Workload::kSmr && spec.n >= 2;
+      return spec.workload != Workload::kSingleShot && spec.n >= 2;
     case Fault::kShardSilentLeader:
       // Needs a multiplexed fleet (the fault names a shard envelope) and
       // enough crash budget for group 0 to view-change past its leader.
@@ -651,7 +652,9 @@ ScenarioOutcome run_scenario_smr_sharded(const ScenarioSpec& spec,
 }  // namespace
 
 ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
-  if (spec.workload == Workload::kSmr) return run_scenario_smr(spec, seed);
+  if (spec.workload != Workload::kSingleShot) {
+    return run_scenario_smr(spec, seed);
+  }
   Cluster cluster(make_cluster_config(spec, seed));
   apply_network_fault(cluster.network(), cluster.simulator(), spec,
                       cluster.config().latency.gst, seed);
@@ -708,7 +711,20 @@ ScenarioOutcome run_scenario_smr(const ScenarioSpec& spec,
   // makes the fleet stabilize a checkpoint before the kill so recovery
   // starts from it rather than from genesis.
   const ReplicaId victim = spec.fault == Fault::kKillRestart ? 2 : 0;
+  const bool with_reads = spec.workload == Workload::kSmrReads;
   smr::SmrOptions smr_opts = spec.smr;
+  if (with_reads) {
+    smr_opts.serve_reads = true;
+    // Lease validity must be of the same order as the view-change
+    // timeout: a promise defers wish/new-leader traffic for up to
+    // duration + skew, and a deferral window far beyond the synchronizer
+    // timeout lets later slots race ahead of a stalled one (their
+    // batches execute first and the per-client dedup then supersedes the
+    // stalled slot's requests). The defaults (2 s) are wall-clock knobs;
+    // scale them to the harness's 100 ms virtual timeouts.
+    smr_opts.lease_duration = 100'000;
+    smr_opts.lease_skew = 25'000;
+  }
   std::unique_ptr<store::Wal> victim_wal;
   std::filesystem::path wal_dir;
   if (victim != 0) {
@@ -807,19 +823,37 @@ ScenarioOutcome run_scenario_smr(const ScenarioSpec& spec,
   // cleared (partitions heal at GST ≤ 300 ms, churn victims recover by
   // 400 ms), so replicas that missed wave 1 see fresh slot traffic, open
   // the missed slots and backfill them via decided-value hints/pulls.
+  //
+  // Client shape: the historical smr workload pipelines one client
+  // (9001) through consecutive seqs — every pinned transcript was
+  // captured against it. The reads workload instead gives each command
+  // its own client id: lease promises legitimately delay view changes
+  // (a wish defers for up to duration + skew), so a stalled slot can
+  // resolve empty after later slots already executed — and a pipelined
+  // client's requeued low seqs would then be superseded by its executed
+  // high seq under highest-seq dedup. Distinct clients make delayed
+  // commands re-proposable instead of droppable.
   const ReplicaId entry2 = spec.n >= 2 ? 2 : 1;
   const ReplicaId entry3 = spec.n >= 3 ? 3 : 1;
   const std::uint64_t wave1 = (target + 1) / 2;
-  sim.schedule_after(1'000, [&nodes, wave1] {
+  const auto wave_client = [with_reads](std::uint64_t i) {
+    return with_reads ? 9100 + i : 9001;
+  };
+  const auto wave_seq = [with_reads](std::uint64_t i) {
+    return with_reads ? 1 : i;
+  };
+  sim.schedule_after(1'000, [&nodes, wave1, wave_client, wave_seq] {
     for (std::uint64_t i = 1; i <= wave1; ++i) {
-      (void)nodes[1]->submit_request(9001, i,
+      (void)nodes[1]->submit_request(wave_client(i), wave_seq(i),
                                      to_bytes("cmd-" + std::to_string(i)));
     }
   });
-  sim.schedule_after(500'000, [&nodes, wave1, target, entry2, entry3] {
+  sim.schedule_after(500'000, [&nodes, wave1, target, entry2, entry3,
+                               wave_client, wave_seq] {
     // A client retry of the first request against another replica: the
     // dedup table must keep it from executing twice.
-    (void)nodes[entry3]->submit_request(9001, 1, to_bytes("cmd-1"));
+    (void)nodes[entry3]->submit_request(wave_client(1), wave_seq(1),
+                                        to_bytes("cmd-1"));
     std::uint64_t next = wave1 + 1;
     if (next <= target) {
       // A second client entering at a non-leader replica (forwarded).
@@ -827,8 +861,9 @@ ScenarioOutcome run_scenario_smr(const ScenarioSpec& spec,
       ++next;
     }
     for (; next <= target; ++next) {
-      (void)nodes[1]->submit_request(9001, next - 1,
-                                     to_bytes("cmd-" + std::to_string(next - 1)));
+      (void)nodes[1]->submit_request(
+          wave_client(next - 1), wave_seq(next - 1),
+          to_bytes("cmd-" + std::to_string(next - 1)));
     }
   });
 
@@ -840,6 +875,52 @@ ScenarioOutcome run_scenario_smr(const ScenarioSpec& spec,
          sim.now() < spec.deadline) {
     if (!sim.step()) break;
     ++fired;
+  }
+
+  // Read phase (Workload::kSmrReads): once the write workload completed,
+  // every up replica answers the known first write at all three
+  // consistency levels. The pinned invariant is freedom from stale
+  // reads, not universal service — a replica that recovered over a view
+  // gap (WAL snapshot, adopted checkpoint) answers kRejected by design,
+  // and that is counted but never stale.
+  std::uint64_t reads_attempted = 0;
+  std::uint64_t reads_executed = 0;
+  std::uint64_t reads_rejected = 0;
+  std::uint64_t stale_reads = 0;
+  if (with_reads) {
+    const Bytes expected = to_bytes("cmd-1");
+    std::uint64_t reads_fired = 0;
+    for (ReplicaId id = 1; id <= spec.n; ++id) {
+      if (down[id] || !nodes[id]) continue;
+      for (const net::ReadConsistency mode :
+           {net::ReadConsistency::kLinearizable,
+            net::ReadConsistency::kSequential,
+            net::ReadConsistency::kStaleOk}) {
+        ++reads_attempted;
+        nodes[id]->submit_read(
+            to_bytes("cmd-1"), mode, 0,
+            [&reads_fired, &reads_executed, &reads_rejected, &stale_reads,
+             &expected, mode](const smr::SmrReplica::ReadResult& r) {
+              ++reads_fired;
+              if (r.status != net::ReplyStatus::kExecuted) {
+                ++reads_rejected;
+                return;
+              }
+              ++reads_executed;
+              // Stale-ok makes no freshness promise; the other two do.
+              if (mode != net::ReadConsistency::kStaleOk &&
+                  r.value != expected) {
+                ++stale_reads;
+              }
+            });
+      }
+    }
+    const TimePoint read_deadline = sim.now() + 5'000'000;
+    while (reads_fired < reads_attempted && fired < spec.max_events &&
+           sim.now() < read_deadline) {
+      if (!sim.step()) break;
+      ++fired;
+    }
   }
 
   // Recount completion from replica state rather than trusting the
@@ -862,6 +943,10 @@ ScenarioOutcome run_scenario_smr(const ScenarioSpec& spec,
   outcome.bytes = network.stats().bytes_sent;
   outcome.events = sim.events_fired();
   outcome.last_decision_at = last_execution_at;
+  outcome.reads_attempted = reads_attempted;
+  outcome.reads_executed = reads_executed;
+  outcome.reads_rejected = reads_rejected;
+  outcome.stale_reads = stale_reads;
 
   // Agreement at the log level: correct replicas' retained slot logs must
   // agree wherever they overlap (logs may start at different bases once

@@ -54,9 +54,14 @@ enum class LatencyModel {
 /// replica (the original conformance shape); kSmr drives a pipelined SMR
 /// fleet through a client workload and asserts identical logs — the
 /// conformance bar moves from "one agreed value" to "one agreed log".
+/// kSmrReads is kSmr with the read fast path enabled: after the write
+/// workload completes, every up replica answers a known key at all three
+/// consistency levels and the outcome counts stale/rejected reads (the
+/// pinned invariant is stale_reads == 0 under every supported fault).
 enum class Workload {
   kSingleShot,
   kSmr,
+  kSmrReads,
 };
 
 struct ScenarioSpec {
@@ -103,6 +108,15 @@ struct ScenarioOutcome {
   /// decision in decision order. Equal transcripts ⇔ bit-identical runs,
   /// which is what the seed-determinism regression tests compare.
   std::string transcript;
+  /// Read-phase accounting (Workload::kSmrReads only; zero otherwise).
+  /// A "stale" read is an executed linearizable/sequential reply whose
+  /// value is not the workload's known write — replicas that legitimately
+  /// cannot serve (view gap after WAL/checkpoint recovery, no quorum)
+  /// answer kRejected instead, which is counted but never stale.
+  std::uint64_t reads_attempted = 0;
+  std::uint64_t reads_executed = 0;
+  std::uint64_t reads_rejected = 0;
+  std::uint64_t stale_reads = 0;
 };
 
 struct ScenarioResult {

@@ -1,0 +1,53 @@
+#include "smr/read_view.hpp"
+
+#include <algorithm>
+
+namespace probft::smr {
+
+namespace {
+
+const std::uint8_t* find_eq(ByteSpan payload) {
+  return std::find(payload.data(), payload.data() + payload.size(),
+                   static_cast<std::uint8_t>('='));
+}
+
+}  // namespace
+
+ByteSpan read_view_key(ByteSpan payload) {
+  const std::uint8_t* eq = find_eq(payload);
+  return ByteSpan(payload.data(),
+                  static_cast<std::size_t>(eq - payload.data()));
+}
+
+ByteSpan read_view_value(ByteSpan payload) {
+  const std::uint8_t* eq = find_eq(payload);
+  const std::uint8_t* end = payload.data() + payload.size();
+  if (eq == end) return payload;
+  return ByteSpan(eq + 1, static_cast<std::size_t>(end - (eq + 1)));
+}
+
+void ReadView::apply(std::uint64_t slot, std::uint64_t index,
+                     const Bytes& payload) {
+  const ByteSpan span(payload.data(), payload.size());
+  const ByteSpan key = read_view_key(span);
+  const ByteSpan value = read_view_value(span);
+  ReadViewEntry& entry =
+      entries_[std::string(reinterpret_cast<const char*>(key.data()),
+                           key.size())];
+  entry.value.assign(value.data(), value.data() + value.size());
+  entry.slot = slot;
+  entry.index = index;
+}
+
+void ReadView::set_watermark(std::uint64_t exec_slots) {
+  watermark_ = std::max(watermark_, exec_slots);
+}
+
+const ReadViewEntry* ReadView::lookup(ByteSpan key) const {
+  const auto it = entries_.find(
+      std::string(reinterpret_cast<const char*>(key.data()), key.size()));
+  if (it == entries_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace probft::smr

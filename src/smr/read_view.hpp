@@ -1,0 +1,69 @@
+// Deterministic KV view over the executed log: the read fast path's
+// answer source.
+//
+// Every executed command is projected onto a key/value store with the
+// convention `key '=' value` (a payload without '=' is its own key and
+// value — all historical workloads use such opaque payloads, so adding
+// the projection changes no digest and no placement for them). The view
+// tracks, per key, the last write and the (slot, exec-index) it landed
+// at, plus an exec-slot watermark — O(1) per executed command, O(keys)
+// memory.
+//
+// A replica can then answer:
+//   stale-ok       — immediately from the local view;
+//   sequential     — once its watermark reaches the client's floor;
+//   linearizable   — once the lease / read-index protocol (smr/reads.hpp)
+//                    proves the watermark covers every write decided
+//                    before the read was issued.
+//
+// The view is maintained unconditionally on the execute path (it is two
+// map operations per command); serving reads from it is opt-in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+
+namespace probft::smr {
+
+/// Key under which a payload is written: the bytes before the first '=',
+/// or the whole payload when it contains none. Shared by the read path
+/// and shard placement so reads route to the shard that owns the writes.
+[[nodiscard]] ByteSpan read_view_key(ByteSpan payload);
+
+/// Value a payload writes: the bytes after the first '=', or the whole
+/// payload when it contains none.
+[[nodiscard]] ByteSpan read_view_value(ByteSpan payload);
+
+struct ReadViewEntry {
+  Bytes value;
+  std::uint64_t slot = 0;   // log slot the write was decided in
+  std::uint64_t index = 0;  // global exec index of the write
+};
+
+class ReadView {
+ public:
+  /// Project one executed command onto the view. `slot`/`index` are the
+  /// command's log slot and global execution index.
+  void apply(std::uint64_t slot, std::uint64_t index, const Bytes& payload);
+
+  /// Advance the exec-slot watermark (= number of contiguously executed
+  /// slots). Called after each slot finishes executing.
+  void set_watermark(std::uint64_t exec_slots);
+
+  /// Exec-slot watermark: every slot below it has been executed here.
+  [[nodiscard]] std::uint64_t watermark() const { return watermark_; }
+
+  /// Last write to `key`, or nullptr if the key was never written.
+  [[nodiscard]] const ReadViewEntry* lookup(ByteSpan key) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::string, ReadViewEntry> entries_;
+  std::uint64_t watermark_ = 0;
+};
+
+}  // namespace probft::smr

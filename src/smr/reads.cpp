@@ -1,0 +1,173 @@
+#include "smr/reads.hpp"
+
+namespace probft::smr {
+
+namespace {
+
+/// Domain separators keep lease grants and read-index attestations
+/// mutually unforgeable from each other and from every other signing
+/// surface (consensus votes, checkpoint votes, hints).
+constexpr std::string_view kLeaseDomain = "probft-lease-v1";
+constexpr std::string_view kReadIndexDomain = "probft-readidx-v1";
+
+void check_version(std::uint8_t version) {
+  if (version != kReadWireVersion) {
+    throw CodecError("read wire: unknown version");
+  }
+}
+
+void check_kind(std::uint8_t got, std::uint8_t want) {
+  if (got != want) throw CodecError("read wire: unexpected message kind");
+}
+
+Bytes read_sig(Reader& r) {
+  Bytes sig = r.bytes();
+  if (sig.size() > kMaxReadSigBytes) {
+    throw CodecError("read wire: signature exceeds cap");
+  }
+  return sig;
+}
+
+bool verify_one(const crypto::CryptoSuite& suite,
+                const crypto::PublicKeyDir& keys, std::uint32_t n,
+                ReplicaId signer, const Bytes& msg, const Bytes& sig) {
+  if (signer == 0 || signer > n) return false;
+  return suite.verify(ByteSpan(keys[signer].data(), keys[signer].size()),
+                      ByteSpan(msg.data(), msg.size()),
+                      ByteSpan(sig.data(), sig.size()));
+}
+
+}  // namespace
+
+std::uint8_t peek_read_msg_kind(ByteSpan data) {
+  Reader r(data);
+  check_version(r.u8());
+  return r.u8();
+}
+
+Bytes lease_signing_bytes(std::uint64_t epoch, ReplicaId leader,
+                          ReplicaId granter) {
+  Writer w;
+  w.str(kLeaseDomain);
+  w.u64(epoch);
+  w.u32(leader);
+  w.u32(granter);
+  return std::move(w).take();
+}
+
+Bytes read_index_signing_bytes(ReplicaId requester, std::uint64_t rid,
+                               std::uint64_t watermark) {
+  Writer w;
+  w.str(kReadIndexDomain);
+  w.u32(requester);
+  w.u64(rid);
+  w.u64(watermark);
+  return std::move(w).take();
+}
+
+Bytes LeaseRequest::encode() const {
+  Writer w;
+  w.u8(kReadWireVersion);
+  w.u8(kLeaseRequestKind);
+  w.u64(epoch);
+  w.u32(leader);
+  return std::move(w).take();
+}
+
+LeaseRequest LeaseRequest::decode(ByteSpan data) {
+  Reader r(data);
+  check_version(r.u8());
+  check_kind(r.u8(), kLeaseRequestKind);
+  LeaseRequest req;
+  req.epoch = r.u64();
+  req.leader = r.u32();
+  r.expect_exhausted();
+  return req;
+}
+
+Bytes LeaseGrant::encode() const {
+  Writer w;
+  w.u8(kReadWireVersion);
+  w.u8(kLeaseGrantKind);
+  w.u64(epoch);
+  w.u32(leader);
+  w.u32(granter);
+  w.bytes(ByteSpan(signature.data(), signature.size()));
+  return std::move(w).take();
+}
+
+LeaseGrant LeaseGrant::decode(ByteSpan data) {
+  Reader r(data);
+  check_version(r.u8());
+  check_kind(r.u8(), kLeaseGrantKind);
+  LeaseGrant grant;
+  grant.epoch = r.u64();
+  grant.leader = r.u32();
+  grant.granter = r.u32();
+  grant.signature = read_sig(r);
+  r.expect_exhausted();
+  return grant;
+}
+
+bool LeaseGrant::verify(const crypto::CryptoSuite& suite,
+                        const crypto::PublicKeyDir& keys,
+                        std::uint32_t n) const {
+  return verify_one(suite, keys, n, granter,
+                    lease_signing_bytes(epoch, leader, granter), signature);
+}
+
+Bytes ReadIndexRequest::encode() const {
+  Writer w;
+  w.u8(kReadWireVersion);
+  w.u8(kReadIndexRequestKind);
+  w.u64(rid);
+  w.u32(requester);
+  return std::move(w).take();
+}
+
+ReadIndexRequest ReadIndexRequest::decode(ByteSpan data) {
+  Reader r(data);
+  check_version(r.u8());
+  check_kind(r.u8(), kReadIndexRequestKind);
+  ReadIndexRequest req;
+  req.rid = r.u64();
+  req.requester = r.u32();
+  r.expect_exhausted();
+  return req;
+}
+
+Bytes ReadIndexAttest::encode() const {
+  Writer w;
+  w.u8(kReadWireVersion);
+  w.u8(kReadIndexAttestKind);
+  w.u64(rid);
+  w.u32(requester);
+  w.u64(watermark);
+  w.u32(signer);
+  w.bytes(ByteSpan(signature.data(), signature.size()));
+  return std::move(w).take();
+}
+
+ReadIndexAttest ReadIndexAttest::decode(ByteSpan data) {
+  Reader r(data);
+  check_version(r.u8());
+  check_kind(r.u8(), kReadIndexAttestKind);
+  ReadIndexAttest attest;
+  attest.rid = r.u64();
+  attest.requester = r.u32();
+  attest.watermark = r.u64();
+  attest.signer = r.u32();
+  attest.signature = read_sig(r);
+  r.expect_exhausted();
+  return attest;
+}
+
+bool ReadIndexAttest::verify(const crypto::CryptoSuite& suite,
+                             const crypto::PublicKeyDir& keys,
+                             std::uint32_t n) const {
+  return verify_one(suite, keys, n, signer,
+                    read_index_signing_bytes(requester, rid, watermark),
+                    signature);
+}
+
+}  // namespace probft::smr

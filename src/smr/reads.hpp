@@ -1,0 +1,136 @@
+// Linearizable-read protocol messages: leader leases and quorum
+// read-index attestations.
+//
+// Two protocols let a replica answer a linearizable read without pushing
+// it through the ordered log:
+//
+//  - Leader lease (tag kSmrLease). The view-1 leader broadcasts a
+//    LeaseRequest{epoch}; each follower replies with a signed
+//    LeaseGrant{epoch, leader, granter} and, for the lease duration plus
+//    a clock-skew bound, PROMISES not to help depose the leader (it
+//    suppresses its own NewLeader/Wish traffic; with 2f+1 promises
+//    outstanding no view-change quorum can form). Holding 2f+1 grants,
+//    the leader serves linearizable reads locally — any write decided so
+//    far was proposed by it, so its own next-open slot bounds the read
+//    index. A decide arriving at view > 1 proves the lease's premise
+//    wrong and poisons lease serving permanently (the regression test
+//    pins this).
+//
+//  - Quorum read-index (tag kSmrReadIndex). Any replica broadcasts a
+//    ReadIndexRequest{rid}; each peer answers with a signed
+//    ReadIndexAttest carrying its exec-slot watermark. 2f+1 attestations
+//    (self included) give a read index = max watermark: at least f+1
+//    correct replicas executed up to their stated mark, so every write
+//    linearized before the request is covered. The requester waits until
+//    its own execution reaches the index, then answers from the local
+//    ReadView.
+//
+// All codecs are strict (version byte, truncation/trailing/oversize
+// checks throw CodecError) — these frames arrive from the network and
+// must survive arbitrary bytes. Signatures are domain-separated from
+// every other signing surface in the system.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/codec.hpp"
+#include "common/types.hpp"
+#include "crypto/suite.hpp"
+#include "net/tags.hpp"
+
+namespace probft::smr {
+
+/// Wire tags for the read fast path; values live in the central registry
+/// (net/tags.hpp), these are local re-exports.
+inline constexpr std::uint8_t kSmrLeaseTag = net::tags::kSmrLease;
+inline constexpr std::uint8_t kSmrReadIndexTag = net::tags::kSmrReadIndex;
+
+inline constexpr std::uint8_t kReadWireVersion = 1;
+
+/// Message kinds inside the kSmrLease / kSmrReadIndex envelopes; the
+/// second byte of every message (after the version byte).
+inline constexpr std::uint8_t kLeaseRequestKind = 0;
+inline constexpr std::uint8_t kLeaseGrantKind = 1;
+inline constexpr std::uint8_t kReadIndexRequestKind = 2;
+inline constexpr std::uint8_t kReadIndexAttestKind = 3;
+
+/// Cap on signature bytes accepted off the wire (ed25519 uses 64).
+inline constexpr std::size_t kMaxReadSigBytes = 256;
+
+/// Kind byte of a versioned read-path message, without consuming it.
+/// Throws CodecError on truncation or a version this build does not
+/// speak, so dispatchers fail closed.
+[[nodiscard]] std::uint8_t peek_read_msg_kind(ByteSpan data);
+
+/// Domain-separated signing bytes for a lease grant: the granter attests
+/// "I promise not to depose `leader` for lease epoch `epoch`".
+[[nodiscard]] Bytes lease_signing_bytes(std::uint64_t epoch, ReplicaId leader,
+                                        ReplicaId granter);
+
+/// Domain-separated signing bytes for a read-index attestation, bound to
+/// the requester and rid so an attestation cannot be replayed into a
+/// different read.
+[[nodiscard]] Bytes read_index_signing_bytes(ReplicaId requester,
+                                             std::uint64_t rid,
+                                             std::uint64_t watermark);
+
+/// Leader → all: ask for (or renew) the lease with this epoch.
+struct LeaseRequest {
+  std::uint64_t epoch = 0;
+  ReplicaId leader = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  static LeaseRequest decode(ByteSpan data);
+
+  bool operator==(const LeaseRequest& other) const = default;
+};
+
+/// Granter → leader: signed promise for one lease epoch.
+struct LeaseGrant {
+  std::uint64_t epoch = 0;
+  ReplicaId leader = 0;
+  ReplicaId granter = 0;
+  Bytes signature;  // over lease_signing_bytes(epoch, leader, granter)
+
+  [[nodiscard]] Bytes encode() const;
+  static LeaseGrant decode(ByteSpan data);
+
+  [[nodiscard]] bool verify(const crypto::CryptoSuite& suite,
+                            const crypto::PublicKeyDir& keys,
+                            std::uint32_t n) const;
+
+  bool operator==(const LeaseGrant& other) const = default;
+};
+
+/// Requester → all: attest your exec-slot watermark for read `rid`.
+struct ReadIndexRequest {
+  std::uint64_t rid = 0;
+  ReplicaId requester = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  static ReadIndexRequest decode(ByteSpan data);
+
+  bool operator==(const ReadIndexRequest& other) const = default;
+};
+
+/// Peer → requester: signed exec-slot watermark, bound to (requester,
+/// rid) so it cannot be replayed into another read.
+struct ReadIndexAttest {
+  std::uint64_t rid = 0;
+  ReplicaId requester = 0;
+  std::uint64_t watermark = 0;  // exec-slot count at the signer
+  ReplicaId signer = 0;
+  Bytes signature;  // over read_index_signing_bytes(requester, rid, mark)
+
+  [[nodiscard]] Bytes encode() const;
+  static ReadIndexAttest decode(ByteSpan data);
+
+  [[nodiscard]] bool verify(const crypto::CryptoSuite& suite,
+                            const crypto::PublicKeyDir& keys,
+                            std::uint32_t n) const;
+
+  bool operator==(const ReadIndexAttest& other) const = default;
+};
+
+}  // namespace probft::smr

@@ -32,6 +32,11 @@ constexpr std::size_t kMaxTrackedCkpts = 8;
 /// grow the tally unboundedly).
 constexpr std::size_t kMaxCkptDigests = 4;
 
+/// Cap on view-change frames deferred while lease promises are live (the
+/// synchronizer wishes at most once per view per slot, so this is far
+/// above any honest volume).
+constexpr std::size_t kMaxDeferredVc = 4096;
+
 [[nodiscard]] ByteSpan span(const Bytes& b) {
   return ByteSpan(b.data(), b.size());
 }
@@ -64,6 +69,7 @@ void SmrReplica::start() {
     host_.broadcast(kSmrPullTag, std::move(w).take());
   }
   maybe_open_slots(/*pace_expired=*/false);
+  request_lease();
 }
 
 void SmrReplica::submit(Bytes command) {
@@ -265,14 +271,33 @@ void SmrReplica::open_next_slot() {
     w.u64(slot);
     w.u8(tag);
     w.raw(m);
-    host_.send(to, kSmrTag, std::move(w).take());
+    Bytes frame = std::move(w).take();
+    // Lease promise: while this replica has promised not to depose the
+    // lease holder, its own view-change traffic is deferred (NOT dropped
+    // — the synchronizer wishes once, so a drop would wedge liveness).
+    if (promise_live_ > 0 && (tag == net::tags::kNewLeader ||
+                              tag == net::tags::kWish)) {
+      if (deferred_vc_.size() < kMaxDeferredVc) {
+        deferred_vc_.push_back(DeferredFrame{to, std::move(frame)});
+      }
+      return;
+    }
+    host_.send(to, kSmrTag, std::move(frame));
   };
   slot_host.broadcast = [this, slot](std::uint8_t tag, const Bytes& m) {
     Writer w;
     w.u64(slot);
     w.u8(tag);
     w.raw(m);
-    host_.broadcast(kSmrTag, std::move(w).take());
+    Bytes frame = std::move(w).take();
+    if (promise_live_ > 0 && (tag == net::tags::kNewLeader ||
+                              tag == net::tags::kWish)) {
+      if (deferred_vc_.size() < kMaxDeferredVc) {
+        deferred_vc_.push_back(DeferredFrame{0, std::move(frame)});
+      }
+      return;
+    }
+    host_.broadcast(kSmrTag, std::move(frame));
   };
   // Retired instances are destroyed while their timers may still be in
   // flight; the wrapper drops a firing whose slot is gone.
@@ -283,8 +308,8 @@ void SmrReplica::open_next_slot() {
       if (instances_.count(slot) != 0) fn();
     });
   };
-  slot_host.on_decide = [this, slot](View /*view*/, const Bytes& value) {
-    on_slot_decided(slot, value);
+  slot_host.on_decide = [this, slot](View view, const Bytes& value) {
+    on_slot_decided(slot, value, view);
   };
 
   instances_.emplace(slot, std::make_unique<core::Replica>(
@@ -304,7 +329,19 @@ void SmrReplica::open_next_slot() {
   }
 }
 
-void SmrReplica::on_slot_decided(std::uint64_t slot, const Bytes& value) {
+void SmrReplica::on_slot_decided(std::uint64_t slot, const Bytes& value,
+                                 View view) {
+  // Lease poisoning: a decide at view > 1 proves a view change happened,
+  // so the view-1 leader's "every decided write went through me" premise
+  // is dead — it must stop serving lease reads AND every replica that saw
+  // the decide must stop granting it fresh leases. A decide of unknown
+  // view (hint adoption, view = 0) poisons only the leader itself: a
+  // leader with a healthy lease never needs catch-up hints, and granters
+  // routinely do.
+  if (cfg_.pipeline.serve_reads &&
+      (view > 1 || (view == 0 && is_lease_leader()))) {
+    lease_poisoned_ = true;
+  }
   if (slot < exec_slots()) return;  // already executed
   decided_out_of_order_.emplace(slot, value);
   execute_ready_slots();
@@ -354,6 +391,7 @@ void SmrReplica::execute_ready_slots() {
       exec.payload = req.payload;
       ++exec_count_;
       exec_payloads_.push_back(std::move(req.payload));
+      read_view_.apply(exec.slot, exec.index, exec.payload);
       if (!recovering_) {
         if (host_.on_commit) host_.on_commit(exec.index, exec.payload);
         if (cfg_.on_execute) cfg_.on_execute(exec);
@@ -391,10 +429,12 @@ void SmrReplica::execute_ready_slots() {
 
     log_.push_back(std::move(value));
     chain_ = chain_digest(chain_, log_.back());
+    read_view_.set_watermark(exec_slots());
     advanced = true;
     maybe_checkpoint();
   }
   if (advanced) {
+    drain_parked_reads();
     retire_executed_slots();
     maybe_open_slots(/*pace_expired=*/false);
   }
@@ -509,6 +549,7 @@ void SmrReplica::stabilize(CheckpointState state, CheckpointCert cert) {
   log_.erase(log_.begin(),
              log_.begin() + static_cast<std::ptrdiff_t>(slot - log_base_));
   log_base_ = slot;
+  hint_wire_.erase(hint_wire_.begin(), hint_wire_.lower_bound(slot));
   stable_slot_ = slot;
   stable_ = std::make_pair(std::move(state), std::move(cert));
   pending_states_.erase(pending_states_.begin(),
@@ -553,10 +594,18 @@ void SmrReplica::install_checkpoint(CheckpointState state,
 
   // Jump the log: everything below `slot` is summarized by the cert.
   // exec_payloads_ keeps only locally-executed payloads (documented gap).
+  // The ReadView misses every write in the skipped stretch, so reads are
+  // permanently rejected here (the checkpoint carries the dedup table,
+  // not the KV image); and slots we never drove may have decided at
+  // view > 1, so lease serving/granting is poisoned too.
+  read_view_gap_ = true;
+  if (cfg_.pipeline.serve_reads) lease_poisoned_ = true;
+  read_view_.set_watermark(slot);
   exec_count_ = state.exec_count;
   chain_ = state.log_digest;
   log_.clear();
   log_base_ = slot;
+  hint_wire_.erase(hint_wire_.begin(), hint_wire_.lower_bound(slot));
   next_open_ = std::max(next_open_, slot);
   max_seen_slot_ = std::max(max_seen_slot_, slot);
 
@@ -624,21 +673,41 @@ void SmrReplica::recover_from_wal() {
   }
   recovered_slots_ = exec_slots();
   if (next_open_ < exec_slots()) next_open_ = exec_slots();
+  if (snap.has_value()) {
+    // The snapshot summarizes slots whose payloads are gone — the
+    // ReadView cannot be rebuilt, so reads are rejected here for good.
+    read_view_gap_ = true;
+    read_view_.set_watermark(exec_slots());
+  }
+  if (recovered_slots_ > 0 && cfg_.pipeline.serve_reads) {
+    // Replayed decides carry no view information: conservatively assume
+    // one of them went through a view change and keep this replica out
+    // of the lease protocol (serving and granting) after a restart.
+    lease_poisoned_ = true;
+  }
   recovering_ = false;
 }
 
 // ---- catch-up ----
 
 void SmrReplica::send_hint(ReplicaId to, std::uint64_t slot) {
-  const Bytes& value = log_[slot - log_base_];
-  const Bytes value_digest = crypto::sha256(span(value));
-  const Bytes msg = hint_signing_bytes(slot, value_digest);
-  Bytes sig = cfg_.suite->sign(span(cfg_.secret_key), span(msg));
-  Writer w;
-  w.u64(slot);
-  w.bytes(span(value));
-  w.bytes(span(sig));
-  host_.send(to, kSmrHintTag, std::move(w).take());
+  // handle_pull answers a window's worth of slots per straggler, and
+  // several stragglers typically ask for the same stretch — encode and
+  // sign the hint once per slot and reuse the wire bytes (the signature
+  // is deterministic, so the frame is bit-identical either way).
+  auto it = hint_wire_.find(slot);
+  if (it == hint_wire_.end()) {
+    const Bytes& value = log_[slot - log_base_];
+    const Bytes value_digest = crypto::sha256(span(value));
+    const Bytes msg = hint_signing_bytes(slot, value_digest);
+    Bytes sig = cfg_.suite->sign(span(cfg_.secret_key), span(msg));
+    Writer w;
+    w.u64(slot);
+    w.bytes(span(value));
+    w.bytes(span(sig));
+    it = hint_wire_.emplace(slot, std::move(w).take()).first;
+  }
+  host_.send(to, kSmrHintTag, it->second);
 }
 
 void SmrReplica::send_state(ReplicaId to) {
@@ -731,7 +800,7 @@ void SmrReplica::handle_hint(ReplicaId from, const Bytes& payload) {
   // that executed the slot with this value.
   if (vit->vouchers.size() >= static_cast<std::size_t>(cfg_.f) + 1) {
     const Bytes decided = vit->value;
-    on_slot_decided(slot, decided);
+    on_slot_decided(slot, decided, /*view=*/0);
   }
 }
 
@@ -792,6 +861,236 @@ void SmrReplica::handle_state(ReplicaId from, const Bytes& payload) {
   install_checkpoint(std::move(state), std::move(cert));
 }
 
+// ---- read fast path ----
+
+void SmrReplica::answer_read(const Bytes& key, const ReadCallback& cb) {
+  ReadResult result;
+  result.status = net::ReplyStatus::kExecuted;
+  result.index = read_view_.watermark();
+  if (const ReadViewEntry* entry = read_view_.lookup(span(key))) {
+    result.slot = entry->slot;
+    result.value = entry->value;
+  }
+  ++reads_served_;
+  if (cb) cb(result);
+}
+
+void SmrReplica::reject_read(const ReadCallback& cb) {
+  ++reads_rejected_;
+  if (cb) cb(ReadResult{});  // default-constructed = kRejected
+}
+
+void SmrReplica::park_read(Bytes key, std::uint64_t wait_slots,
+                           ReadCallback cb) {
+  if (exec_slots() >= wait_slots) {
+    answer_read(key, cb);
+    return;
+  }
+  const std::uint64_t token = ++next_read_token_;
+  parked_reads_.emplace(wait_slots,
+                        ParkedRead{token, std::move(key), std::move(cb)});
+  arm_catchup();  // the wait point may already exist at peers — pull
+  host_.set_timer(cfg_.pipeline.read_timeout, [this, token] {
+    collect_retired();
+    for (auto it = parked_reads_.begin(); it != parked_reads_.end(); ++it) {
+      if (it->second.token != token) continue;
+      const ReadCallback cb = std::move(it->second.cb);
+      parked_reads_.erase(it);
+      reject_read(cb);
+      return;
+    }
+  });
+}
+
+void SmrReplica::drain_parked_reads() {
+  while (!parked_reads_.empty() &&
+         parked_reads_.begin()->first <= exec_slots()) {
+    ParkedRead ready = std::move(parked_reads_.begin()->second);
+    parked_reads_.erase(parked_reads_.begin());
+    answer_read(ready.key, ready.cb);
+  }
+}
+
+void SmrReplica::request_lease() {
+  if (!started_ || lease_poisoned_ || !cfg_.pipeline.serve_reads ||
+      !cfg_.pipeline.read_leases || !is_lease_leader()) {
+    return;
+  }
+  const std::uint64_t epoch = ++lease_epoch_;
+  lease_grants_.clear();
+  host_.broadcast(kSmrLeaseTag, LeaseRequest{epoch, cfg_.id}.encode());
+  // Validity clocks from the broadcast: every granter's promise starts
+  // strictly later and runs lease_skew longer, so this timer fires first.
+  host_.set_timer(cfg_.pipeline.lease_duration, [this, epoch] {
+    collect_retired();
+    lease_expired_epoch_ = std::max(lease_expired_epoch_, epoch);
+  });
+  if (cfg_.f == 0) {
+    lease_granted_epoch_ = std::max(lease_granted_epoch_, epoch);
+  }
+  // Renew at half the validity so a healthy leader never drops the lease.
+  host_.set_timer(std::max<Duration>(1, cfg_.pipeline.lease_duration / 2),
+                  [this] {
+                    collect_retired();
+                    request_lease();
+                  });
+}
+
+void SmrReplica::handle_lease(ReplicaId from, const Bytes& payload) {
+  if (!cfg_.pipeline.serve_reads || !cfg_.pipeline.read_leases) return;
+  const std::uint8_t kind = peek_read_msg_kind(span(payload));
+  if (kind == kLeaseRequestKind) {
+    const LeaseRequest req = LeaseRequest::decode(span(payload));
+    // Only the engine's fixed view-1 leader may hold a lease, the channel
+    // must agree with the claimed leader, and a replica that witnessed a
+    // view > 1 decide refuses for good (lease_poisoned_).
+    if (req.leader != from || from != lease_leader() || from == cfg_.id) {
+      return;
+    }
+    if (lease_poisoned_ || req.epoch <= last_granted_epoch_) return;
+    // A deferred frame means this replica already wants the leader
+    // deposed; extending the promise would contradict that and wedge the
+    // fleet (renewals at duration/2 would keep promise_live_ > 0 forever,
+    // so the held-back wishes would never flush). Refuse the renewal —
+    // refusing is always safe (grants only enable reads) — and let the
+    // existing promises lapse, which releases the view-change traffic.
+    if (!deferred_vc_.empty()) return;
+    last_granted_epoch_ = req.epoch;
+    // Promise window: strictly outlives the leader's validity (which
+    // started at the broadcast, before this message arrived).
+    ++promise_live_;
+    host_.set_timer(
+        cfg_.pipeline.lease_duration + cfg_.pipeline.lease_skew, [this] {
+          collect_retired();
+          if (--promise_live_ == 0 && !deferred_vc_.empty()) {
+            // Last promise gone: release the view-change traffic the
+            // promise window held back.
+            std::vector<DeferredFrame> pending = std::move(deferred_vc_);
+            deferred_vc_.clear();
+            for (DeferredFrame& d : pending) {
+              if (d.to == 0) {
+                host_.broadcast(kSmrTag, std::move(d.frame));
+              } else {
+                host_.send(d.to, kSmrTag, std::move(d.frame));
+              }
+            }
+          }
+        });
+    LeaseGrant grant;
+    grant.epoch = req.epoch;
+    grant.leader = req.leader;
+    grant.granter = cfg_.id;
+    const Bytes msg =
+        lease_signing_bytes(grant.epoch, grant.leader, grant.granter);
+    grant.signature = cfg_.suite->sign(span(cfg_.secret_key), span(msg));
+    host_.send(from, kSmrLeaseTag, grant.encode());
+  } else if (kind == kLeaseGrantKind) {
+    const LeaseGrant grant = LeaseGrant::decode(span(payload));
+    if (grant.leader != cfg_.id || grant.granter != from) return;
+    if (grant.epoch != lease_epoch_ || lease_poisoned_) return;
+    if (!grant.verify(*cfg_.suite, cfg_.public_keys, cfg_.n)) return;
+    lease_grants_.insert(grant.granter);
+    // 2f grants plus this leader itself = 2f+1 promises live.
+    if (lease_grants_.size() >= 2 * static_cast<std::size_t>(cfg_.f)) {
+      lease_granted_epoch_ = std::max(lease_granted_epoch_, grant.epoch);
+    }
+  }
+}
+
+void SmrReplica::begin_read_index(Bytes key, ReadCallback cb) {
+  const std::uint64_t rid = ++next_rid_;
+  ReadIndexWait& wait = read_index_waits_[rid];
+  wait.key = std::move(key);
+  wait.cb = std::move(cb);
+  wait.marks.emplace(cfg_.id, exec_slots());
+  ReadIndexRequest req;
+  req.rid = rid;
+  req.requester = cfg_.id;
+  host_.broadcast(kSmrReadIndexTag, req.encode());
+  host_.set_timer(cfg_.pipeline.read_timeout, [this, rid] {
+    collect_retired();
+    const auto it = read_index_waits_.find(rid);
+    if (it == read_index_waits_.end()) return;
+    const ReadCallback cb = std::move(it->second.cb);
+    read_index_waits_.erase(it);
+    reject_read(cb);
+  });
+  maybe_complete_read_index(rid);  // f = 0: the self-mark is the quorum
+}
+
+void SmrReplica::maybe_complete_read_index(std::uint64_t rid) {
+  const auto it = read_index_waits_.find(rid);
+  if (it == read_index_waits_.end()) return;
+  const std::size_t quorum = 2 * static_cast<std::size_t>(cfg_.f) + 1;
+  if (it->second.marks.size() < quorum) return;
+  std::uint64_t read_index = 0;
+  for (const auto& [signer, mark] : it->second.marks) {
+    read_index = std::max(read_index, mark);
+  }
+  ReadIndexWait wait = std::move(it->second);
+  read_index_waits_.erase(it);
+  park_read(std::move(wait.key), read_index, std::move(wait.cb));
+}
+
+void SmrReplica::handle_read_index(ReplicaId from, const Bytes& payload) {
+  if (!cfg_.pipeline.serve_reads) return;
+  const std::uint8_t kind = peek_read_msg_kind(span(payload));
+  if (kind == kReadIndexRequestKind) {
+    const ReadIndexRequest req = ReadIndexRequest::decode(span(payload));
+    if (req.requester != from) return;  // channel and claim must agree
+    ReadIndexAttest attest;
+    attest.rid = req.rid;
+    attest.requester = req.requester;
+    attest.watermark = exec_slots();
+    attest.signer = cfg_.id;
+    const Bytes msg = read_index_signing_bytes(attest.requester, attest.rid,
+                                               attest.watermark);
+    attest.signature = cfg_.suite->sign(span(cfg_.secret_key), span(msg));
+    host_.send(from, kSmrReadIndexTag, attest.encode());
+  } else if (kind == kReadIndexAttestKind) {
+    const ReadIndexAttest attest = ReadIndexAttest::decode(span(payload));
+    if (attest.requester != cfg_.id || attest.signer != from) return;
+    // Byzantine inflation bound: a watermark beyond the configured slot
+    // range could park the read forever; the timeout would clean it up,
+    // but there is no reason to even count it.
+    if (attest.watermark > cfg_.pipeline.max_slots) return;
+    if (read_index_waits_.count(attest.rid) == 0) return;
+    if (!attest.verify(*cfg_.suite, cfg_.public_keys, cfg_.n)) return;
+    read_index_waits_[attest.rid].marks.emplace(attest.signer,
+                                                attest.watermark);
+    maybe_complete_read_index(attest.rid);
+  }
+}
+
+void SmrReplica::submit_read(Bytes key, net::ReadConsistency consistency,
+                             std::uint64_t min_index, ReadCallback cb) {
+  if (!cfg_.pipeline.serve_reads || read_view_gap_) {
+    reject_read(cb);
+    return;
+  }
+  switch (consistency) {
+    case net::ReadConsistency::kStaleOk:
+      answer_read(key, cb);
+      return;
+    case net::ReadConsistency::kSequential:
+      park_read(std::move(key), min_index, std::move(cb));
+      return;
+    case net::ReadConsistency::kLinearizable:
+      if (lease_held()) {
+        // Every write decided so far rode a slot this leader proposed,
+        // and proposals only go out for slots below next_open_ — so
+        // executing through next_open_ covers every write linearized
+        // before this read arrived.
+        ++lease_reads_;
+        park_read(std::move(key), next_open_, std::move(cb));
+        return;
+      }
+      begin_read_index(std::move(key), std::move(cb));
+      return;
+  }
+  reject_read(cb);  // unreachable: decode validated the mode
+}
+
 void SmrReplica::on_message(ReplicaId from, std::uint8_t tag,
                             const Bytes& payload) {
   collect_retired();  // top-level event: no instance frame is live
@@ -814,6 +1113,12 @@ void SmrReplica::on_message(ReplicaId from, std::uint8_t tag,
         break;
       case kSmrStateTag:
         handle_state(from, payload);
+        break;
+      case kSmrLeaseTag:
+        handle_lease(from, payload);
+        break;
+      case kSmrReadIndexTag:
+        handle_read_index(from, payload);
         break;
       default:
         break;  // not SMR traffic

@@ -67,9 +67,12 @@
 #include "common/types.hpp"
 #include "core/protocol_host.hpp"
 #include "core/replica.hpp"
+#include "net/client.hpp"
 #include "net/tags.hpp"
 #include "smr/batch.hpp"
 #include "smr/checkpoint.hpp"
+#include "smr/read_view.hpp"
+#include "smr/reads.hpp"
 #include "store/wal.hpp"
 
 namespace probft::smr {
@@ -120,6 +123,27 @@ struct SmrOptions {
   /// checkpoint (2f + 1 matching votes) truncates the retained slot log
   /// below it, in memory and in the WAL.
   std::uint64_t checkpoint_interval = 16;
+
+  // ---- read fast path (smr/reads.hpp, smr/read_view.hpp) ----
+  /// Serve reads from the local ReadView and participate in the lease /
+  /// read-index protocols. Off (the default) rejects every submit_read
+  /// and sends no read-path traffic, so the write path — and every
+  /// pinned digest — is bit-identical to a build without reads.
+  bool serve_reads = false;
+  /// Use leader leases for linearizable reads; off = read-index only.
+  bool read_leases = true;
+  /// Leader-side lease validity (µs), clocked from the lease-request
+  /// broadcast. Granters promise for lease_duration + lease_skew from
+  /// the (strictly later) moment the request reaches them, so a deposed
+  /// partitioned leader's validity always runs out before any granter's
+  /// promise frees a view-change quorum.
+  Duration lease_duration = 2'000'000;
+  /// Extra granter-side margin absorbing clock-rate drift across nodes.
+  Duration lease_skew = 500'000;
+  /// A read that cannot complete within this window (µs) — execution
+  /// stalled below its read index, or no attestation quorum — answers
+  /// kRejected instead of parking forever.
+  Duration read_timeout = 1'000'000;
 };
 
 /// One executed request, reported in execution order.
@@ -209,6 +233,25 @@ class SmrReplica : public core::INode {
   /// cannot fit a batch. Retries are therefore idempotent.
   bool submit_request(std::uint64_t client, std::uint64_t seq, Bytes payload);
 
+  /// Outcome of a read served off the ordered log.
+  struct ReadResult {
+    net::ReplyStatus status = net::ReplyStatus::kRejected;
+    std::uint64_t slot = 0;   // last-write slot of the key (0: unwritten)
+    std::uint64_t index = 0;  // exec-slot watermark the answer reflects
+    Bytes value;
+  };
+  using ReadCallback = std::function<void(const ReadResult&)>;
+
+  /// Read-path entry: answer `key`'s last write at the requested
+  /// consistency. kStaleOk answers immediately from the local ReadView;
+  /// kSequential waits until exec_slots() >= min_index; kLinearizable
+  /// serves locally under a held lease (read index = next_open_) or runs
+  /// the quorum read-index protocol. The callback fires exactly once —
+  /// possibly synchronously — with kRejected when reads are disabled,
+  /// the local view has a state-transfer gap, or the read times out.
+  void submit_read(Bytes key, net::ReadConsistency consistency,
+                   std::uint64_t min_index, ReadCallback cb);
+
   void on_message(ReplicaId from, std::uint8_t tag,
                   const Bytes& payload) override;
 
@@ -261,6 +304,21 @@ class SmrReplica : public core::INode {
                                  std::uint64_t seq) const {
     return pending_keys_.count({client, seq}) != 0;
   }
+  /// The KV projection reads are answered from.
+  [[nodiscard]] const ReadView& read_view() const { return read_view_; }
+  /// Whether this replica currently holds a live, unpoisoned lease.
+  [[nodiscard]] bool lease_held() const {
+    return lease_granted_epoch_ > lease_expired_epoch_ && !lease_poisoned_;
+  }
+  /// Whether lease serving has been permanently disabled (a decide at
+  /// view > 1, a state transfer, or WAL recovery broke the premise).
+  [[nodiscard]] bool lease_poisoned() const { return lease_poisoned_; }
+  [[nodiscard]] std::uint64_t reads_served() const { return reads_served_; }
+  [[nodiscard]] std::uint64_t reads_rejected() const {
+    return reads_rejected_;
+  }
+  /// Linearizable reads answered under the lease (no quorum round-trip).
+  [[nodiscard]] std::uint64_t lease_reads() const { return lease_reads_; }
 
  private:
   struct Buffered {
@@ -286,11 +344,36 @@ class SmrReplica : public core::INode {
   void handle_pull(ReplicaId from, const Bytes& payload);
   void handle_ckpt_vote(ReplicaId from, const Bytes& payload);
   void handle_state(ReplicaId from, const Bytes& payload);
+  void handle_lease(ReplicaId from, const Bytes& payload);
+  void handle_read_index(ReplicaId from, const Bytes& payload);
   void send_hint(ReplicaId to, std::uint64_t slot);
   void send_state(ReplicaId to);
   void arm_catchup();
-  void on_slot_decided(std::uint64_t slot, const Bytes& value);
+  /// `view` is the consensus view the slot decided in; 0 when unknown
+  /// (hint adoption, WAL replay) — anything but view 1 poisons a lease.
+  void on_slot_decided(std::uint64_t slot, const Bytes& value, View view);
   void execute_ready_slots();
+
+  // ---- read fast path ----
+  [[nodiscard]] ReplicaId lease_leader() const {
+    return leader_of(1 + cfg_.leader_offset, cfg_.n);
+  }
+  [[nodiscard]] bool is_lease_leader() const {
+    return lease_leader() == cfg_.id;
+  }
+  /// Answer `cb` from the local ReadView right now.
+  void answer_read(const Bytes& key, const ReadCallback& cb);
+  void reject_read(const ReadCallback& cb);
+  /// Park a read until exec_slots() >= wait_slots (answers immediately
+  /// when already satisfied); a read_timeout timer rejects stuck parks.
+  void park_read(Bytes key, std::uint64_t wait_slots, ReadCallback cb);
+  void drain_parked_reads();
+  /// Broadcast a lease request for the next epoch and arm validity +
+  /// renewal timers (leader only; re-arms itself at duration/2).
+  void request_lease();
+  /// Start the quorum read-index protocol for one read.
+  void begin_read_index(Bytes key, ReadCallback cb);
+  void maybe_complete_read_index(std::uint64_t rid);
   void retire_executed_slots();
   void collect_retired();
   /// Upper bound (exclusive) on slots that may be open right now.
@@ -382,6 +465,63 @@ class SmrReplica : public core::INode {
     std::set<ReplicaId> vouchers;
   };
   std::map<std::uint64_t, std::vector<HintEntry>> hints_;
+  /// Memoized signed hint wire encodings per retained slot: handle_pull
+  /// answers a window's worth of slots per straggler, and several
+  /// stragglers ask for the same stretch — encode + sign once, reuse the
+  /// buffer. Entries below the stable checkpoint are erased with the log.
+  std::map<std::uint64_t, Bytes> hint_wire_;
+
+  // -- read fast path --
+  ReadView read_view_;
+  /// True once the executed prefix was jumped over (state transfer /
+  /// WAL snapshot recovery): the ReadView is missing the skipped writes,
+  /// so every read is rejected rather than answered from a partial view.
+  bool read_view_gap_ = false;
+  std::uint64_t reads_served_ = 0;
+  std::uint64_t reads_rejected_ = 0;
+  std::uint64_t lease_reads_ = 0;
+  /// Reads waiting for execution to reach their read index, keyed by the
+  /// exec-slot count that releases them.
+  struct ParkedRead {
+    std::uint64_t token = 0;  // timeout identity
+    Bytes key;
+    ReadCallback cb;
+  };
+  std::multimap<std::uint64_t, ParkedRead> parked_reads_;
+  std::uint64_t next_read_token_ = 0;
+  /// In-flight quorum read-index rounds: rid → collected watermarks.
+  struct ReadIndexWait {
+    Bytes key;
+    ReadCallback cb;
+    std::map<ReplicaId, std::uint64_t> marks;  // signer → watermark
+  };
+  std::map<std::uint64_t, ReadIndexWait> read_index_waits_;
+  std::uint64_t next_rid_ = 0;
+  // Leader-side lease state. The lease of epoch e is held while
+  // lease_granted_epoch_ >= e > lease_expired_epoch_; validity clocks
+  // from the request broadcast, so it is strictly shorter than any
+  // granter's promise.
+  std::uint64_t lease_epoch_ = 0;          // latest requested epoch
+  std::uint64_t lease_granted_epoch_ = 0;  // latest epoch with 2f+1 grants
+  std::uint64_t lease_expired_epoch_ = 0;  // latest epoch timed out
+  bool lease_poisoned_ = false;
+  std::set<ReplicaId> lease_grants_;  // granters of lease_epoch_
+  // Granter-side promise state: while promise_live_ > 0 this replica
+  // suppresses its own outgoing view-change traffic (kNewLeader/kWish)
+  // for this engine — with 2f+1 promises live no view-change quorum can
+  // form, which is exactly what makes the leader's lease sound.
+  std::uint64_t promise_live_ = 0;
+  std::uint64_t last_granted_epoch_ = 0;
+  /// View-change frames generated while promises were live. The
+  /// synchronizer broadcasts each wish exactly once (its view timer does
+  /// not re-arm), so a suppressed frame must be DEFERRED, not dropped —
+  /// it is flushed when the last promise expires, which is what lets a
+  /// view change eventually depose a dead lease holder.
+  struct DeferredFrame {
+    ReplicaId to = 0;  // 0 = broadcast
+    Bytes frame;
+  };
+  std::vector<DeferredFrame> deferred_vc_;
 };
 
 }  // namespace probft::smr

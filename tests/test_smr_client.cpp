@@ -70,7 +70,7 @@ TEST(ClientWire, GarbageVersionIsRejected) {
   request.seq = 1;
   request.payload = to_bytes("p");
   Bytes wire = request.encode();
-  for (const std::uint8_t version : {0x00, 0x02, 0x7f, 0xff}) {
+  for (const std::uint8_t version : {0x00, 0x01, 0x7f, 0xff}) {
     wire[0] = version;
     EXPECT_THROW((void)net::ClientRequest::decode(
                      ByteSpan(wire.data(), wire.size())),

@@ -1,0 +1,1023 @@
+// Read fast path tests (smr/read_view.hpp, smr/reads.hpp, the
+// submit_read paths in smr/smr_replica.cpp and the client read wire
+// messages in net/client.hpp):
+//
+//  - ReadView projection: key/value split, overwrite, watermark.
+//  - Hostile buffers for every new wire message — LeaseRequest,
+//    LeaseGrant, ReadIndexRequest, ReadIndexAttest, ReadRequest,
+//    ReadReply: truncation at every prefix, trailing bytes, garbage
+//    versions, wrong kind bytes, oversize signatures/payloads must all
+//    throw CodecError, never misparse.
+//  - Fleet behavior on the simulated network: stale-ok/sequential/
+//    linearizable semantics, lease serving at the leader, quorum
+//    read-index at followers, read timeouts under partition, and the
+//    pinned regression — a deposed, partitioned lease holder must NEVER
+//    serve a stale linearizable read after a view change decides a
+//    conflicting write behind its back.
+//  - The same regression over real TCP sockets (thread-per-transport
+//    loopback cluster, sender/receiver-side partition filter).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/client.hpp"
+#include "net/network.hpp"
+#include "net/tcp_transport.hpp"
+#include "sim/scenario.hpp"
+#include "smr/read_view.hpp"
+#include "smr/reads.hpp"
+#include "smr/smr_replica.hpp"
+
+namespace probft::smr {
+namespace {
+
+// ---- ReadView projection ----
+
+TEST(ReadView, KeySplitsAtFirstEquals) {
+  const Bytes kv = to_bytes("account=100");
+  EXPECT_EQ(Bytes(read_view_key(ByteSpan(kv.data(), kv.size())).begin(),
+                  read_view_key(ByteSpan(kv.data(), kv.size())).end()),
+            to_bytes("account"));
+  EXPECT_EQ(Bytes(read_view_value(ByteSpan(kv.data(), kv.size())).begin(),
+                  read_view_value(ByteSpan(kv.data(), kv.size())).end()),
+            to_bytes("100"));
+  // '=' in the value stays in the value (split at the FIRST '=').
+  const Bytes nested = to_bytes("k=a=b");
+  EXPECT_EQ(Bytes(read_view_value(ByteSpan(nested.data(), nested.size()))
+                      .begin(),
+                  read_view_value(ByteSpan(nested.data(), nested.size()))
+                      .end()),
+            to_bytes("a=b"));
+  // No '=': the whole payload is both key and value — the historical
+  // opaque-payload workloads keep their digests and shard placement.
+  const Bytes opaque = to_bytes("req-9001-3");
+  EXPECT_EQ(Bytes(read_view_key(ByteSpan(opaque.data(), opaque.size()))
+                      .begin(),
+                  read_view_key(ByteSpan(opaque.data(), opaque.size()))
+                      .end()),
+            opaque);
+  EXPECT_EQ(Bytes(read_view_value(ByteSpan(opaque.data(), opaque.size()))
+                      .begin(),
+                  read_view_value(ByteSpan(opaque.data(), opaque.size()))
+                      .end()),
+            opaque);
+}
+
+TEST(ReadView, LastWriteWinsAndWatermarkIsMonotonic) {
+  ReadView view;
+  EXPECT_EQ(view.lookup(ByteSpan{}), nullptr);
+  view.apply(0, 0, to_bytes("k=v1"));
+  view.apply(0, 1, to_bytes("other=x"));
+  view.set_watermark(1);
+  const Bytes k = to_bytes("k");
+  const ReadViewEntry* entry = view.lookup(ByteSpan(k.data(), k.size()));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->value, to_bytes("v1"));
+  EXPECT_EQ(entry->slot, 0U);
+  EXPECT_EQ(entry->index, 0U);
+
+  view.apply(3, 7, to_bytes("k=v2"));
+  view.set_watermark(4);
+  entry = view.lookup(ByteSpan(k.data(), k.size()));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->value, to_bytes("v2"));
+  EXPECT_EQ(entry->slot, 3U);
+  EXPECT_EQ(entry->index, 7U);
+  EXPECT_EQ(view.watermark(), 4U);
+  // set_watermark never regresses.
+  view.set_watermark(2);
+  EXPECT_EQ(view.watermark(), 4U);
+  EXPECT_EQ(view.size(), 2U);
+
+  const Bytes missing = to_bytes("nope");
+  EXPECT_EQ(view.lookup(ByteSpan(missing.data(), missing.size())), nullptr);
+}
+
+// ---- hostile buffers: read-path wire messages ----
+
+/// No strict prefix of `wire` may decode, and one trailing byte must be
+/// rejected too: truncation/corruption throws, never misparses.
+template <typename T>
+void expect_strict_codec(const Bytes& wire) {
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_THROW((void)T::decode(ByteSpan(wire.data(), len)), CodecError)
+        << "truncated prefix length " << len;
+  }
+  Bytes trailing = wire;
+  trailing.push_back(0x00);
+  EXPECT_THROW(
+      (void)T::decode(ByteSpan(trailing.data(), trailing.size())),
+      CodecError)
+      << "trailing byte accepted";
+}
+
+/// Garbage version bytes must be rejected (valid = `good`).
+template <typename T>
+void expect_version_checked(const Bytes& wire, std::uint8_t good) {
+  Bytes mutated = wire;
+  for (const std::uint8_t version : {0x00, 0x02, 0x03, 0x7f, 0xff}) {
+    if (version == good) continue;
+    mutated[0] = version;
+    EXPECT_THROW(
+        (void)T::decode(ByteSpan(mutated.data(), mutated.size())),
+        CodecError)
+        << "garbage version " << int(version);
+  }
+}
+
+TEST(ReadWire, LeaseRequestRoundTripAndHostileBuffers) {
+  LeaseRequest request;
+  request.epoch = 0x0102030405060708ULL;
+  request.leader = 3;
+  const Bytes wire = request.encode();
+  EXPECT_EQ(wire[0], kReadWireVersion);
+  EXPECT_EQ(peek_read_msg_kind(ByteSpan(wire.data(), wire.size())),
+            kLeaseRequestKind);
+  EXPECT_EQ(LeaseRequest::decode(ByteSpan(wire.data(), wire.size())),
+            request);
+  expect_strict_codec<LeaseRequest>(wire);
+  expect_version_checked<LeaseRequest>(wire, kReadWireVersion);
+  // Wrong kind byte: a LeaseGrant frame must not decode as a request.
+  Bytes wrong_kind = wire;
+  wrong_kind[1] = kLeaseGrantKind;
+  EXPECT_THROW((void)LeaseRequest::decode(
+                   ByteSpan(wrong_kind.data(), wrong_kind.size())),
+               CodecError);
+}
+
+TEST(ReadWire, LeaseGrantRoundTripAndHostileBuffers) {
+  LeaseGrant grant;
+  grant.epoch = 42;
+  grant.leader = 1;
+  grant.granter = 4;
+  grant.signature = Bytes(64, 0xab);
+  const Bytes wire = grant.encode();
+  EXPECT_EQ(peek_read_msg_kind(ByteSpan(wire.data(), wire.size())),
+            kLeaseGrantKind);
+  EXPECT_EQ(LeaseGrant::decode(ByteSpan(wire.data(), wire.size())), grant);
+  expect_strict_codec<LeaseGrant>(wire);
+  expect_version_checked<LeaseGrant>(wire, kReadWireVersion);
+  Bytes wrong_kind = wire;
+  wrong_kind[1] = kReadIndexAttestKind;
+  EXPECT_THROW((void)LeaseGrant::decode(
+                   ByteSpan(wrong_kind.data(), wrong_kind.size())),
+               CodecError);
+  // Oversize signature: the length prefix must be capped before any
+  // allocation is honored.
+  LeaseGrant fat = grant;
+  fat.signature = Bytes(kMaxReadSigBytes + 1, 0xcd);
+  const Bytes fat_wire = fat.encode();
+  EXPECT_THROW((void)LeaseGrant::decode(
+                   ByteSpan(fat_wire.data(), fat_wire.size())),
+               CodecError);
+}
+
+TEST(ReadWire, ReadIndexRequestRoundTripAndHostileBuffers) {
+  ReadIndexRequest request;
+  request.rid = 7;
+  request.requester = 2;
+  const Bytes wire = request.encode();
+  EXPECT_EQ(peek_read_msg_kind(ByteSpan(wire.data(), wire.size())),
+            kReadIndexRequestKind);
+  EXPECT_EQ(ReadIndexRequest::decode(ByteSpan(wire.data(), wire.size())),
+            request);
+  expect_strict_codec<ReadIndexRequest>(wire);
+  expect_version_checked<ReadIndexRequest>(wire, kReadWireVersion);
+  Bytes wrong_kind = wire;
+  wrong_kind[1] = kLeaseRequestKind;
+  EXPECT_THROW((void)ReadIndexRequest::decode(
+                   ByteSpan(wrong_kind.data(), wrong_kind.size())),
+               CodecError);
+}
+
+TEST(ReadWire, ReadIndexAttestRoundTripAndHostileBuffers) {
+  ReadIndexAttest attest;
+  attest.rid = 9;
+  attest.requester = 3;
+  attest.watermark = 17;
+  attest.signer = 5;
+  attest.signature = Bytes(64, 0x11);
+  const Bytes wire = attest.encode();
+  EXPECT_EQ(peek_read_msg_kind(ByteSpan(wire.data(), wire.size())),
+            kReadIndexAttestKind);
+  EXPECT_EQ(ReadIndexAttest::decode(ByteSpan(wire.data(), wire.size())),
+            attest);
+  expect_strict_codec<ReadIndexAttest>(wire);
+  expect_version_checked<ReadIndexAttest>(wire, kReadWireVersion);
+  ReadIndexAttest fat = attest;
+  fat.signature = Bytes(kMaxReadSigBytes + 1, 0x22);
+  const Bytes fat_wire = fat.encode();
+  EXPECT_THROW((void)ReadIndexAttest::decode(
+                   ByteSpan(fat_wire.data(), fat_wire.size())),
+               CodecError);
+}
+
+TEST(ReadWire, PeekKindFailsClosed) {
+  EXPECT_THROW((void)peek_read_msg_kind(ByteSpan{}), CodecError);
+  const Bytes version_only = {kReadWireVersion};
+  EXPECT_THROW((void)peek_read_msg_kind(
+                   ByteSpan(version_only.data(), version_only.size())),
+               CodecError);
+  const Bytes garbage = {0x7f, 0x00};
+  EXPECT_THROW(
+      (void)peek_read_msg_kind(ByteSpan(garbage.data(), garbage.size())),
+      CodecError);
+}
+
+TEST(ReadWire, SignaturesAreDomainSeparatedAndVerified) {
+  const auto suite = crypto::make_sim_suite();
+  std::vector<Bytes> key_table(5);
+  std::vector<crypto::KeyPair> keys(5);
+  for (ReplicaId id = 1; id <= 4; ++id) {
+    keys[id] = suite->keygen(mix64(99, id));
+    key_table[id] = keys[id].public_key;
+  }
+  const crypto::PublicKeyDir dir(std::move(key_table));
+
+  LeaseGrant grant;
+  grant.epoch = 5;
+  grant.leader = 1;
+  grant.granter = 2;
+  const Bytes msg = lease_signing_bytes(grant.epoch, grant.leader,
+                                        grant.granter);
+  grant.signature = suite->sign(
+      ByteSpan(keys[2].secret_key.data(), keys[2].secret_key.size()),
+      ByteSpan(msg.data(), msg.size()));
+  EXPECT_TRUE(grant.verify(*suite, dir, 4));
+  // Claiming another replica's identity fails (signature is bound to the
+  // granter id inside the signed bytes).
+  LeaseGrant spoofed = grant;
+  spoofed.granter = 3;
+  EXPECT_FALSE(spoofed.verify(*suite, dir, 4));
+  LeaseGrant out_of_range = grant;
+  out_of_range.granter = 9;
+  EXPECT_FALSE(out_of_range.verify(*suite, dir, 4));
+  LeaseGrant corrupt = grant;
+  corrupt.signature[0] ^= 0x01;
+  EXPECT_FALSE(corrupt.verify(*suite, dir, 4));
+
+  ReadIndexAttest attest;
+  attest.rid = 11;
+  attest.requester = 3;
+  attest.watermark = 6;
+  attest.signer = 4;
+  const Bytes attest_msg = read_index_signing_bytes(
+      attest.requester, attest.rid, attest.watermark);
+  attest.signature = suite->sign(
+      ByteSpan(keys[4].secret_key.data(), keys[4].secret_key.size()),
+      ByteSpan(attest_msg.data(), attest_msg.size()));
+  EXPECT_TRUE(attest.verify(*suite, dir, 4));
+  // An attestation cannot be replayed into a different read: rid and
+  // requester are inside the signed bytes.
+  ReadIndexAttest replayed = attest;
+  replayed.rid = 12;
+  EXPECT_FALSE(replayed.verify(*suite, dir, 4));
+  ReadIndexAttest inflated = attest;
+  inflated.watermark = 1000;
+  EXPECT_FALSE(inflated.verify(*suite, dir, 4));
+  // Lease and read-index domains never cross-verify.
+  EXPECT_NE(lease_signing_bytes(5, 1, 2), read_index_signing_bytes(1, 5, 2));
+}
+
+// ---- hostile buffers: client read wire messages ----
+
+TEST(ClientReadWire, ReadRequestRoundTripAndHostileBuffers) {
+  net::ReadRequest request;
+  request.client_id = 9001;
+  request.read_id = 3;
+  request.consistency = net::ReadConsistency::kSequential;
+  request.min_index = 17;
+  request.key = to_bytes("account");
+  const Bytes wire = request.encode();
+  EXPECT_EQ(wire[0], net::kClientWireVersion);
+  EXPECT_EQ(net::ReadRequest::decode(ByteSpan(wire.data(), wire.size())),
+            request);
+  expect_strict_codec<net::ReadRequest>(wire);
+  // Garbage versions (valid = kClientWireVersion = 2).
+  Bytes mutated = wire;
+  for (const std::uint8_t version : {0x00, 0x01, 0x7f, 0xff}) {
+    mutated[0] = version;
+    EXPECT_THROW((void)net::ReadRequest::decode(
+                     ByteSpan(mutated.data(), mutated.size())),
+                 CodecError)
+        << "garbage version " << int(version);
+  }
+  // Out-of-range consistency byte.
+  Bytes bad_mode = wire;
+  bad_mode[17] = 0x09;  // version(1) + client_id(8) + read_id(8)
+  EXPECT_THROW((void)net::ReadRequest::decode(
+                   ByteSpan(bad_mode.data(), bad_mode.size())),
+               CodecError);
+  // Oversize key.
+  net::ReadRequest fat = request;
+  fat.key = Bytes(net::kMaxClientPayload + 1, 0xab);
+  const Bytes fat_wire = fat.encode();
+  EXPECT_THROW((void)net::ReadRequest::decode(
+                   ByteSpan(fat_wire.data(), fat_wire.size())),
+               CodecError);
+}
+
+TEST(ClientReadWire, ReadReplyRoundTripAndHostileBuffers) {
+  net::ReadReply reply;
+  reply.client_id = 9001;
+  reply.read_id = 3;
+  reply.status = net::ReplyStatus::kExecuted;
+  reply.slot = 5;
+  reply.index = 8;
+  reply.value = to_bytes("100");
+  const Bytes wire = reply.encode();
+  EXPECT_EQ(net::ReadReply::decode(ByteSpan(wire.data(), wire.size())),
+            reply);
+  expect_strict_codec<net::ReadReply>(wire);
+  Bytes mutated = wire;
+  for (const std::uint8_t version : {0x00, 0x01, 0x7f, 0xff}) {
+    mutated[0] = version;
+    EXPECT_THROW((void)net::ReadReply::decode(
+                     ByteSpan(mutated.data(), mutated.size())),
+                 CodecError)
+        << "garbage version " << int(version);
+  }
+  // Out-of-range status byte.
+  Bytes bad_status = wire;
+  bad_status[17] = 0x07;
+  EXPECT_THROW((void)net::ReadReply::decode(
+                   ByteSpan(bad_status.data(), bad_status.size())),
+               CodecError);
+  net::ReadReply fat = reply;
+  fat.value = Bytes(net::kMaxClientPayload + 1, 0xcd);
+  const Bytes fat_wire = fat.encode();
+  EXPECT_THROW((void)net::ReadReply::decode(
+                   ByteSpan(fat_wire.data(), fat_wire.size())),
+               CodecError);
+}
+
+TEST(ClientReadWire, ClientReplyStatusByteIsStrict) {
+  net::ClientReply reply;
+  reply.client_id = 7;
+  reply.seq = 2;
+  reply.status = net::ReplyStatus::kRedirect;
+  reply.slot = 1;
+  reply.result = to_bytes("x");
+  const Bytes wire = reply.encode();
+  EXPECT_EQ(net::ClientReply::decode(ByteSpan(wire.data(), wire.size()))
+                .status,
+            net::ReplyStatus::kRedirect);
+  Bytes corrupt = wire;
+  corrupt[17] = 0x03;  // first value past the ReplyStatus range
+  EXPECT_THROW((void)net::ClientReply::decode(
+                   ByteSpan(corrupt.data(), corrupt.size())),
+               CodecError);
+}
+
+// ---- fleet behavior on the simulated network ----
+
+struct ReadFleet {
+  net::Simulator sim;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<crypto::CryptoSuite> suite;
+  std::vector<crypto::KeyPair> keys;
+  std::vector<std::unique_ptr<SmrReplica>> replicas;  // 1-based
+
+  ReadFleet(std::uint32_t n, std::uint32_t f, double l,
+            SmrOptions options = {}, std::uint64_t seed = 1) {
+    net::LatencyConfig latency;
+    latency.min_delay = 500;
+    latency.max_delay_post = 4'000;
+    net = std::make_unique<net::Network>(sim, n, seed, latency);
+    suite = crypto::make_sim_suite();
+    keys.resize(n + 1);
+    std::vector<Bytes> key_table(n + 1);
+    for (ReplicaId id = 1; id <= n; ++id) {
+      keys[id] = suite->keygen(mix64(seed, id));
+      key_table[id] = keys[id].public_key;
+    }
+    const crypto::PublicKeyDir public_keys(std::move(key_table));
+    replicas.resize(n + 1);
+    for (ReplicaId id = 1; id <= n; ++id) {
+      SmrConfig cfg;
+      cfg.id = id;
+      cfg.n = n;
+      cfg.f = f;
+      cfg.l = l;
+      cfg.pipeline = options;
+      cfg.suite = suite.get();
+      cfg.secret_key = keys[id].secret_key;
+      cfg.public_keys = public_keys;
+      cfg.sync.base_timeout = 100'000;
+      core::ProtocolHost hooks;
+      hooks.send = [this, id](ReplicaId to, std::uint8_t tag,
+                              const Bytes& m) {
+        net->send(id, to, tag, m);
+      };
+      hooks.broadcast = [this, id](std::uint8_t tag, const Bytes& m) {
+        net->broadcast(id, tag, m);
+      };
+      hooks.set_timer = [this](Duration d, std::function<void()> fn) {
+        sim.schedule_after(d, std::move(fn));
+      };
+      hooks.on_commit = [](std::uint64_t, const Bytes&) {};
+      replicas[id] = std::make_unique<SmrReplica>(std::move(cfg), hooks);
+      net->register_handler(
+          id, [this, id](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+            replicas[id]->on_message(from, tag, m);
+          });
+    }
+  }
+
+  void start_all() {
+    for (std::size_t id = 1; id < replicas.size(); ++id) {
+      replicas[id]->start();
+    }
+  }
+
+  /// Steps the simulation until `done()` (or deadline). Lease renewal
+  /// timers re-arm forever, so every loop must be time-bounded.
+  bool run_until(const std::function<bool()>& done,
+                 TimePoint deadline = 300'000'000) {
+    while (sim.now() < deadline) {
+      if (done()) return true;
+      if (!sim.step()) break;
+    }
+    return done();
+  }
+
+  bool run_until_executed(std::uint64_t commands,
+                          TimePoint deadline = 300'000'000) {
+    return run_until(
+        [this, commands] {
+          for (std::size_t id = 1; id < replicas.size(); ++id) {
+            if (replicas[id]->executed_commands() < commands) return false;
+          }
+          return true;
+        },
+        deadline);
+  }
+};
+
+SmrOptions read_options() {
+  SmrOptions options;
+  options.serve_reads = true;
+  options.lease_duration = 400'000;
+  options.lease_skew = 100'000;
+  options.read_timeout = 1'000'000;
+  return options;
+}
+
+using ReadResult = SmrReplica::ReadResult;
+
+TEST(SmrReads, DisabledConfigRejectsEveryRead) {
+  ReadFleet fleet(4, 0, 2.0);  // default SmrOptions: serve_reads = false
+  fleet.replicas[1]->submit(to_bytes("k=v1"));
+  fleet.start_all();
+  ASSERT_TRUE(fleet.run_until_executed(1));
+  for (const auto mode :
+       {net::ReadConsistency::kLinearizable,
+        net::ReadConsistency::kSequential, net::ReadConsistency::kStaleOk}) {
+    std::optional<ReadResult> result;
+    fleet.replicas[1]->submit_read(to_bytes("k"), mode, 0,
+                                   [&](const ReadResult& r) { result = r; });
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->status, net::ReplyStatus::kRejected);
+  }
+  EXPECT_EQ(fleet.replicas[1]->reads_rejected(), 3U);
+  // No read-path traffic at all: the write path of a reads-off build is
+  // bit-identical to one without the feature.
+  EXPECT_EQ(fleet.net->stats().sends_for(kSmrLeaseTag), 0U);
+  EXPECT_EQ(fleet.net->stats().sends_for(kSmrReadIndexTag), 0U);
+}
+
+TEST(SmrReads, StaleOkServesTheLocalView) {
+  ReadFleet fleet(4, 0, 2.0, read_options());
+  fleet.replicas[1]->submit(to_bytes("k=v1"));
+  fleet.start_all();
+  ASSERT_TRUE(fleet.run_until_executed(1));
+  // Every replica — leader or not — answers stale-ok immediately.
+  for (ReplicaId id = 1; id <= 4; ++id) {
+    std::optional<ReadResult> result;
+    fleet.replicas[id]->submit_read(to_bytes("k"),
+                                    net::ReadConsistency::kStaleOk, 0,
+                                    [&](const ReadResult& r) { result = r; });
+    ASSERT_TRUE(result.has_value()) << "replica " << id;
+    EXPECT_EQ(result->status, net::ReplyStatus::kExecuted);
+    EXPECT_EQ(result->value, to_bytes("v1"));
+    EXPECT_GE(result->index, 1U);
+  }
+  // An unwritten key answers kExecuted with an empty value and slot 0.
+  std::optional<ReadResult> miss;
+  fleet.replicas[2]->submit_read(to_bytes("unwritten"),
+                                 net::ReadConsistency::kStaleOk, 0,
+                                 [&](const ReadResult& r) { miss = r; });
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_EQ(miss->status, net::ReplyStatus::kExecuted);
+  EXPECT_TRUE(miss->value.empty());
+  EXPECT_EQ(miss->slot, 0U);
+}
+
+TEST(SmrReads, SequentialReadParksUntilMinIndex) {
+  SmrOptions options = read_options();
+  options.batch_max_commands = 1;
+  ReadFleet fleet(4, 0, 2.0, options);
+  fleet.replicas[1]->submit(to_bytes("a=1"));
+  fleet.start_all();
+  ASSERT_TRUE(fleet.run_until_executed(1));
+
+  // min_index = 2 is ahead of execution: the read parks.
+  std::optional<ReadResult> result;
+  fleet.replicas[1]->submit_read(to_bytes("b"),
+                                 net::ReadConsistency::kSequential, 2,
+                                 [&](const ReadResult& r) { result = r; });
+  EXPECT_FALSE(result.has_value());
+  // The second write releases it — and the read observes that write.
+  fleet.replicas[1]->submit(to_bytes("b=2"));
+  ASSERT_TRUE(fleet.run_until([&] { return result.has_value(); }));
+  EXPECT_EQ(result->status, net::ReplyStatus::kExecuted);
+  EXPECT_EQ(result->value, to_bytes("2"));
+  EXPECT_GE(result->index, 2U);
+
+  // A min_index already covered answers synchronously.
+  std::optional<ReadResult> immediate;
+  fleet.replicas[1]->submit_read(to_bytes("a"),
+                                 net::ReadConsistency::kSequential, 1,
+                                 [&](const ReadResult& r) { immediate = r; });
+  ASSERT_TRUE(immediate.has_value());
+  EXPECT_EQ(immediate->value, to_bytes("1"));
+}
+
+TEST(SmrReads, LeaseLeaderServesLinearizableReadsLocally) {
+  ReadFleet fleet(4, 1, 1.5, read_options());
+  fleet.replicas[1]->submit(to_bytes("k=v1"));
+  fleet.start_all();
+  ASSERT_TRUE(fleet.run_until_executed(1));
+  ASSERT_TRUE(
+      fleet.run_until([&] { return fleet.replicas[1]->lease_held(); }));
+
+  const auto lease_traffic = fleet.net->stats().sends_for(kSmrLeaseTag);
+  EXPECT_GT(lease_traffic, 0U);
+  std::optional<ReadResult> result;
+  fleet.replicas[1]->submit_read(to_bytes("k"),
+                                 net::ReadConsistency::kLinearizable, 0,
+                                 [&](const ReadResult& r) { result = r; });
+  ASSERT_TRUE(fleet.run_until([&] { return result.has_value(); }));
+  EXPECT_EQ(result->status, net::ReplyStatus::kExecuted);
+  EXPECT_EQ(result->value, to_bytes("v1"));
+  EXPECT_GE(fleet.replicas[1]->lease_reads(), 1U);
+  // A lease read never runs the quorum protocol.
+  EXPECT_EQ(fleet.net->stats().sends_for(kSmrReadIndexTag), 0U);
+
+  // Read-your-writes across a second write.
+  fleet.replicas[1]->submit(to_bytes("k=v2"));
+  ASSERT_TRUE(fleet.run_until_executed(2));
+  std::optional<ReadResult> second;
+  fleet.replicas[1]->submit_read(to_bytes("k"),
+                                 net::ReadConsistency::kLinearizable, 0,
+                                 [&](const ReadResult& r) { second = r; });
+  ASSERT_TRUE(fleet.run_until([&] { return second.has_value(); }));
+  EXPECT_EQ(second->status, net::ReplyStatus::kExecuted);
+  EXPECT_EQ(second->value, to_bytes("v2"));
+  EXPECT_GE(second->index, result->index);
+}
+
+TEST(SmrReads, FollowerUsesQuorumReadIndex) {
+  ReadFleet fleet(4, 1, 1.5, read_options());
+  fleet.replicas[1]->submit(to_bytes("k=v1"));
+  fleet.start_all();
+  ASSERT_TRUE(fleet.run_until_executed(1));
+
+  std::optional<ReadResult> result;
+  fleet.replicas[3]->submit_read(to_bytes("k"),
+                                 net::ReadConsistency::kLinearizable, 0,
+                                 [&](const ReadResult& r) { result = r; });
+  ASSERT_TRUE(fleet.run_until([&] { return result.has_value(); }));
+  EXPECT_EQ(result->status, net::ReplyStatus::kExecuted);
+  EXPECT_EQ(result->value, to_bytes("v1"));
+  // The follower holds no lease: the answer came from the attestation
+  // quorum, not a local shortcut.
+  EXPECT_EQ(fleet.replicas[3]->lease_reads(), 0U);
+  EXPECT_GT(fleet.net->stats().sends_for(kSmrReadIndexTag), 0U);
+}
+
+TEST(SmrReads, LinearizableReadTimesOutWithoutAQuorum) {
+  ReadFleet fleet(4, 1, 1.5, read_options());
+  fleet.replicas[1]->submit(to_bytes("k=v1"));
+  fleet.start_all();
+  ASSERT_TRUE(fleet.run_until_executed(1));
+
+  // Fully partition follower 3: its read-index broadcast reaches nobody,
+  // so the read must answer kRejected at read_timeout — never hang, never
+  // answer from the unproven local view.
+  fleet.net->set_filter([](ReplicaId from, ReplicaId to, std::uint8_t) {
+    return from == 3 || to == 3;
+  });
+  std::optional<ReadResult> result;
+  fleet.replicas[3]->submit_read(to_bytes("k"),
+                                 net::ReadConsistency::kLinearizable, 0,
+                                 [&](const ReadResult& r) { result = r; });
+  const TimePoint probe_deadline = fleet.sim.now() + 3'000'000;
+  fleet.run_until([&] { return result.has_value(); }, probe_deadline);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, net::ReplyStatus::kRejected);
+  EXPECT_GE(fleet.replicas[3]->reads_rejected(), 1U);
+}
+
+TEST(SmrReads, MalformedReadFramesAreDropped) {
+  ReadFleet fleet(4, 0, 2.0, read_options());
+  fleet.start_all();
+  // Arbitrary garbage on both read-path tags must be swallowed.
+  const Bytes garbage = {0xff, 0x00, 0x01, 0x02};
+  EXPECT_NO_THROW(fleet.replicas[1]->on_message(2, kSmrLeaseTag, garbage));
+  EXPECT_NO_THROW(
+      fleet.replicas[1]->on_message(2, kSmrReadIndexTag, garbage));
+  // Truncated but well-formed prefixes of real frames too.
+  LeaseRequest request;
+  request.epoch = 1;
+  request.leader = 2;
+  const Bytes wire = request.encode();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_NO_THROW(fleet.replicas[1]->on_message(
+        2, kSmrLeaseTag, Bytes(wire.begin(),
+                               wire.begin() + static_cast<std::ptrdiff_t>(
+                                                  len))));
+  }
+  // An attestation for a rid nobody asked for is ignored.
+  ReadIndexAttest stray;
+  stray.rid = 999;
+  stray.requester = 1;
+  stray.signer = 2;
+  stray.signature = Bytes(64, 0x00);
+  EXPECT_NO_THROW(
+      fleet.replicas[1]->on_message(2, kSmrReadIndexTag, stray.encode()));
+  // The fleet still makes progress afterwards.
+  fleet.replicas[1]->submit(to_bytes("k=v1"));
+  ASSERT_TRUE(fleet.run_until_executed(1));
+}
+
+// The pinned regression: a deposed, partitioned lease holder must NEVER
+// serve a stale linearizable read after a view change decides a
+// conflicting write behind its back.
+//
+// Timeline (µs, lease_duration = 400ms / skew = 100ms):
+//   - "k=v1" decides at view 1; leader 1 acquires the lease and serves a
+//     linearizable read locally.
+//   - Leader 1 is fully partitioned. Its validity timer expires at most
+//     400ms after its last request broadcast; every granter's promise
+//     runs strictly longer (500ms from a later receipt), so the lease is
+//     dead BEFORE any deferred view-change traffic flushes.
+//   - A fresh "k=v2" submitted at replica 2 opens slot 1 there; the
+//     deferred wishes flush at promise expiry, replicas 2..6 change to
+//     view 2, and replica 2 proposes and decides "k=v2" — which poisons
+//     lease serving on every replica that saw the view-2 decide.
+//   - A linearizable read at the deposed leader must answer kRejected
+//     (no lease, no attestation quorum through the partition) — it must
+//     not answer "v1" as if nothing happened.
+//   - After healing, leader 1 catches up from signed hints (a decide
+//     with unknown view), which poisons ITS lease serving permanently;
+//     its next linearizable read runs the quorum read-index and returns
+//     the post-view-change value.
+TEST(SmrReads, LeaseNeverServesStaleReadAcrossViewChange) {
+  // l = 1.5 at n = 6 gives q = 4: one replica of slack among the 5 still
+  // connected, so consensus proceeds behind the partition.
+  ReadFleet fleet(6, 1, 1.5, read_options(), /*seed=*/7);
+  fleet.replicas[1]->submit(to_bytes("k=v1"));
+  fleet.start_all();
+  ASSERT_TRUE(fleet.run_until_executed(1));
+  ASSERT_TRUE(
+      fleet.run_until([&] { return fleet.replicas[1]->lease_held(); }));
+
+  std::optional<ReadResult> before;
+  fleet.replicas[1]->submit_read(to_bytes("k"),
+                                 net::ReadConsistency::kLinearizable, 0,
+                                 [&](const ReadResult& r) { before = r; });
+  ASSERT_TRUE(fleet.run_until([&] { return before.has_value(); }));
+  EXPECT_EQ(before->status, net::ReplyStatus::kExecuted);
+  EXPECT_EQ(before->value, to_bytes("v1"));
+  EXPECT_GE(fleet.replicas[1]->lease_reads(), 1U);
+
+  // Partition the lease holder and decide a conflicting write without it.
+  fleet.net->set_filter([](ReplicaId from, ReplicaId to, std::uint8_t) {
+    return from == 1 || to == 1;
+  });
+  fleet.replicas[2]->submit(to_bytes("k=v2"));
+  ASSERT_TRUE(fleet.run_until([&] {
+    for (ReplicaId id = 2; id <= 6; ++id) {
+      if (fleet.replicas[id]->executed_commands() < 2) return false;
+    }
+    return true;
+  }));
+  // The view-2 decide proves the lease premise wrong on every replica
+  // that saw it.
+  for (ReplicaId id = 2; id <= 6; ++id) {
+    EXPECT_TRUE(fleet.replicas[id]->lease_poisoned()) << "replica " << id;
+  }
+  // The deposed leader's validity ran out strictly before the wishes that
+  // deposed it could flush: by the time "k=v2" exists, no lease is held.
+  EXPECT_FALSE(fleet.replicas[1]->lease_held());
+
+  // THE invariant: a linearizable read at the deposed leader must not
+  // return the stale "v1". Without a lease it needs an attestation
+  // quorum, which the partition denies — so it answers kRejected.
+  std::optional<ReadResult> stale_probe;
+  fleet.replicas[1]->submit_read(
+      to_bytes("k"), net::ReadConsistency::kLinearizable, 0,
+      [&](const ReadResult& r) { stale_probe = r; });
+  const TimePoint probe_deadline = fleet.sim.now() + 3'000'000;
+  fleet.run_until([&] { return stale_probe.has_value(); }, probe_deadline);
+  ASSERT_TRUE(stale_probe.has_value());
+  EXPECT_EQ(stale_probe->status, net::ReplyStatus::kRejected);
+
+  // Heal. Fresh traffic catches the old leader up via signed hints — a
+  // decide with unknown view, which poisons its lease serving for good.
+  fleet.net->clear_filter();
+  fleet.replicas[2]->submit(to_bytes("k2=v3"));
+  ASSERT_TRUE(fleet.run_until_executed(3));
+  EXPECT_TRUE(fleet.replicas[1]->lease_poisoned());
+  EXPECT_FALSE(fleet.replicas[1]->lease_held());
+
+  // Its next linearizable read goes through the quorum read-index and
+  // sees the post-view-change value.
+  std::optional<ReadResult> fresh;
+  fleet.replicas[1]->submit_read(to_bytes("k"),
+                                 net::ReadConsistency::kLinearizable, 0,
+                                 [&](const ReadResult& r) { fresh = r; });
+  ASSERT_TRUE(fleet.run_until([&] { return fresh.has_value(); }));
+  EXPECT_EQ(fresh->status, net::ReplyStatus::kExecuted);
+  EXPECT_EQ(fresh->value, to_bytes("v2"));
+
+  // And the write path stayed correct throughout: identical logs.
+  for (ReplicaId id = 2; id <= 6; ++id) {
+    EXPECT_EQ(fleet.replicas[id]->log_digest(),
+              fleet.replicas[1]->log_digest())
+        << "replica " << id;
+  }
+}
+
+// ---- the Workload::kSmrReads scenario dimension ----
+
+TEST(SmrReadsScenario, NoStaleReadsUnderSupportedFaults) {
+  for (const sim::Fault fault :
+       {sim::Fault::kNone, sim::Fault::kPartitionUntilGst,
+        sim::Fault::kKillRestart}) {
+    sim::ScenarioSpec spec;
+    // n = 6 leaves a replica of slack above the q = ⌈1.5·√6⌉ = 4 quorum,
+    // so the partition halves can make progress once healed even when
+    // the VRF sample keeps picking a cut-off replica.
+    spec.n = 6;
+    spec.f = 1;
+    spec.l = 1.5;
+    spec.workload = sim::Workload::kSmrReads;
+    spec.fault = fault;
+    spec.latency = fault == sim::Fault::kPartitionUntilGst
+                       ? sim::LatencyModel::kPartialSynchrony
+                       : sim::LatencyModel::kSynchronous;
+    spec.smr_commands = 6;
+    ASSERT_TRUE(sim::fault_applicable(spec)) << sim::to_string(fault);
+    const sim::ScenarioOutcome outcome = sim::run_scenario(spec, 1);
+    EXPECT_TRUE(outcome.terminated) << sim::to_string(fault);
+    EXPECT_TRUE(outcome.agreement) << sim::to_string(fault);
+    // Every up replica probed in all three modes; every probe answered.
+    EXPECT_EQ(outcome.reads_attempted, 18U) << sim::to_string(fault);
+    EXPECT_EQ(outcome.reads_executed + outcome.reads_rejected,
+              outcome.reads_attempted)
+        << sim::to_string(fault);
+    EXPECT_GT(outcome.reads_executed, 0U) << sim::to_string(fault);
+    // THE invariant the workload exists for.
+    EXPECT_EQ(outcome.stale_reads, 0U) << sim::to_string(fault);
+  }
+}
+
+TEST(SmrReadsScenario, WorkloadNameRoundTrips) {
+  EXPECT_STREQ(sim::to_string(sim::Workload::kSmrReads), "smr-reads");
+  sim::Workload workload = sim::Workload::kSingleShot;
+  ASSERT_TRUE(sim::workload_from_string("smr-reads", workload));
+  EXPECT_EQ(workload, sim::Workload::kSmrReads);
+}
+
+// ---- the same regression over real TCP sockets ----
+
+/// Thread-per-transport loopback cluster with a flippable partition
+/// around replica 1 (applied symmetrically at every sender AND receiver,
+/// so in-flight frames cannot leak through the flip).
+struct TcpReadCluster {
+  static constexpr std::uint32_t kN = 6;
+  static constexpr Duration kWallBudget = 120'000'000;  // 120 s cap
+
+  std::vector<std::unique_ptr<net::TcpTransport>> transports;  // 1-based
+  std::vector<std::unique_ptr<SmrReplica>> replicas;           // 1-based
+  std::unique_ptr<crypto::CryptoSuite> suite;
+  std::atomic<bool> partitioned{false};
+  std::atomic<bool> stop{false};
+  std::array<std::atomic<std::uint64_t>, kN + 1> executed{};
+  std::vector<std::thread> threads;
+
+  TcpReadCluster() {
+    transports.resize(kN + 1);
+    replicas.resize(kN + 1);
+    for (ReplicaId id = 1; id <= kN; ++id) {
+      net::TcpTransportConfig tcfg;
+      tcfg.self = id;
+      tcfg.n = kN;
+      transports[id] = std::make_unique<net::TcpTransport>(tcfg);
+    }
+    for (ReplicaId id = 1; id <= kN; ++id) {
+      for (ReplicaId peer = 1; peer <= kN; ++peer) {
+        if (peer == id) continue;
+        transports[id]->set_peer(
+            peer,
+            net::PeerAddress{"127.0.0.1", transports[peer]->listen_port()});
+      }
+    }
+    suite = crypto::make_sim_suite();
+    std::vector<crypto::KeyPair> keys(kN + 1);
+    std::vector<Bytes> key_table(kN + 1);
+    for (ReplicaId id = 1; id <= kN; ++id) {
+      keys[id] = suite->keygen(mix64(17, id));
+      key_table[id] = keys[id].public_key;
+    }
+    const crypto::PublicKeyDir public_keys(std::move(key_table));
+    for (ReplicaId id = 1; id <= kN; ++id) {
+      SmrConfig cfg;
+      cfg.id = id;
+      cfg.n = kN;
+      cfg.f = 1;
+      cfg.l = 1.5;
+      cfg.pipeline = read_options();
+      cfg.suite = suite.get();
+      cfg.secret_key = keys[id].secret_key;
+      cfg.public_keys = public_keys;
+      cfg.sync.base_timeout = 100'000;
+      net::TcpTransport* transport = transports[id].get();
+      core::ProtocolHost hooks;
+      // Sender-side partition filter; broadcast fans out through the
+      // same per-link check so the to == 1 leg can be dropped alone.
+      hooks.send = [this, transport, id](ReplicaId to, std::uint8_t tag,
+                                         const Bytes& m) {
+        if (partitioned.load() && (id == 1 || to == 1)) return;
+        transport->send(id, to, tag, Bytes(m));
+      };
+      hooks.broadcast = [this, transport, id](std::uint8_t tag,
+                                              const Bytes& m) {
+        for (ReplicaId to = 1; to <= kN; ++to) {
+          if (to == id) continue;
+          if (partitioned.load() && (id == 1 || to == 1)) continue;
+          transport->send(id, to, tag, Bytes(m));
+        }
+      };
+      hooks.set_timer = transport->timer_setter();
+      hooks.on_commit = [this, id](std::uint64_t, const Bytes&) {
+        executed[id].fetch_add(1, std::memory_order_relaxed);
+      };
+      replicas[id] = std::make_unique<SmrReplica>(std::move(cfg), hooks);
+      transports[id]->register_handler(
+          id, [this, id](ReplicaId from, std::uint8_t tag, const Bytes& m) {
+            if (partitioned.load() && (id == 1 || from == 1)) return;
+            replicas[id]->on_message(from, tag, m);
+          });
+      transports[id]->post([this, id] { replicas[id]->start(); });
+    }
+    for (ReplicaId id = 1; id <= kN; ++id) {
+      threads.emplace_back([this, id] {
+        transports[id]->run_until([this] { return stop.load(); },
+                                  kWallBudget);
+      });
+    }
+  }
+
+  ~TcpReadCluster() { shutdown(); }
+
+  void shutdown() {
+    stop.store(true);
+    for (ReplicaId id = 1; id <= kN; ++id) transports[id]->stop();
+    for (auto& thread : threads) {
+      if (thread.joinable()) thread.join();
+    }
+    threads.clear();
+  }
+
+  /// Polls `done()` from the test thread (loop threads keep running).
+  static bool wait_wall(const std::function<bool()>& done,
+                        int timeout_ms = 60'000) {
+    for (int waited = 0; waited < timeout_ms; waited += 20) {
+      if (done()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return done();
+  }
+
+  bool wait_executed(std::uint64_t commands, ReplicaId first = 1,
+                     ReplicaId last = kN) {
+    return wait_wall([this, commands, first, last] {
+      for (ReplicaId id = first; id <= last; ++id) {
+        if (executed[id].load(std::memory_order_relaxed) < commands) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+
+  void submit(ReplicaId id, const std::string& command) {
+    transports[id]->post(
+        [this, id, command] { replicas[id]->submit(to_bytes(command)); });
+  }
+
+  /// Runs `probe` against replica `id` on its loop thread; returns the
+  /// probed value once the loop has executed it.
+  bool probe_flag(ReplicaId id,
+                  const std::function<bool(const SmrReplica&)>& probe) {
+    auto state = std::make_shared<std::atomic<int>>(-1);
+    transports[id]->post([this, id, probe, state] {
+      state->store(probe(*replicas[id]) ? 1 : 0);
+    });
+    wait_wall([state] { return state->load() >= 0; });
+    return state->load() == 1;
+  }
+
+  /// Issues a read on replica `id`'s loop thread; the outcome lands in a
+  /// mutex-guarded slot the test thread polls.
+  struct ReadProbe {
+    std::mutex mu;
+    std::optional<ReadResult> result;
+    bool ready() {
+      const std::lock_guard<std::mutex> lock(mu);
+      return result.has_value();
+    }
+    ReadResult get() {
+      const std::lock_guard<std::mutex> lock(mu);
+      return *result;
+    }
+  };
+  std::shared_ptr<ReadProbe> read(ReplicaId id, const std::string& key,
+                                  net::ReadConsistency mode) {
+    auto probe = std::make_shared<ReadProbe>();
+    transports[id]->post([this, id, key, mode, probe] {
+      replicas[id]->submit_read(to_bytes(key), mode, 0,
+                                [probe](const ReadResult& r) {
+                                  const std::lock_guard<std::mutex> lock(
+                                      probe->mu);
+                                  probe->result = r;
+                                });
+    });
+    return probe;
+  }
+};
+
+TEST(TcpSmrReads, LeaseNeverServesStaleReadAcrossViewChangeOverTcp) {
+  TcpReadCluster cluster;
+
+  cluster.submit(1, "k=v1");
+  ASSERT_TRUE(cluster.wait_executed(1));
+  ASSERT_TRUE(TcpReadCluster::wait_wall([&] {
+    return cluster.probe_flag(
+        1, [](const SmrReplica& r) { return r.lease_held(); });
+  }));
+
+  auto before = cluster.read(1, "k", net::ReadConsistency::kLinearizable);
+  ASSERT_TRUE(TcpReadCluster::wait_wall([&] { return before->ready(); }));
+  EXPECT_EQ(before->get().status, net::ReplyStatus::kExecuted);
+  EXPECT_EQ(before->get().value, to_bytes("v1"));
+
+  // Partition the lease holder; decide a conflicting write without it.
+  cluster.partitioned.store(true);
+  cluster.submit(2, "k=v2");
+  ASSERT_TRUE(cluster.wait_executed(2, /*first=*/2));
+
+  // Real time passed the 400ms validity bound long ago; the deposed
+  // leader must reject — not serve the stale "v1".
+  EXPECT_FALSE(cluster.probe_flag(
+      1, [](const SmrReplica& r) { return r.lease_held(); }));
+  auto stale = cluster.read(1, "k", net::ReadConsistency::kLinearizable);
+  ASSERT_TRUE(TcpReadCluster::wait_wall([&] { return stale->ready(); }));
+  EXPECT_EQ(stale->get().status, net::ReplyStatus::kRejected);
+
+  // Heal; the old leader catches up from signed hints (poisoning its
+  // lease) and its next linearizable read sees the new value.
+  cluster.partitioned.store(false);
+  cluster.submit(2, "k2=v3");
+  ASSERT_TRUE(cluster.wait_executed(3));
+  EXPECT_TRUE(cluster.probe_flag(
+      1, [](const SmrReplica& r) { return r.lease_poisoned(); }));
+  auto fresh = cluster.read(1, "k", net::ReadConsistency::kLinearizable);
+  ASSERT_TRUE(TcpReadCluster::wait_wall([&] { return fresh->ready(); }));
+  EXPECT_EQ(fresh->get().status, net::ReplyStatus::kExecuted);
+  EXPECT_EQ(fresh->get().value, to_bytes("v2"));
+
+  // Loop threads are down after shutdown(): direct state access is safe.
+  cluster.shutdown();
+  for (ReplicaId id = 2; id <= TcpReadCluster::kN; ++id) {
+    EXPECT_EQ(cluster.replicas[id]->log_digest(),
+              cluster.replicas[1]->log_digest())
+        << "replica " << id;
+  }
+}
+
+}  // namespace
+}  // namespace probft::smr
